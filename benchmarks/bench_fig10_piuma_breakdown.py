@@ -1,0 +1,54 @@
+"""Fig 10: PIUMA execution-time breakdown across OGB workloads and K.
+
+The complement of Figs 3 and 4: on PIUMA, growing the embedding
+dimension shifts the bottleneck from SpMM to Dense MM (no SIMD units).
+"""
+
+from repro.graphs.datasets import list_datasets
+from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
+from repro.report.figures import breakdown_chart
+from repro.report.tables import format_table, format_time_ns
+from repro.workloads.gcn_workload import workload_for
+from repro.workloads.sweeps import EMBEDDING_SWEEP
+
+
+def test_fig10_piuma_breakdown(benchmark, emit, piuma_node):
+    def evaluate():
+        return {
+            (name, k): piuma_gcn_breakdown(
+                workload_for(name, k), piuma_node
+            )
+            for name in list_datasets()
+            for k in EMBEDDING_SWEEP
+        }
+
+    results = benchmark(evaluate)
+
+    bars = breakdown_chart(
+        [
+            (f"{name:10s} K={k:<3d}", results[(name, k)])
+            for name in list_datasets()
+            for k in (8, 64, 256)
+        ]
+    )
+    table = format_table(
+        ["dataset", "K", "SpMM", "Dense", "total"],
+        [
+            [name, k,
+             format_time_ns(results[(name, k)].spmm),
+             format_time_ns(results[(name, k)].dense),
+             format_time_ns(results[(name, k)].total)]
+            for name in list_datasets()
+            for k in (8, 64, 256)
+        ],
+        title="PIUMA node absolute times",
+    )
+    emit("fig10_piuma_breakdown", bars + "\n\n" + table)
+
+    # Paper: arxiv, collab, mag, citation2 (and papers) are >75% Dense
+    # MM at K=256 on PIUMA; dense share always grows with K.
+    for name in ("arxiv", "collab", "mag", "citation2"):
+        assert results[(name, 256)].fraction("dense") > 0.6, name
+    for name in list_datasets():
+        assert (results[(name, 256)].fraction("dense")
+                > results[(name, 8)].fraction("dense")), name

@@ -1,0 +1,55 @@
+"""Fig 2: SpMM-fraction contours over (scale, density), K=256, CPU.
+
+Regenerates the contour map from the CPU timing model over a log-spaced
+grid, overlays the Table I datasets, and reports the 40/60/80% contour
+densities per scale.
+"""
+
+import numpy as np
+
+from repro.core.contour import (
+    annotate_datasets,
+    contour_grid,
+    find_contour_density,
+)
+from repro.report.figures import contour_map
+from repro.report.tables import format_table
+
+VERTEX_GRID = [10**k for k in (4, 5, 6, 7, 8)]
+DENSITY_GRID = [10.0**e for e in range(-8, -1)]
+
+
+def test_fig2_contour_map(benchmark, emit, xeon):
+    grid = benchmark(
+        contour_grid, VERTEX_GRID, DENSITY_GRID, xeon, 256
+    )
+
+    chart = contour_map(np.asarray(grid), VERTEX_GRID, DENSITY_GRID)
+
+    contour_rows = []
+    for level in (0.4, 0.6, 0.8):
+        row = [f"{level:.0%}"]
+        for v in VERTEX_GRID:
+            d = find_contour_density(v, level, xeon)
+            row.append(f"{d:.2e}" if d is not None else "-")
+        contour_rows.append(row)
+    lines_table = format_table(
+        ["SpMM share"] + [f"|V|={v:.0e}" for v in VERTEX_GRID],
+        contour_rows,
+        title="Contour densities (uniform-degree RMAT, K=256)",
+    )
+
+    points = annotate_datasets(xeon)
+    annot = format_table(
+        ["dataset", "|V|", "density", "SpMM share"],
+        [[p.name, f"{p.n_vertices:,}", f"{p.density:.2e}",
+          f"{p.spmm_fraction:.1%}"] for p in points],
+        title="OGB datasets on the Fig 2 plane",
+    )
+    emit("fig2_contour", chart + "\n\n" + lines_table + "\n\n" + annot)
+
+    # Shape assertions: monotone in both axes, arxiv/collab under 60%.
+    grid = np.asarray(grid)
+    assert np.all(np.diff(grid, axis=0) >= 0)
+    by_name = {p.name: p.spmm_fraction for p in points}
+    assert by_name["arxiv"] < 0.6 and by_name["collab"] < 0.6

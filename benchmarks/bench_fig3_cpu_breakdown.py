@@ -1,0 +1,72 @@
+"""Fig 3: CPU execution-time breakdown across OGB workloads and K.
+
+Left axis of the paper's figure: percentage split of SpMM / Dense MM /
+Glue per dataset per hidden dimension.  Right axis: absolute SpMM and
+Dense MM times.  Also benchmarks a *functional* instrumented inference
+on a down-scaled `arxiv` so the harness exercises the real numpy
+kernels, not just the model.
+"""
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.core.inference import profile_inference
+from repro.cpu.gcn import gcn_breakdown as cpu_gcn_breakdown
+from repro.graphs.datasets import get_dataset, list_datasets
+from repro.report.figures import breakdown_chart
+from repro.report.tables import format_table, format_time_ns
+from repro.workloads.gcn_workload import workload_for
+from repro.workloads.sweeps import EMBEDDING_SWEEP
+
+
+def test_fig3_cpu_breakdown(benchmark, emit, xeon):
+    def evaluate():
+        return {
+            (name, k): cpu_gcn_breakdown(workload_for(name, k), xeon)
+            for name in list_datasets()
+            for k in EMBEDDING_SWEEP
+        }
+
+    results = benchmark(evaluate)
+
+    bars = breakdown_chart(
+        [
+            (f"{name:10s} K={k:<3d}", results[(name, k)])
+            for name in list_datasets()
+            for k in (8, 64, 256)
+        ]
+    )
+    absolute = format_table(
+        ["dataset", "K", "SpMM", "Dense MM", "total"],
+        [
+            [name, k,
+             format_time_ns(results[(name, k)].spmm),
+             format_time_ns(results[(name, k)].dense),
+             format_time_ns(results[(name, k)].total)]
+            for name in list_datasets()
+            for k in EMBEDDING_SWEEP
+        ],
+        title="Absolute kernel times (right axis of Fig 3)",
+    )
+    emit("fig3_cpu_breakdown", bars + "\n\n" + absolute)
+
+    for name in ("proteins", "ppa", "products", "papers"):
+        assert results[(name, 256)].fraction("spmm") > 0.75
+
+
+def test_fig3_functional_inference(benchmark, emit):
+    """Ground the model with a real numpy GCN on down-scaled arxiv."""
+    adj = get_dataset("arxiv").materialize(max_vertices=20_000, seed=3)
+    model = GCNModel(adj, GCNConfig(in_dim=128, hidden_dim=64, out_dim=48))
+    features = model.random_features(seed=1)
+
+    profile = benchmark(profile_inference, model, features)
+
+    wall = profile.wall
+    emit(
+        "fig3_functional_arxiv20k",
+        f"functional 3-layer GCN on arxiv/20k vertices, hidden 64\n"
+        f"wall: spmm={format_time_ns(wall.spmm * 1e9)} "
+        f"dense={format_time_ns(wall.dense * 1e9)} "
+        f"glue={format_time_ns(wall.glue * 1e9)}\n"
+        f"flops={profile.total_flops:,}",
+    )
+    assert profile.output.shape == (adj.n_rows, 48)

@@ -1,0 +1,48 @@
+"""Fig 4: GPU execution-time breakdown.
+
+Offload dominates the graphs that fit on the A100; `papers` does not
+fit and is crushed by host-side sampling.
+"""
+
+from repro.gpu.footprint import fits_on_gpu
+from repro.gpu.gcn import gcn_breakdown as gpu_gcn_breakdown
+from repro.graphs.datasets import list_datasets
+from repro.report.figures import breakdown_chart
+from repro.report.tables import format_table, format_time_ns
+from repro.workloads.gcn_workload import workload_for
+from repro.workloads.sweeps import EMBEDDING_SWEEP
+
+
+def test_fig4_gpu_breakdown(benchmark, emit, a100):
+    def evaluate():
+        return {
+            (name, k): gpu_gcn_breakdown(workload_for(name, k), a100)
+            for name in list_datasets()
+            for k in EMBEDDING_SWEEP
+        }
+
+    results = benchmark(evaluate)
+
+    bars = breakdown_chart(
+        [
+            (f"{name:10s} K={k:<3d}", results[(name, k)])
+            for name in list_datasets()
+            for k in (8, 64, 256)
+        ]
+    )
+    fits = format_table(
+        ["dataset", "fits on A100-40GB", "total (K=64)"],
+        [
+            [name,
+             "yes" if fits_on_gpu(workload_for(name, 64), a100) else "NO",
+             format_time_ns(results[(name, 64)].total)]
+            for name in list_datasets()
+        ],
+        title="Capacity gate",
+    )
+    emit("fig4_gpu_breakdown", bars + "\n\n" + fits)
+
+    papers = results[("papers", 64)]
+    assert papers.fraction("sampling") + papers.fraction("offload") > 0.95
+    for name in ("arxiv", "products"):
+        assert results[(name, 8)].fraction("offload") > 0.45

@@ -1,0 +1,77 @@
+"""Fig 6: DRAM bandwidth (top) and latency (bottom) sensitivity of the
+DMA SpMM kernel for 2/4/8-core PIUMA systems at K in {8, 256}."""
+
+from repro.piuma import PIUMAConfig, simulate_spmm
+from repro.report.figures import series_chart
+from repro.workloads.sweeps import BANDWIDTH_SWEEP, LATENCY_SWEEP_NS
+
+CORES = (2, 4, 8)
+DIMS = (8, 256)
+
+
+def test_fig6_bandwidth_sweep(benchmark, emit, products_graph):
+    def run():
+        series = {}
+        for cores in CORES:
+            for k in DIMS:
+                series[(cores, k)] = [
+                    simulate_spmm(
+                        products_graph, k,
+                        PIUMAConfig(n_cores=cores, dram_bandwidth_scale=s),
+                        "dma",
+                    ).gflops
+                    for s in BANDWIDTH_SWEEP
+                ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    nominal = BANDWIDTH_SWEEP.index(1.0)
+    chart = series_chart(
+        BANDWIDTH_SWEEP,
+        [
+            (f"{c}c/K={k}", [v / series[(c, k)][nominal]
+                             for v in series[(c, k)]])
+            for c in CORES for k in DIMS
+        ],
+        x_label="bw scale",
+    )
+    emit("fig6_bandwidth_sweep", "GFLOPS normalized to nominal bw\n" + chart)
+
+    # Linear scaling: doubling bandwidth roughly doubles throughput.
+    for key, values in series.items():
+        ratio = values[-1] / values[nominal]
+        assert ratio > 1.6, (key, ratio)
+
+
+def test_fig6_latency_sweep(benchmark, emit, products_graph):
+    def run():
+        series = {}
+        for cores in CORES:
+            for k in DIMS:
+                series[(cores, k)] = [
+                    simulate_spmm(
+                        products_graph, k,
+                        PIUMAConfig(n_cores=cores, dram_latency_ns=lat),
+                        "dma",
+                    ).gflops
+                    for lat in LATENCY_SWEEP_NS
+                ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chart = series_chart(
+        LATENCY_SWEEP_NS,
+        [
+            (f"{c}c/K={k}", [v / series[(c, k)][0] for v in series[(c, k)]])
+            for c in CORES for k in DIMS
+        ],
+        x_label="latency ns",
+    )
+    emit("fig6_latency_sweep", "GFLOPS normalized to 45 ns\n" + chart)
+
+    # Latency-insensitive up to 360 ns with the default 16 threads/MTP.
+    for key, values in series.items():
+        at_360 = values[LATENCY_SWEEP_NS.index(360)]
+        assert at_360 / values[0] > 0.7, (key, at_360 / values[0])

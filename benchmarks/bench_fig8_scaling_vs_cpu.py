@@ -1,0 +1,124 @@
+"""Fig 8: PIUMA versus Xeon on `products`.
+
+Left: system bandwidth against active cores/threads (CPU STREAM curve
+with its hyperthreading dip versus PIUMA's linear slice scaling).
+Middle: SpMM throughput strong scaling.  Right: execution-time
+composition of a 16-core PIUMA system across embedding dimensions
+(NNZ share collapses as K grows).
+"""
+
+from repro.cpu.spmm import spmm_time
+from repro.cpu.stream import stream_bandwidth
+from repro.graphs.datasets import get_dataset
+from repro.piuma import PIUMAConfig, simulate_spmm
+from repro.report.figures import series_chart
+from repro.report.tables import format_table
+
+CPU_THREADS = (1, 2, 4, 8, 16, 32, 40, 80, 120, 160)
+PIUMA_CORES = (1, 2, 4, 8, 16, 32)
+PRODUCTS = get_dataset("products")
+
+
+def test_fig8_left_bandwidth(benchmark, emit, xeon):
+    curve = benchmark(
+        lambda: [stream_bandwidth(n, xeon) for n in CPU_THREADS]
+    )
+
+    piuma = [
+        PIUMAConfig(n_cores=c).total_bandwidth_gbps for c in PIUMA_CORES
+    ]
+    chart = (
+        series_chart(CPU_THREADS, [("CPU GB/s", curve)], x_label="threads")
+        + "\n\n"
+        + series_chart(
+            PIUMA_CORES, [("PIUMA GB/s", piuma)], x_label="cores"
+        )
+    )
+    emit("fig8_left_bandwidth", chart)
+
+    peak_index = CPU_THREADS.index(80)
+    assert curve[peak_index] == max(curve)        # peak at physical cores
+    assert curve[-1] < curve[peak_index]          # HT contention dip
+    # PIUMA passes the CPU's best bandwidth within ~16 cores.
+    crossover = next(
+        c for c, bw in zip(PIUMA_CORES, piuma) if bw > max(curve)
+    )
+    assert crossover <= 16
+
+
+def test_fig8_middle_strong_scaling(benchmark, emit, products_graph, xeon):
+    def run():
+        piuma = [
+            simulate_spmm(
+                products_graph, 256, PIUMAConfig(n_cores=c), "dma"
+            ).gflops
+            for c in PIUMA_CORES
+        ]
+        cpu = [
+            spmm_time(
+                PRODUCTS.n_vertices,
+                PRODUCTS.n_edges + PRODUCTS.n_vertices,
+                256,
+                xeon,
+                n_cores=c,
+                skew=PRODUCTS.locality,
+            ).gflops
+            for c in PIUMA_CORES
+        ]
+        return piuma, cpu
+
+    piuma, cpu = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = piuma[0]
+    chart = series_chart(
+        PIUMA_CORES,
+        [
+            ("PIUMA dma", [v / base for v in piuma]),
+            ("CPU vertex-par", [v / base for v in cpu]),
+        ],
+        x_label="cores",
+    )
+    emit(
+        "fig8_middle_strong_scaling",
+        "SpMM on products, K=256, normalized to 1-core PIUMA\n" + chart,
+    )
+
+    # PIUMA strong-scales near-linearly; the CPU curve flattens as the
+    # socket bandwidth saturates.
+    assert piuma[-1] / piuma[0] > 20
+    assert cpu[-1] / cpu[0] < 12
+
+
+def test_fig8_right_piuma_composition(benchmark, emit, products_graph):
+    def run():
+        out = {}
+        for k in (8, 64, 256):
+            result = simulate_spmm(
+                products_graph, k, PIUMAConfig(n_cores=16), "dma"
+            )
+            total_bytes = sum(s.bytes for s in result.tag_stats.values())
+            out[k] = {
+                tag: stats.bytes / total_bytes
+                for tag, stats in result.tag_stats.items()
+            }
+        return out
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [k,
+         f"{shares[k].get('nnz', 0):.3%}",
+         f"{shares[k].get('dma_read', 0):.3%}",
+         f"{shares[k].get('dma_write', 0):.3%}"]
+        for k in (8, 64, 256)
+    ]
+    emit(
+        "fig8_right_composition",
+        format_table(
+            ["K", "NNZ reads", "DMA reads", "DMA writes"],
+            rows,
+            title="Memory-traffic composition, 16-core PIUMA (Fig 8 right)",
+        ),
+    )
+
+    assert shares[8]["nnz"] > 8 * shares[256]["nnz"]

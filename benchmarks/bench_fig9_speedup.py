@@ -1,0 +1,58 @@
+"""Fig 9: single-node PIUMA and A100 speedups over the dual-socket Xeon.
+
+Bars: whole-GCN speedup.  Diamonds: SpMM-kernel speedup.  Includes the
+RMAT power graphs the paper adds as low-locality stress tests.
+"""
+
+from repro.core.speedup import compare_platforms
+from repro.graphs.datasets import list_datasets
+from repro.report.tables import format_table
+from repro.workloads.gcn_workload import workload_for
+from repro.workloads.sweeps import EMBEDDING_SWEEP
+
+DATASETS = list_datasets(include_power=True)
+
+
+def test_fig9_speedups(benchmark, emit, xeon, a100, piuma_node):
+    def run():
+        return {
+            (name, k): compare_platforms(
+                workload_for(name, k), xeon, a100, piuma_node
+            )
+            for name in DATASETS
+            for k in EMBEDDING_SWEEP
+        }
+
+    results = benchmark(run)
+
+    rows = []
+    for name in DATASETS:
+        for k in (8, 64, 256):
+            c = results[(name, k)]
+            rows.append(
+                [name, k,
+                 f"{c.gcn_speedup('piuma'):.2f}x",
+                 f"{c.gcn_speedup('gpu'):.2f}x",
+                 f"{c.spmm_speedup('piuma'):.2f}x",
+                 f"{c.spmm_speedup('gpu'):.2f}x"]
+            )
+    emit(
+        "fig9_speedups",
+        format_table(
+            ["dataset", "K", "PIUMA GCN", "GPU GCN",
+             "PIUMA SpMM", "GPU SpMM"],
+            rows,
+            title="Speedup vs dual-socket Xeon (bars=GCN, diamonds=SpMM)",
+        ),
+    )
+
+    for name in DATASETS:
+        for k in EMBEDDING_SWEEP:
+            assert results[(name, k)].gcn_speedup("piuma") > 1.0, (name, k)
+    # PIUMA's edge shrinks with K; the GPU's grows.
+    assert (results[("products", 8)].gcn_speedup("piuma")
+            > results[("products", 256)].gcn_speedup("piuma"))
+    assert (results[("products", 8)].gcn_speedup("gpu")
+            < results[("products", 256)].gcn_speedup("gpu"))
+    # papers is catastrophic on GPU.
+    assert results[("papers", 64)].gcn_speedup("gpu") < 0.2

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it computes
+the series, renders it as text, prints it (visible with ``pytest -s``)
+and writes it to ``benchmarks/out/<name>.txt`` so the artifacts survive
+the run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.gpu.config import A100Config
+from repro.graphs.datasets import get_dataset
+from repro.piuma.config import PIUMAConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table/figure to benchmarks/out and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name, text):
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def xeon():
+    return XeonConfig()
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return A100Config()
+
+
+@pytest.fixture(scope="session")
+def piuma_node():
+    return PIUMAConfig.node()
+
+
+@pytest.fixture(scope="session")
+def products_graph():
+    """Down-scaled materialization of `products` for DES runs.
+
+    16k vertices with the full graph's average degree; the simulator's
+    window projection handles the rest (DESIGN.md, down-scaled
+    simulation).
+    """
+    return get_dataset("products").materialize(max_vertices=16384, seed=7)

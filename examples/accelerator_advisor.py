@@ -1,0 +1,56 @@
+"""Should your graph workload move to a graph accelerator?
+
+The paper's Fig 2 distilled into a tool: given a graph's scale and
+density (plus optionally an embedding dimension), predict the fraction
+of GCN time a CPU spends in sparse aggregation — workloads above ~60%
+are the ones PIUMA-class hardware accelerates meaningfully.
+
+    python examples/accelerator_advisor.py 1000000 3e-6
+    python examples/accelerator_advisor.py            # demo sweep
+"""
+
+import sys
+
+from repro.core import spmm_fraction
+from repro.cpu import XeonConfig
+from repro.graphs import OGB_TABLE_I
+from repro.report import format_table
+
+
+def advise(n_vertices, density, config, embedding_dim=256):
+    fraction = spmm_fraction(n_vertices, density, config,
+                             embedding_dim=embedding_dim)
+    if fraction >= 0.8:
+        verdict = "strongly accelerator-favored"
+    elif fraction >= 0.6:
+        verdict = "accelerator-favored"
+    elif fraction >= 0.4:
+        verdict = "mixed: dense update matters as much"
+    else:
+        verdict = "CPU/GPU-favored (dense-dominated)"
+    return fraction, verdict
+
+
+def main(argv):
+    config = XeonConfig()
+    if len(argv) >= 2:
+        n_vertices, density = int(float(argv[0])), float(argv[1])
+        k = int(argv[2]) if len(argv) > 2 else 256
+        fraction, verdict = advise(n_vertices, density, config, k)
+        print(f"|V|={n_vertices:,} density={density:.2e} K={k}: "
+              f"SpMM share {fraction:.0%} -> {verdict}")
+        return
+    rows = []
+    for spec in OGB_TABLE_I:
+        fraction, verdict = advise(spec.n_vertices, spec.density, config)
+        rows.append([spec.name, f"{spec.n_vertices:,}",
+                     f"{spec.density:.2e}", f"{fraction:.0%}", verdict])
+    print(format_table(
+        ["dataset", "|V|", "density", "SpMM share", "advice"],
+        rows,
+        title="Accelerator advisor (K=256, uniform-reuse assumption)",
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

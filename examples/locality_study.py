@@ -1,0 +1,59 @@
+"""Vertex ordering, cache locality, and who wins SpMM.
+
+Section V-A explains the CPU's surprising strength on `products` by
+cache reuse; Fig 9 calls the RMAT power graphs "low locality".  This
+example makes that concrete: shuffle a graph, reorder it (RCM and
+degree-first), *measure* the window-span locality metric, and see how
+the measured locality moves the CPU SpMM estimate — while PIUMA,
+cacheless by design, does not care.
+
+    python examples/locality_study.py
+"""
+
+from repro.cpu import XeonConfig, spmm_time
+from repro.graphs import RMATParams, rmat_graph, window_span_fraction
+from repro.piuma import PIUMAConfig, spmm_model
+from repro.report import format_table
+from repro.sparse import apply_permutation, degree_order, random_order, rcm_order
+
+
+def main():
+    # Big enough that the feature matrix (|V| x K x 4B = 512 MB) dwarfs
+    # the Xeon's ~220 MB of cache — ordering decides what stays hot.
+    adj = rmat_graph(RMATParams(scale=20, edge_factor=8), seed=0)
+    shuffled = apply_permutation(adj, random_order(adj, seed=1))
+
+    orderings = {
+        "shuffled": shuffled,
+        "rcm": apply_permutation(shuffled, rcm_order(shuffled)),
+        "degree-first": apply_permutation(shuffled, degree_order(shuffled)),
+    }
+
+    xeon = XeonConfig()
+    node = PIUMAConfig.node()
+    k = 128
+    rows = []
+    for name, graph in orderings.items():
+        span = window_span_fraction(graph)
+        # A narrow span means each window's feature rows stay resident:
+        # read it as the locality/skew knob of the cache model.
+        locality = min(0.95, 1.0 - span)
+        est = spmm_time(graph.n_rows, graph.nnz, k, xeon, skew=locality)
+        piuma = spmm_model(graph.n_rows, graph.nnz, k, node).gflops * 0.88
+        rows.append([
+            name, f"{span:.2f}", f"{locality:.2f}", f"{est.hit_rate:.0%}",
+            f"{est.gflops:.1f}", f"{piuma:.0f}",
+        ])
+    print(f"graph: {adj.n_rows:,} vertices, {adj.nnz:,} edges, K={k}\n")
+    print(format_table(
+        ["ordering", "window span", "locality", "CPU hit",
+         "CPU SpMM GF/s", "PIUMA GF/s (order-blind)"],
+        rows,
+        title="Vertex ordering vs SpMM locality",
+    ))
+    print("\nReordering moves the CPU; the cacheless PIUMA column is "
+          "constant — the Section V-A asymmetry in one table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Characterize an OGB workload across CPU, GPU and PIUMA.
+
+The paper's end-to-end workflow for one dataset: sweep the hidden
+embedding dimension, print the execution-time breakdown on each
+platform and the speedups over the Xeon baseline (Figs 3, 4, 9, 10 for
+a single dataset).
+
+    python examples/ogb_characterization.py [dataset] [--full]
+
+``dataset`` defaults to ``products``; pass any Table I name or
+``power-16``/``power-22``.
+"""
+
+import sys
+
+from repro.core import compare_platforms
+from repro.cpu import XeonConfig
+from repro.gpu import A100Config, fits_on_gpu
+from repro.piuma import PIUMAConfig
+from repro.report import breakdown_chart, format_table, format_time_ns
+from repro.workloads import EMBEDDING_SWEEP, workload_for
+
+
+def main(dataset="products"):
+    xeon, a100, node = XeonConfig(), A100Config(), PIUMAConfig.node()
+
+    sample = workload_for(dataset, 64)
+    print(f"dataset {dataset}: |V|={sample.dataset.n_vertices:,} "
+          f"|E|={sample.dataset.n_edges:,} "
+          f"locality={sample.dataset.locality}")
+    print(f"fits on A100-40GB: {fits_on_gpu(sample, a100)}\n")
+
+    rows = []
+    charts = []
+    for k in EMBEDDING_SWEEP:
+        comparison = compare_platforms(
+            workload_for(dataset, k), xeon, a100, node
+        )
+        rows.append(
+            [k,
+             format_time_ns(comparison.breakdowns["cpu"].total),
+             format_time_ns(comparison.breakdowns["gpu"].total),
+             format_time_ns(comparison.breakdowns["piuma"].total),
+             f"{comparison.gcn_speedup('piuma'):.2f}x",
+             f"{comparison.gcn_speedup('gpu'):.2f}x"]
+        )
+        if k in (8, 64, 256):
+            for platform in ("cpu", "gpu", "piuma"):
+                charts.append(
+                    (f"{platform:5s} K={k:<3d}",
+                     comparison.breakdowns[platform])
+                )
+    print(format_table(
+        ["K", "CPU", "GPU", "PIUMA", "PIUMA speedup", "GPU speedup"],
+        rows,
+        title=f"GCN inference on {dataset} (3 layers)",
+    ))
+    print("\nexecution-time breakdowns:")
+    print(breakdown_chart(charts))
+
+
+if __name__ == "__main__":
+    main(*(a for a in sys.argv[1:2]))

@@ -1,0 +1,69 @@
+"""Explore the PIUMA design space for SpMM.
+
+An architect's use of the simulator: for a fixed workload, how many
+threads per MTP are needed to stay latency-tolerant, and how does the
+kernel choice (DMA offload versus loop unrolling) change the answer?
+Reproduces the reasoning behind Figs 5-7 on a custom workload.
+
+    python examples/piuma_design_space.py
+"""
+
+from repro.graphs import RMATParams, rmat_graph
+from repro.piuma import PIUMAConfig, simulate_spmm
+from repro.report import format_table, series_chart
+
+LATENCIES = (45, 180, 720)
+THREADS = (1, 4, 16)
+K = 32
+
+
+def main():
+    adj = rmat_graph(RMATParams(scale=13, edge_factor=16), seed=2)
+    print(f"workload: {adj.n_rows:,} vertices, {adj.nnz:,} edges, K={K}\n")
+
+    # 1. Thread count vs latency tolerance (the Fig 7 question).
+    rows = []
+    for tpm in THREADS:
+        gflops = [
+            simulate_spmm(
+                adj, K,
+                PIUMAConfig(n_cores=8, threads_per_mtp=tpm,
+                            dram_latency_ns=lat),
+                kernel="dma",
+            ).gflops
+            for lat in LATENCIES
+        ]
+        retention = gflops[-1] / gflops[0]
+        rows.append([tpm] + [f"{g:.1f}" for g in gflops]
+                    + [f"{retention:.0%}"])
+    print(format_table(
+        ["threads/MTP"] + [f"{lat} ns" for lat in LATENCIES]
+        + ["retained at 720 ns"],
+        rows,
+        title="DMA kernel GFLOP/s vs DRAM latency (8 cores)",
+    ))
+
+    # 2. Kernel choice vs core count (the Fig 5 question).
+    cores = (1, 4, 16)
+    dma = [
+        simulate_spmm(adj, K, PIUMAConfig(n_cores=c), "dma").gflops
+        for c in cores
+    ]
+    loop = [
+        simulate_spmm(adj, K, PIUMAConfig(n_cores=c), "loop").gflops
+        for c in cores
+    ]
+    print("\nkernel strong scaling (GFLOP/s):")
+    print(series_chart(cores, [("dma", dma), ("loop", loop)],
+                       x_label="cores"))
+    verdict = (
+        "DMA offload keeps scaling where the scalar loop stalls on "
+        "remote-latency-bound NNZ and feature reads."
+        if dma[-1] > loop[-1]
+        else "Loop kernel competitive at this scale."
+    )
+    print(f"\n{verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Sampled inference: exactly what the GPU does when a graph won't fit.
+
+Fig 4's `papers` bars come from layer-wise full-neighborhood sampling:
+the host builds each batch's receptive field and ships it to the
+device.  This example runs that pipeline *functionally* — proving the
+sampled outputs equal full-graph inference for the targets — and then
+measures the receptive-field explosion that makes the strategy so
+expensive at scale.
+
+    python examples/sampled_inference.py
+"""
+
+import numpy as np
+
+from repro.core import GCNConfig, GCNModel
+from repro.ext import sampled_inference
+from repro.gpu import A100Config, measure_receptive_expansion, sampled_run_cost
+from repro.graphs import RMATParams, get_dataset, rmat_graph
+from repro.report import format_table, format_time_ns
+
+
+def main():
+    adj = rmat_graph(RMATParams(scale=12, edge_factor=16), seed=5,
+                     symmetric=True)
+    model = GCNModel(
+        adj, GCNConfig(in_dim=16, hidden_dim=32, out_dim=8), seed=1
+    )
+    features = model.random_features(seed=2)
+
+    # 1. Correctness: sampling computes the same logits for the targets.
+    targets = np.array([7, 99, 1024, 3000])
+    sampled, batch = sampled_inference(model, features, targets)
+    full = model.forward(features)
+    error = np.abs(sampled - full[targets]).max()
+    print(f"graph: {adj.n_rows:,} vertices, {adj.nnz:,} edges")
+    print(f"sampled vs full-graph logits: max |diff| = {error:.2e}")
+    print(f"receptive field of {len(targets)} targets after "
+          f"{model.n_layers} hops: {batch.frontier_size:,} vertices "
+          f"({batch.frontier_size / adj.n_rows:.0%} of the graph)\n")
+
+    # 2. Cost: measured expansion priced at `papers` scale.
+    profile = measure_receptive_expansion(
+        adj, batch_size=256, n_layers=3, n_probes=4
+    )
+    papers = get_dataset("papers")
+    estimate = sampled_run_cost(
+        papers.n_vertices, papers.n_edges, 128, profile, A100Config()
+    )
+    print(format_table(
+        ["quantity", "value"],
+        [["3-hop frontier (batch=256)",
+          f"{profile.mean_frontier_fraction:.0%} of |V|"],
+         ["edges re-gathered per batch",
+          f"{profile.mean_edges_fraction:.0%} of |E|"],
+         ["batches to cover papers", f"{estimate.n_batches:,}"],
+         ["host sampling time", format_time_ns(estimate.sampling_ns)],
+         ["PCIe offload time", format_time_ns(estimate.offload_ns)]],
+        title="Full-neighborhood sampling, projected to papers (K=128)",
+    ))
+    print("\nCaveat: expansion *fractions* measured on a 4k-vertex graph "
+          "are an upper bound for a 111M-vertex one, so the projected "
+          "times illustrate the explosion mechanism rather than estimate "
+          "papers.  Either way the conclusion stands: neighborhood "
+          "explosion is why Fig 4 shows >99% of papers' GPU runtime in "
+          "sampling + offload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim: the sandbox's setuptools predates PEP 660 editable
+installs (no wheel package available offline), so ``pip install -e .``
+goes through ``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Characterizing the Scalability of Graph
+Convolutional Networks on Intel PIUMA" (ISPASS 2023).
+
+Top-level convenience imports; see the subpackages for the full API:
+
+* :mod:`repro.sparse`, :mod:`repro.graphs` — functional substrates.
+* :mod:`repro.core` — GCN models, training, characterization.
+* :mod:`repro.piuma`, :mod:`repro.cpu`, :mod:`repro.gpu` — platforms.
+* :mod:`repro.validation`, :mod:`repro.experiments` — self-tests and
+  the table/figure registry.
+* :mod:`repro.ext` — the paper's Section VI extensions.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.cpu.config import XeonConfig
+from repro.gpu.config import A100Config
+from repro.piuma.config import PIUMAConfig
+from repro.workloads.gcn_workload import workload_for
+
+__all__ = [
+    "A100Config",
+    "GCNConfig",
+    "GCNModel",
+    "PIUMAConfig",
+    "XeonConfig",
+    "__version__",
+    "workload_for",
+]

@@ -1,0 +1,355 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the characterization workflows
+without writing any Python:
+
+* ``datasets``  — print Table I.
+* ``breakdown`` — GCN execution-time breakdown of one dataset on one
+  platform (Figs 3/4/10, one row).
+* ``speedup``   — cross-platform speedups for one dataset (Fig 9 row).
+* ``simulate``  — run the PIUMA DES on a (down-scaled) dataset.
+* ``advise``    — the Fig 2 contour as a decision rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCN-on-PIUMA characterization toolkit (ISPASS 2023 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table I catalog")
+
+    breakdown = sub.add_parser(
+        "breakdown", help="execution-time breakdown on one platform"
+    )
+    breakdown.add_argument("dataset")
+    breakdown.add_argument(
+        "--platform", choices=("cpu", "gpu", "piuma"), default="cpu"
+    )
+    breakdown.add_argument("--hidden", type=int, default=64,
+                           help="hidden embedding dimension")
+
+    speedup = sub.add_parser(
+        "speedup", help="PIUMA/GPU speedups over the Xeon baseline"
+    )
+    speedup.add_argument("dataset")
+    speedup.add_argument("--hidden", type=int, default=64)
+
+    simulate = sub.add_parser(
+        "simulate", help="run the PIUMA discrete-event simulator"
+    )
+    simulate.add_argument("dataset")
+    simulate.add_argument("--kernel", choices=("dma", "loop", "vertex"),
+                          default="dma")
+    simulate.add_argument("--cores", type=int, default=8)
+    simulate.add_argument("--hidden", type=int, default=64)
+    simulate.add_argument("--latency-ns", type=float, default=45.0)
+    simulate.add_argument("--bandwidth-scale", type=float, default=1.0)
+    simulate.add_argument("--threads-per-mtp", type=int, default=16)
+    simulate.add_argument("--max-vertices", type=int, default=16384,
+                          help="down-scale the graph to this many vertices")
+
+    advise = sub.add_parser(
+        "advise", help="predict the CPU SpMM share for a (|V|, density)"
+    )
+    advise.add_argument("vertices", type=float)
+    advise.add_argument("density", type=float)
+    advise.add_argument("--hidden", type=int, default=256)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure the DES efficiency vs the Eq.5 model on a grid",
+    )
+    calibrate.add_argument("--dataset", default="products")
+    calibrate.add_argument("--max-vertices", type=int, default=8192)
+    calibrate.add_argument("--cores", type=int, nargs="+",
+                           default=[1, 2, 4, 8])
+    calibrate.add_argument("--dims", type=int, nargs="+",
+                           default=[8, 64, 256])
+
+    validate = sub.add_parser(
+        "validate", help="run the simulator invariant self-test"
+    )
+    validate.add_argument("--dataset", default="products")
+    validate.add_argument("--max-vertices", type=int, default=8192)
+    validate.add_argument("--hidden", type=int, default=64)
+
+    roofline = sub.add_parser(
+        "roofline", help="place the GCN kernels on a platform roofline"
+    )
+    roofline.add_argument(
+        "--platform", choices=("cpu", "gpu", "piuma"), default="piuma"
+    )
+    roofline.add_argument("--dataset", default="products")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name",
+        help="experiment id: table1, fig2 ... fig10 (see DESIGN.md)",
+    )
+    experiment.add_argument("--max-vertices", type=int, default=16384)
+
+    report = sub.add_parser(
+        "report", help="run every experiment into one markdown report"
+    )
+    report.add_argument("--max-vertices", type=int, default=8192)
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--only", nargs="+", default=None,
+                        help="subset of experiment ids")
+    return parser
+
+
+def _cmd_datasets(_args, out):
+    from repro.graphs.datasets import OGB_TABLE_I
+    from repro.report.tables import format_number, format_table
+
+    rows = [
+        [s.name, format_number(s.n_vertices), format_number(s.n_edges),
+         f"{s.avg_degree:.1f}", s.task, f"{s.locality:.2f}"]
+        for s in OGB_TABLE_I
+    ]
+    out(format_table(
+        ["name", "|V|", "|E|", "avg deg", "task", "locality"],
+        rows, title="Table I — OGB datasets",
+    ))
+    return 0
+
+
+def _cmd_breakdown(args, out):
+    from repro.report.figures import breakdown_chart
+    from repro.report.tables import format_time_ns
+    from repro.workloads.gcn_workload import workload_for
+
+    workload = workload_for(args.dataset, args.hidden)
+    if args.platform == "cpu":
+        from repro.cpu.config import XeonConfig
+        from repro.cpu.gcn import gcn_breakdown
+
+        result = gcn_breakdown(workload, XeonConfig())
+    elif args.platform == "gpu":
+        from repro.gpu.config import A100Config
+        from repro.gpu.gcn import gcn_breakdown
+
+        result = gcn_breakdown(workload, A100Config())
+    else:
+        from repro.piuma.config import PIUMAConfig
+        from repro.piuma.gcn import gcn_breakdown
+
+        result = gcn_breakdown(workload, PIUMAConfig.node())
+    label = f"{args.dataset} K={args.hidden} on {args.platform}"
+    out(breakdown_chart([(label, result)]))
+    out(f"total: {format_time_ns(result.total)}")
+    return 0
+
+
+def _cmd_speedup(args, out):
+    from repro.core.speedup import compare_platforms
+    from repro.cpu.config import XeonConfig
+    from repro.gpu.config import A100Config
+    from repro.piuma.config import PIUMAConfig
+    from repro.report.tables import format_table
+    from repro.workloads.gcn_workload import workload_for
+
+    comparison = compare_platforms(
+        workload_for(args.dataset, args.hidden),
+        XeonConfig(), A100Config(), PIUMAConfig.node(),
+    )
+    out(format_table(
+        ["platform", "GCN speedup", "SpMM speedup"],
+        [[p, f"{comparison.gcn_speedup(p):.2f}x",
+          f"{comparison.spmm_speedup(p):.2f}x"]
+         for p in ("piuma", "gpu")],
+        title=f"{args.dataset} K={args.hidden} vs dual-socket Xeon",
+    ))
+    return 0
+
+
+def _cmd_simulate(args, out):
+    from repro.graphs.datasets import get_dataset
+    from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
+    from repro.report.tables import format_time_ns
+
+    spec = get_dataset(args.dataset)
+    adj = spec.materialize(max_vertices=args.max_vertices, seed=0)
+    config = PIUMAConfig(
+        n_cores=args.cores,
+        dram_latency_ns=args.latency_ns,
+        dram_bandwidth_scale=args.bandwidth_scale,
+        threads_per_mtp=args.threads_per_mtp,
+    )
+    result = simulate_spmm(adj, args.hidden, config, kernel=args.kernel)
+    roof = spmm_model(adj.n_rows, adj.nnz, args.hidden, config)
+    out(f"graph: {adj.n_rows:,} vertices, {adj.nnz:,} edges "
+        f"(window {result.window_edges:,} edges)")
+    out(f"kernel {args.kernel}, {args.cores} cores, "
+        f"{args.threads_per_mtp} threads/MTP, "
+        f"{args.latency_ns:.0f} ns DRAM")
+    out(f"achieved {result.gflops:.1f} GFLOP/s "
+        f"({result.efficiency_vs(roof.gflops):.0%} of the Eq.5 model); "
+        f"memory utilization {result.memory_utilization:.0%}")
+    out(f"projected kernel time: {format_time_ns(result.projected_time_ns)}")
+    return 0
+
+
+def _cmd_advise(args, out):
+    from repro.core.contour import spmm_fraction
+    from repro.cpu.config import XeonConfig
+
+    fraction = spmm_fraction(
+        int(args.vertices), args.density, XeonConfig(),
+        embedding_dim=args.hidden,
+    )
+    verdict = (
+        "accelerator-favored" if fraction >= 0.6
+        else "mixed" if fraction >= 0.4 else "CPU/GPU-favored"
+    )
+    out(f"SpMM share of a K={args.hidden} GCN layer on CPU: "
+        f"{fraction:.0%} -> {verdict}")
+    return 0
+
+
+def _cmd_calibrate(args, out):
+    from repro.graphs.datasets import get_dataset
+    from repro.report.tables import format_table
+    from repro.validation import calibrate_spmm_efficiency
+
+    adj = get_dataset(args.dataset).materialize(
+        max_vertices=args.max_vertices, seed=0
+    )
+    result = calibrate_spmm_efficiency(
+        adj, core_counts=tuple(args.cores), embedding_dims=tuple(args.dims)
+    )
+    out(format_table(
+        ["cores", "K", "DES GF", "model GF", "efficiency"],
+        result.table_rows(),
+        title=f"DMA-kernel calibration on {args.dataset}/"
+              f"{adj.n_rows:,} vertices",
+    ))
+    out(f"mean {result.mean_efficiency:.2f}, "
+        f"min {result.min_efficiency:.2f}; "
+        f"recommended node-projection efficiency: {result.recommended:.2f}")
+    return 0
+
+
+def _cmd_validate(args, out):
+    from repro.graphs.datasets import get_dataset
+    from repro.validation import run_all_checks
+
+    adj = get_dataset(args.dataset).materialize(
+        max_vertices=args.max_vertices, seed=0
+    )
+    reports = run_all_checks(adj, embedding_dim=args.hidden)
+    failures = 0
+    for report in reports:
+        status = "PASS" if report.passed else "FAIL"
+        out(f"[{status}] {report.name}: {report.detail}")
+        failures += not report.passed
+    return 1 if failures else 0
+
+
+def _cmd_roofline(args, out):
+    from repro.graphs.datasets import get_dataset
+    from repro.report.roofline import (
+        KernelPoint,
+        cpu_roofline,
+        gpu_roofline,
+        piuma_roofline,
+        render_roofline,
+        spmm_kernel_point,
+    )
+
+    spec = get_dataset(args.dataset)
+    v, e = spec.n_vertices, spec.n_edges + spec.n_vertices
+    if args.platform == "cpu":
+        from repro.cpu.config import XeonConfig
+        from repro.cpu.spmm import spmm_time
+
+        config = XeonConfig()
+        roofline = cpu_roofline(config)
+        achieved = spmm_time(v, e, 256, config).gflops
+    elif args.platform == "gpu":
+        from repro.gpu.config import A100Config
+        from repro.gpu.kernels import spmm_time as gpu_spmm
+
+        config = A100Config()
+        roofline = gpu_roofline(config)
+        achieved = gpu_spmm(v, e, 256, config, spec.locality).gflops
+    else:
+        from repro.piuma import spmm_model
+        from repro.piuma.config import PIUMAConfig
+
+        config = PIUMAConfig.node()
+        roofline = piuma_roofline(config)
+        achieved = spmm_model(v, e, 256, config).gflops * 0.88
+    gemm_intensity = 2 * 256 * 256 / ((256 + 256) * 4)
+    gemm = KernelPoint(
+        "dense K=256", gemm_intensity,
+        min(roofline.peak_gflops * 0.6,
+            roofline.attainable(gemm_intensity)),
+    )
+    spmm_point = spmm_kernel_point(v, e, 256, achieved)
+    out(render_roofline(roofline, [spmm_point, gemm]))
+    return 0
+
+
+def _cmd_experiment(args, out):
+    from repro.experiments import ExperimentContext, run_experiment
+
+    context = ExperimentContext(max_vertices=args.max_vertices)
+    out(run_experiment(args.name, context))
+    return 0
+
+
+def _cmd_report(args, out):
+    import pathlib
+
+    from repro.experiments import ExperimentContext
+    from repro.report.markdown import generate_report
+
+    context = ExperimentContext(max_vertices=args.max_vertices)
+    text = generate_report(context, experiments=args.only)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        out(f"report written to {args.output}")
+    else:
+        out(text)
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "breakdown": _cmd_breakdown,
+    "speedup": _cmd_speedup,
+    "simulate": _cmd_simulate,
+    "advise": _cmd_advise,
+    "calibrate": _cmd_calibrate,
+    "validate": _cmd_validate,
+    "roofline": _cmd_roofline,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None, out=print):
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except (KeyError, ValueError) as error:
+        out(f"error: {error}")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""GCN core: model, instrumented inference, breakdowns, characterization.
+
+This package holds the paper's primary contribution surface: the GCN
+model whose phases are characterized, the execution-breakdown records
+shared by every platform model, the Fig 2 contour methodology and the
+Fig 9 cross-platform speedup computation.
+"""
+
+from repro.core.breakdown import CATEGORIES, ExecutionBreakdown, combine
+from repro.core.contour import (
+    DatasetPoint,
+    annotate_datasets,
+    contour_grid,
+    find_contour_density,
+    spmm_fraction,
+)
+from repro.core.gcn import GCNConfig, GCNModel, LayerShape
+from repro.core.inference import InferenceProfile, LayerProfile, profile_inference
+from repro.core.layers import ACTIVATIONS, GCNLayer, relu
+from repro.core.loss import accuracy, cross_entropy, softmax
+from repro.core.optim import SGD, Adam
+from repro.core.speedup import PlatformComparison, compare_platforms
+from repro.core.training import GCNTrainer, TrainResult
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "CATEGORIES",
+    "DatasetPoint",
+    "ExecutionBreakdown",
+    "GCNConfig",
+    "GCNLayer",
+    "GCNModel",
+    "GCNTrainer",
+    "InferenceProfile",
+    "LayerProfile",
+    "LayerShape",
+    "PlatformComparison",
+    "SGD",
+    "TrainResult",
+    "accuracy",
+    "annotate_datasets",
+    "combine",
+    "compare_platforms",
+    "contour_grid",
+    "cross_entropy",
+    "find_contour_density",
+    "profile_inference",
+    "relu",
+    "softmax",
+    "spmm_fraction",
+]

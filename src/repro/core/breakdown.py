@@ -1,0 +1,75 @@
+"""Execution-time breakdown records.
+
+The paper reports GCN time in the categories SpMM / Dense MM / Glue Code
+(CPU and PIUMA, Figs 3 and 10) plus Offload and Sampling (GPU, Fig 4).
+:class:`ExecutionBreakdown` is the single record type every platform
+model produces, so the cross-platform comparison (Fig 9) and the figure
+renderers operate on one shape of data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Category names in presentation order.
+CATEGORIES = ("spmm", "dense", "glue", "offload", "sampling")
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Seconds spent per category during one GCN inference.
+
+    Categories absent on a platform stay 0.0 (e.g. ``offload`` on CPU).
+    """
+
+    spmm: float = 0.0
+    dense: float = 0.0
+    glue: float = 0.0
+    offload: float = 0.0
+    sampling: float = 0.0
+
+    @property
+    def total(self):
+        return self.spmm + self.dense + self.glue + self.offload + self.sampling
+
+    def fraction(self, category):
+        """Fraction of total time in ``category`` (0.0 if total is 0)."""
+        if category not in CATEGORIES:
+            raise KeyError(f"unknown category {category!r}")
+        total = self.total
+        return getattr(self, category) / total if total > 0 else 0.0
+
+    def percentages(self):
+        """Mapping category -> percent of total, the bar-chart view."""
+        return {c: 100.0 * self.fraction(c) for c in CATEGORIES}
+
+    def __add__(self, other):
+        if not isinstance(other, ExecutionBreakdown):
+            return NotImplemented
+        return ExecutionBreakdown(
+            spmm=self.spmm + other.spmm,
+            dense=self.dense + other.dense,
+            glue=self.glue + other.glue,
+            offload=self.offload + other.offload,
+            sampling=self.sampling + other.sampling,
+        )
+
+    def scaled(self, factor):
+        """Uniformly scale every category (used by projection)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return ExecutionBreakdown(
+            spmm=self.spmm * factor,
+            dense=self.dense * factor,
+            glue=self.glue * factor,
+            offload=self.offload * factor,
+            sampling=self.sampling * factor,
+        )
+
+
+def combine(breakdowns):
+    """Sum an iterable of breakdowns (e.g. per-layer records)."""
+    total = ExecutionBreakdown()
+    for b in breakdowns:
+        total = total + b
+    return total

@@ -1,0 +1,136 @@
+"""Fig 2 methodology: predicting the SpMM fraction from scale and density.
+
+The paper's Fig 2 draws contour lines of equal SpMM-time fraction for a
+GCN layer (K=256 in/out) over the (number of vertices, adjacency
+density) plane, discovered "through extensive experiments using RMAT
+graphs of uniform degree distributions".  Here the same map is computed
+from the CPU timing model: for a given (|V|, density) the layer's
+|E| = density * |V|^2 follows, and the SpMM share of the layer time is
+evaluated directly.  Graphs with a high SpMM fraction are the ones a
+graph accelerator like PIUMA helps most — the annotated OGB points give
+the per-dataset prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gcn import LayerShape
+from repro.graphs.datasets import OGB_TABLE_I
+
+#: Uniform-degree RMAT sweeps have no hub-driven cache reuse.
+UNIFORM_SKEW = 0.0
+
+
+def spmm_fraction(n_vertices, density, config, embedding_dim=256,
+                  skew=UNIFORM_SKEW, n_cores=None):
+    """SpMM share of one GCN layer's CPU time at a (scale, density) point.
+
+    Parameters
+    ----------
+    n_vertices:
+        Graph scale |V|.
+    density:
+        |E| / |V|^2 of the adjacency (the paper's y-axis).
+    config:
+        :class:`XeonConfig`.
+    embedding_dim:
+        Input and output embedding dimension of the layer (paper: 256).
+    """
+    # Imported here: repro.cpu.gcn consumes repro.core.breakdown, so a
+    # module-level import would be circular through the package inits.
+    from repro.cpu.gcn import layer_breakdown
+
+    if n_vertices < 1:
+        raise ValueError("n_vertices must be positive")
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    n_edges = max(1, int(round(density * n_vertices**2)))
+    shape = LayerShape(
+        n_vertices=n_vertices,
+        n_edges=n_edges,
+        in_dim=embedding_dim,
+        out_dim=embedding_dim,
+        has_activation=True,
+    )
+    breakdown = layer_breakdown(shape, config, n_cores=n_cores, skew=skew)
+    return breakdown.fraction("spmm")
+
+
+def contour_grid(vertex_counts, densities, config, embedding_dim=256,
+                 skew=UNIFORM_SKEW):
+    """SpMM-fraction matrix over a (vertices x densities) grid.
+
+    Returns an array of shape ``(len(densities), len(vertex_counts))``
+    — rows are densities, columns are scales, values in [0, 1].
+    """
+    grid = np.zeros((len(densities), len(vertex_counts)))
+    for i, density in enumerate(densities):
+        for j, n_vertices in enumerate(vertex_counts):
+            grid[i, j] = spmm_fraction(
+                n_vertices, density, config, embedding_dim, skew
+            )
+    return grid
+
+
+def find_contour_density(n_vertices, level, config, embedding_dim=256,
+                         skew=UNIFORM_SKEW, lo=1e-9, hi=1.0, iterations=60):
+    """Density at which the SpMM fraction crosses ``level`` for a scale.
+
+    Bisection over density; returns None when the level is never
+    reached inside (lo, hi].  Stringing these points across scales
+    draws one of Fig 2's dotted contour lines.
+    """
+    if not 0 < level < 1:
+        raise ValueError("level must be in (0, 1)")
+    f_lo = spmm_fraction(n_vertices, lo, config, embedding_dim, skew)
+    f_hi = spmm_fraction(n_vertices, hi, config, embedding_dim, skew)
+    if (f_lo - level) * (f_hi - level) > 0:
+        return None
+    for _ in range(iterations):
+        mid = (lo * hi) ** 0.5  # geometric: densities span decades
+        if (spmm_fraction(n_vertices, mid, config, embedding_dim, skew)
+                - level) * (f_lo - level) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo * hi) ** 0.5
+
+
+@dataclass(frozen=True)
+class DatasetPoint:
+    """One OGB dataset placed on the Fig 2 plane."""
+
+    name: str
+    n_vertices: int
+    density: float
+    spmm_fraction: float
+
+
+def annotate_datasets(config, embedding_dim=256):
+    """Place every Table I dataset on the contour map.
+
+    The fraction uses each dataset's own locality (unlike the uniform
+    RMAT contours), matching how the paper overlays real graphs on the
+    RMAT-derived map.
+    """
+    points = []
+    for spec in OGB_TABLE_I:
+        fraction = spmm_fraction(
+            spec.n_vertices,
+            spec.density,
+            config,
+            embedding_dim,
+            skew=spec.locality,
+        )
+        points.append(
+            DatasetPoint(
+                name=spec.name,
+                n_vertices=spec.n_vertices,
+                density=spec.density,
+                spmm_fraction=fraction,
+            )
+        )
+    return points

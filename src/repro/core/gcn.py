@@ -1,0 +1,152 @@
+"""GCN model: configuration and the functional forward pass.
+
+The paper's characterization uses a three-layer GCN whose hidden
+embedding dimension is the swept architectural parameter.
+:class:`GCNConfig` captures that shape independent of any weights so the
+platform timing models can consume it analytically, while
+:class:`GCNModel` binds a config to a normalized adjacency and actual
+weights for functional (numerical) execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.layers import GCNLayer
+from repro.sparse.normalize import gcn_normalize
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """The size parameters of one GCN layer on one graph.
+
+    All platform timing models consume these numbers (plus whether an
+    activation follows), which is exactly the information the paper's
+    analytical reasoning uses.  ``dense_in_dim`` lets variants whose
+    update input differs from the aggregation width (GraphSAGE's
+    concatenation) charge the dense phase correctly; None means "same
+    as ``in_dim``" (plain GCN).
+    """
+
+    n_vertices: int
+    n_edges: int
+    in_dim: int
+    out_dim: int
+    has_activation: bool = True
+    dense_in_dim: int | None = None
+
+    @property
+    def update_in_dim(self):
+        """Input width of the dense update phase."""
+        return self.dense_in_dim if self.dense_in_dim else self.in_dim
+
+
+@dataclass(frozen=True)
+class GCNConfig:
+    """Architecture of a GCN model.
+
+    Attributes
+    ----------
+    in_dim:
+        Input feature dimension (dataset specific).
+    hidden_dim:
+        Hidden embedding dimension — the paper's swept parameter.
+    out_dim:
+        Output dimension (dataset specific, e.g. number of classes).
+    n_layers:
+        Total layers; the paper uses 3 (one input, one hidden, one
+        output transformation).
+    """
+
+    in_dim: int
+    hidden_dim: int
+    out_dim: int
+    n_layers: int = 3
+
+    def __post_init__(self):
+        if self.n_layers < 1:
+            raise ValueError("n_layers must be at least 1")
+        for name in ("in_dim", "hidden_dim", "out_dim"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+
+    def layer_dims(self):
+        """Per-layer (in, out) dimension pairs.
+
+        A 3-layer config (I, H, O) yields [(I, H), (H, H), (H, O)].
+        """
+        dims = [self.in_dim] + [self.hidden_dim] * (self.n_layers - 1) + [self.out_dim]
+        return list(zip(dims[:-1], dims[1:]))
+
+    def layer_shapes(self, n_vertices, n_edges):
+        """Materialize :class:`LayerShape` records for a graph size.
+
+        The final layer has no activation (logits), matching the model
+        the paper profiles; everything upstream uses ReLU.
+        """
+        pairs = self.layer_dims()
+        shapes = []
+        for i, (d_in, d_out) in enumerate(pairs):
+            shapes.append(
+                LayerShape(
+                    n_vertices=n_vertices,
+                    n_edges=n_edges,
+                    in_dim=d_in,
+                    out_dim=d_out,
+                    has_activation=i < len(pairs) - 1,
+                )
+            )
+        return shapes
+
+
+class GCNModel:
+    """A functional GCN bound to a graph.
+
+    Parameters
+    ----------
+    adj:
+        Raw adjacency (CSR).  It is GCN-normalized on construction
+        unless ``normalized`` is true.
+    config:
+        :class:`GCNConfig` architecture.
+    seed:
+        Weight initialization seed.
+    normalized:
+        Set when ``adj`` is already ``D^-1/2 (A+I) D^-1/2``.
+    """
+
+    def __init__(self, adj, config, seed=0, normalized=False):
+        self.adj = adj if normalized else gcn_normalize(adj)
+        self.config = config
+        self.layers = []
+        pairs = config.layer_dims()
+        for i, (d_in, d_out) in enumerate(pairs):
+            activation = "relu" if i < len(pairs) - 1 else "identity"
+            self.layers.append(
+                GCNLayer.initialize(
+                    d_in, d_out, activation=activation, seed=seed + i
+                )
+            )
+
+    @property
+    def n_layers(self):
+        return len(self.layers)
+
+    def forward(self, features):
+        """Run inference, returning the output logits."""
+        h = np.asarray(features, dtype=np.float64)
+        if h.shape != (self.adj.n_rows, self.config.in_dim):
+            raise ValueError(
+                f"features must be ({self.adj.n_rows}, {self.config.in_dim}),"
+                f" got {h.shape}"
+            )
+        for layer in self.layers:
+            h = layer.forward(self.adj, h)
+        return h
+
+    def random_features(self, seed=0):
+        """Convenience: random input features of the right shape."""
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(self.adj.n_rows, self.config.in_dim))

@@ -1,0 +1,107 @@
+"""GCN layer primitives.
+
+A GCN layer computes ``H' = sigma(A_tilde @ H @ W)`` — a sparse
+aggregation (SpMM), a dense update (Dense MM) and an element-wise
+activation.  The paper characterizes exactly these three phases, so the
+functional layer exposes them as separately-invokable steps that the
+instrumented inference driver (``repro.core.inference``) times and
+counts independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.spmm import spmm
+
+
+def relu(x):
+    """Rectified linear activation, the paper's sigma."""
+    return np.maximum(x, 0.0)
+
+
+def identity(x):
+    """No-op activation for the final layer (logits)."""
+    return x
+
+
+ACTIVATIONS = {"relu": relu, "identity": identity}
+
+
+def glorot_uniform(rng, fan_in, fan_out):
+    """Glorot/Xavier uniform initialization, as in Kipf & Welling."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+@dataclass
+class GCNLayer:
+    """One graph-convolution layer.
+
+    Attributes
+    ----------
+    weight:
+        Dense update matrix of shape ``(in_dim, out_dim)``.
+    bias:
+        Optional bias of shape ``(out_dim,)``.
+    activation:
+        Name of the activation applied after the update
+        (key of :data:`ACTIVATIONS`).
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray | None = None
+    activation: str = "relu"
+
+    def __post_init__(self):
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D")
+        if self.bias is not None:
+            self.bias = np.asarray(self.bias, dtype=np.float64)
+            if self.bias.shape != (self.weight.shape[1],):
+                raise ValueError("bias must match the output dimension")
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {self.activation!r}; "
+                f"choose from {sorted(ACTIVATIONS)}"
+            )
+
+    @classmethod
+    def initialize(cls, in_dim, out_dim, activation="relu", bias=True, seed=0):
+        """Glorot-initialized layer."""
+        rng = np.random.default_rng(seed)
+        weight = glorot_uniform(rng, in_dim, out_dim)
+        b = np.zeros(out_dim) if bias else None
+        return cls(weight=weight, bias=b, activation=activation)
+
+    @property
+    def in_dim(self):
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self):
+        return self.weight.shape[1]
+
+    # -- the three phases, individually callable ---------------------------
+
+    def aggregate(self, adj, features):
+        """Sparse phase: ``A_tilde @ H`` (SpMM)."""
+        return spmm(adj, features)
+
+    def update(self, aggregated):
+        """Dense phase: ``(.) @ W [+ b]`` (Dense MM)."""
+        out = aggregated @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def activate(self, updated):
+        """Element-wise phase (part of the paper's Glue Code category)."""
+        return ACTIVATIONS[self.activation](updated)
+
+    def forward(self, adj, features):
+        """Full layer: activate(update(aggregate(features)))."""
+        return self.activate(self.update(self.aggregate(adj, features)))

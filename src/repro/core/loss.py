@@ -1,0 +1,78 @@
+"""Losses for GCN training (Section VI: training is the natural
+extension of the paper's inference characterization).
+
+Node classification uses masked softmax cross-entropy: only labeled
+vertices (the train mask) contribute, matching the semi-supervised
+setting of Kipf & Welling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits):
+    """Numerically stable row-wise softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits, labels, mask=None):
+    """Masked mean cross-entropy and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, classes)`` scores.
+    labels:
+        Integer class per vertex.
+    mask:
+        Boolean array selecting the supervised vertices (default: all).
+
+    Returns
+    -------
+    (loss, dlogits):
+        Scalar mean loss over the mask and the gradient array (zero on
+        unmasked rows).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must give one class per row")
+    if labels.size and (
+        labels.min() < 0 or labels.max() >= logits.shape[1]
+    ):
+        raise ValueError("label out of range")
+    if mask is None:
+        mask = np.ones(logits.shape[0], dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (logits.shape[0],):
+            raise ValueError("mask must cover every row")
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("mask selects no vertices")
+    probabilities = softmax(logits)
+    picked = probabilities[np.arange(logits.shape[0]), labels]
+    loss = float(-np.log(np.clip(picked[mask], 1e-300, None)).mean())
+    dlogits = probabilities.copy()
+    dlogits[np.arange(logits.shape[0]), labels] -= 1.0
+    dlogits[~mask] = 0.0
+    dlogits /= count
+    return loss, dlogits
+
+
+def accuracy(logits, labels, mask=None):
+    """Fraction of (masked) vertices whose argmax matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    predictions = logits.argmax(axis=1)
+    correct = predictions == labels
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            raise ValueError("mask selects no vertices")
+        correct = correct[mask]
+    return float(correct.mean())

@@ -1,0 +1,70 @@
+"""Optimizers for GCN training, from scratch.
+
+Plain SGD (with optional momentum) and Adam, operating on flat lists of
+parameter arrays updated in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate=0.1, momentum=0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = None
+
+    def step(self, params, grads):
+        """Update ``params`` in place from matching ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, learning_rate=0.01, beta1=0.9, beta2=0.999,
+                 epsilon=1e-8):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = None
+        self._v = None
+        self._t = 0
+
+    def step(self, params, grads):
+        """Update ``params`` in place from matching ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,107 @@
+"""GraphSAGE (mean aggregator) — the sampling-friendly GNN of Section VI.
+
+The paper's Section VI points at graphSAGE/pinSAGE as the
+neighbor-sampling family PIUMA could serve well.  This module provides
+the functional mean-aggregator SAGE layer and model: unlike GCN, the
+aggregation is row-stochastic (``D^-1 A``) over *neighbors only*, and
+the update concatenates the vertex's own features with the aggregate
+before the dense transform.  The memory-system shape is the same —
+an SpMM followed by a (wider) dense multiply — so every timing insight
+of the paper carries over with ``in_dim`` doubled on the dense side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layers import ACTIVATIONS, glorot_uniform
+from repro.sparse.normalize import row_normalize
+from repro.sparse.spmm import spmm
+
+
+class SAGELayer:
+    """One GraphSAGE-mean layer: ``h' = act([h || mean_agg(h)] @ W + b)``."""
+
+    def __init__(self, weight, bias=None, activation="relu"):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2 or self.weight.shape[0] % 2 != 0:
+            raise ValueError("weight must be (2 * in_dim, out_dim)")
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (self.weight.shape[1],):
+                raise ValueError("bias must match the output dimension")
+        self.bias = bias
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    @classmethod
+    def initialize(cls, in_dim, out_dim, activation="relu", seed=0):
+        rng = np.random.default_rng(seed)
+        weight = glorot_uniform(rng, 2 * in_dim, out_dim)
+        return cls(weight, np.zeros(out_dim), activation)
+
+    @property
+    def in_dim(self):
+        return self.weight.shape[0] // 2
+
+    @property
+    def out_dim(self):
+        return self.weight.shape[1]
+
+    def forward(self, mean_adj, h):
+        """Apply the layer given the row-normalized adjacency."""
+        aggregated = spmm(mean_adj, h)
+        combined = np.concatenate([h, aggregated], axis=1)
+        out = combined @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return ACTIVATIONS[self.activation](out)
+
+
+class SAGEModel:
+    """A stack of SAGE layers over a graph.
+
+    Parameters mirror :class:`repro.core.GCNModel`; aggregation uses the
+    row-stochastic neighbor mean (no self loops — the self contribution
+    arrives through the concatenation).
+    """
+
+    def __init__(self, adj, config, seed=0):
+        self.mean_adj = row_normalize(adj)
+        self.config = config
+        pairs = config.layer_dims()
+        self.layers = []
+        for i, (d_in, d_out) in enumerate(pairs):
+            activation = "relu" if i < len(pairs) - 1 else "identity"
+            self.layers.append(
+                SAGELayer.initialize(d_in, d_out, activation, seed=seed + i)
+            )
+
+    @property
+    def n_layers(self):
+        return len(self.layers)
+
+    def forward(self, features):
+        h = np.asarray(features, dtype=np.float64)
+        if h.shape != (self.mean_adj.n_rows, self.config.in_dim):
+            raise ValueError(
+                f"features must be ({self.mean_adj.n_rows}, "
+                f"{self.config.in_dim})"
+            )
+        for layer in self.layers:
+            h = layer.forward(self.mean_adj, h)
+        return h
+
+    def random_features(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(self.mean_adj.n_rows, self.config.in_dim))
+
+    def dense_flops(self):
+        """Update-phase FLOPs per inference — 2x a GCN's for the same
+        dims (the concatenated input), which would *worsen* the Fig 10
+        dense bottleneck on PIUMA."""
+        n = self.mean_adj.n_rows
+        return sum(
+            2 * n * 2 * layer.in_dim * layer.out_dim for layer in self.layers
+        )

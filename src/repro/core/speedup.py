@@ -1,0 +1,81 @@
+"""Cross-platform comparison (Fig 9).
+
+For one workload, evaluates the GCN execution-time breakdown on all
+three platform models and derives the paper's two headline series: GCN
+speedup versus the dual-socket Xeon baseline (the bars) and SpMM-kernel
+speedup versus the Xeon SpMM (the diamonds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PLATFORMS = ("cpu", "gpu", "piuma")
+
+
+@dataclass(frozen=True)
+class PlatformComparison:
+    """Breakdown and speedups of one workload across the platforms.
+
+    Attributes
+    ----------
+    workload:
+        The compared :class:`GCNWorkload`.
+    breakdowns:
+        ``{"cpu": ..., "gpu": ..., "piuma": ...}`` in nanoseconds.
+    """
+
+    workload: object
+    breakdowns: dict
+
+    def gcn_speedup(self, platform):
+        """Whole-GCN speedup of ``platform`` over the CPU baseline."""
+        self._check(platform)
+        return self.breakdowns["cpu"].total / self.breakdowns[platform].total
+
+    def spmm_speedup(self, platform):
+        """SpMM-kernel speedup of ``platform`` over the CPU SpMM."""
+        self._check(platform)
+        return self.breakdowns["cpu"].spmm / self.breakdowns[platform].spmm
+
+    def _check(self, platform):
+        if platform not in self.breakdowns:
+            raise KeyError(
+                f"unknown platform {platform!r}; have {sorted(self.breakdowns)}"
+            )
+
+
+def compare_platforms(workload, cpu_config, gpu_config, piuma_config,
+                      spmm_efficiency=None):
+    """Evaluate one workload on all three platform models.
+
+    Parameters
+    ----------
+    workload:
+        :class:`GCNWorkload`.
+    cpu_config, gpu_config, piuma_config:
+        :class:`XeonConfig`, :class:`A100Config`, :class:`PIUMAConfig`
+        (typically :meth:`PIUMAConfig.node` for Fig 9's single-node
+        comparison).
+    spmm_efficiency:
+        Achieved fraction of the PIUMA analytical SpMM model; defaults
+        to ``repro.piuma.gcn.DEFAULT_SPMM_EFFICIENCY``.
+    """
+    # Imported here: the platform gcn modules consume
+    # repro.core.breakdown, so module-level imports would be circular
+    # through the package inits.
+    from repro.cpu.gcn import gcn_breakdown as cpu_gcn_breakdown
+    from repro.gpu.gcn import gcn_breakdown as gpu_gcn_breakdown
+    from repro.piuma.gcn import DEFAULT_SPMM_EFFICIENCY
+    from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
+
+    if spmm_efficiency is None:
+        spmm_efficiency = DEFAULT_SPMM_EFFICIENCY
+    breakdowns = {
+        "cpu": cpu_gcn_breakdown(workload, cpu_config),
+        "gpu": gpu_gcn_breakdown(workload, gpu_config),
+        "piuma": piuma_gcn_breakdown(
+            workload, piuma_config, spmm_efficiency
+        ),
+    }
+    return PlatformComparison(workload=workload, breakdowns=breakdowns)

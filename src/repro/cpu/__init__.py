@@ -1,0 +1,36 @@
+"""Analytical timing model of the dual-socket Xeon 8380 testbed."""
+
+from repro.cpu.cache import (
+    feature_hit_rate,
+    feature_working_set,
+    measured_locality,
+)
+from repro.cpu.config import XeonConfig
+from repro.cpu.densemm import CPUDenseMMEstimate
+from repro.cpu.densemm import dense_mm_time as cpu_dense_mm_time
+from repro.cpu.gcn import gcn_breakdown as cpu_gcn_breakdown
+from repro.cpu.numa import numa_bandwidth, numa_penalty, spmm_time_with_numa
+from repro.cpu.spmm import (
+    CPUSpMMEstimate,
+    spmm_time,
+    spmm_time_edge_parallel,
+)
+from repro.cpu.stream import socket_bandwidth, stream_bandwidth
+
+__all__ = [
+    "CPUDenseMMEstimate",
+    "CPUSpMMEstimate",
+    "XeonConfig",
+    "cpu_dense_mm_time",
+    "cpu_gcn_breakdown",
+    "feature_hit_rate",
+    "feature_working_set",
+    "measured_locality",
+    "numa_bandwidth",
+    "numa_penalty",
+    "socket_bandwidth",
+    "spmm_time",
+    "spmm_time_edge_parallel",
+    "spmm_time_with_numa",
+    "stream_bandwidth",
+]

@@ -1,0 +1,87 @@
+"""Xeon CPU configuration.
+
+Parameters of the paper's CPU testbed: a dual-socket Intel Xeon
+Platinum 8380 (Ice Lake SP) — 40 cores per socket, AVX-512 with two FMA
+units per core, 8 channels of DDR4-3200 per socket, 512 GB of main
+memory.  Efficiency factors calibrate what PyTorch-Geometric +
+torch-sparse achieve relative to hardware peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class XeonConfig:
+    """Dual-socket Xeon 8380 model parameters."""
+
+    # Topology.
+    cores_per_socket: int = 40
+    n_sockets: int = 2
+    smt_per_core: int = 2
+
+    # Compute: AVX-512, 2 FMA units, 16 fp32 lanes each.
+    clock_ghz: float = 2.3
+    fma_units: int = 2
+    simd_lanes: int = 16
+
+    # Cache hierarchy (fp32 working sets).
+    l2_kb_per_core: int = 1280
+    l3_mb_per_socket: int = 60
+    #: Per-core on-chip bandwidth serving cache-resident SpMM gathers
+    #: (L2/L3 hit service; scales with active cores).
+    cache_bandwidth_gbps_per_core: float = 40.0
+
+    # Memory system (STREAM-like achievable, not theoretical).
+    stream_socket_gbps: float = 165.0
+    single_core_gbps: float = 16.0
+    #: Fractional bandwidth lost per fully hyperthreaded socket pair
+    #: (Fig 8 left: bandwidth *decreases* past 80 threads).
+    ht_contention: float = 0.15
+    memory_gb: int = 512
+
+    # Achievable-efficiency calibration.
+    #: Fraction of STREAM bandwidth an irregular SpMM gather sustains.
+    spmm_stream_efficiency: float = 0.55
+    #: Fraction of AVX-512 peak a framework SGEMM sustains at scale.
+    gemm_efficiency: float = 0.50
+    #: Fraction of peak that vectorized SpMM arithmetic sustains.
+    spmm_compute_efficiency: float = 0.25
+
+    # Framework glue (kernel dispatch, tensor bookkeeping) per layer.
+    glue_overhead_ns: float = 5.0e4
+    #: Cost of one atomic read-modify-write cache line (edge-parallel).
+    atomic_ns: float = 20.0
+
+    def __post_init__(self):
+        if self.cores_per_socket < 1 or self.n_sockets < 1:
+            raise ValueError("core/socket counts must be positive")
+        if not 0 <= self.ht_contention < 1:
+            raise ValueError("ht_contention must be in [0, 1)")
+
+    @property
+    def physical_cores(self):
+        return self.cores_per_socket * self.n_sockets
+
+    @property
+    def max_threads(self):
+        return self.physical_cores * self.smt_per_core
+
+    def peak_gflops(self, n_cores=None):
+        """AVX-512 fp32 peak: 2 FMA x 16 lanes x 2 flops per cycle."""
+        cores = min(
+            self.physical_cores, n_cores if n_cores else self.physical_cores
+        )
+        per_core = self.clock_ghz * self.fma_units * self.simd_lanes * 2
+        return cores * per_core
+
+    def cache_bytes(self):
+        """Effective on-chip capacity for feature-vector reuse."""
+        l2 = self.physical_cores * self.l2_kb_per_core * 1024
+        l3 = self.n_sockets * self.l3_mb_per_socket * (1024**2)
+        return l2 + l3
+
+    def with_(self, **changes):
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,41 @@
+"""Dense MM timing on the Xeon model.
+
+A classic roofline: AVX-512 FMA peak scaled by framework-SGEMM
+efficiency, crossed with streaming the activations through DRAM (the
+weight matrix stays cache-resident).  CPUs are strong here — which is
+exactly why the GCN bottleneck on Xeon is SpMM, not the update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.stream import stream_bandwidth
+
+
+@dataclass(frozen=True)
+class CPUDenseMMEstimate:
+    """Prediction for one dense update on the Xeon model."""
+
+    time_ns: float
+    flops: int
+    gflops: float
+    bound: str  # "compute" or "bandwidth"
+
+
+def dense_mm_time(n_rows, in_dim, out_dim, config, n_cores=None):
+    """Estimate ``(n_rows x in_dim) @ (in_dim x out_dim)`` on Xeon."""
+    if min(n_rows, in_dim, out_dim) < 1:
+        raise ValueError("matrix dimensions must be positive")
+    n_cores = n_cores or config.physical_cores
+    flops = 2 * n_rows * in_dim * out_dim
+    compute_ns = flops / (config.peak_gflops(n_cores) * config.gemm_efficiency)
+    streamed = n_rows * (in_dim + out_dim) * 4
+    bandwidth_ns = streamed / stream_bandwidth(n_cores, config)
+    time_ns = max(compute_ns, bandwidth_ns)
+    return CPUDenseMMEstimate(
+        time_ns=time_ns,
+        flops=flops,
+        gflops=flops / time_ns,
+        bound="compute" if compute_ns >= bandwidth_ns else "bandwidth",
+    )

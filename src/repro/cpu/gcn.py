@@ -1,0 +1,56 @@
+"""Full-GCN timing on the Xeon model (Fig 3).
+
+Per layer: SpMM (vertex-parallel, cache-aware), Dense MM (SGEMM
+roofline) and Glue Code — the paper's third category comprising
+activation functions, kernel initialization and PyTorch wrapper
+overhead.  Glue is modeled as element-wise streaming passes over the
+layer's activations plus a fixed per-layer framework overhead; for
+graphs whose activations blow out the cache (``papers``), the streaming
+term grows and Glue gains share, exactly as Section III-C observes.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import ExecutionBreakdown, combine
+from repro.cpu.cache import DEFAULT_SKEW
+from repro.cpu.densemm import dense_mm_time
+from repro.cpu.spmm import spmm_time
+from repro.cpu.stream import stream_bandwidth
+
+
+def layer_breakdown(shape, config, n_cores=None, skew=DEFAULT_SKEW):
+    """Per-phase time of one GCN layer on Xeon, in nanoseconds."""
+    n_cores = n_cores or config.physical_cores
+    spmm_ns = spmm_time(
+        shape.n_vertices, shape.n_edges, shape.in_dim, config, n_cores, skew
+    ).time_ns
+    return _assemble(shape, config, n_cores, spmm_ns)
+
+
+def _assemble(shape, config, n_cores, spmm_ns):
+    dense_ns = dense_mm_time(
+        shape.n_vertices, shape.update_in_dim, shape.out_dim, config,
+        n_cores,
+    ).time_ns
+    # Glue: bias add (read+write) and, if present, the activation
+    # (read+write) over the output activations, plus framework dispatch.
+    passes = 2 if shape.has_activation else 1
+    glue_bytes = passes * 2 * shape.n_vertices * shape.out_dim * 4
+    glue_ns = glue_bytes / stream_bandwidth(n_cores, config) + (
+        config.glue_overhead_ns
+    )
+    return ExecutionBreakdown(spmm=spmm_ns, dense=dense_ns, glue=glue_ns)
+
+
+def gcn_breakdown(workload, config, n_cores=None, skew=None):
+    """Whole-model Xeon :class:`ExecutionBreakdown` (ns) for a workload.
+
+    The cache-skew parameter defaults to the dataset's ``locality``
+    (how strongly its access pattern concentrates reuse).
+    """
+    if skew is None:
+        skew = workload.dataset.locality
+    return combine(
+        layer_breakdown(shape, config, n_cores, skew)
+        for shape in workload.layer_shapes()
+    )

@@ -1,0 +1,104 @@
+"""NUMA placement effects on the Xeon model.
+
+The paper notes "the control of threads and memory was maintained using
+numactl flags and OpenMP variables" — because on a dual-socket system
+the *placement policy* decides how much of the STREAM bandwidth an
+SpMM actually sees.  Three policies are modeled:
+
+* ``local``      — memory bound to each thread's socket (numactl
+  ``--localalloc`` with pinned threads): full socket bandwidth.
+* ``interleave`` — pages round-robin across sockets (numactl
+  ``--interleave=all``): half of every socket's traffic crosses the
+  UPI links.
+* ``remote``     — worst case, all traffic crosses UPI (mis-pinned
+  threads): the interconnect is the ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.stream import stream_bandwidth
+
+POLICIES = ("local", "interleave", "remote")
+
+#: Aggregate UPI bandwidth between the two sockets (3 links, Ice Lake).
+DEFAULT_UPI_GBPS = 62.4
+
+
+def numa_bandwidth(n_threads, config, policy="local",
+                   upi_gbps=DEFAULT_UPI_GBPS):
+    """Effective bandwidth (GB/s) under a NUMA placement policy.
+
+    ``local`` returns the STREAM curve unchanged.  ``interleave``
+    serves half the traffic locally and half across UPI, so the
+    effective rate is harmonic in the two paths.  ``remote`` is
+    UPI-capped.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}")
+    if upi_gbps <= 0:
+        raise ValueError("upi_gbps must be positive")
+    local = stream_bandwidth(n_threads, config)
+    if local == 0.0:
+        return 0.0
+    if policy == "local" or config.n_sockets == 1:
+        return local
+    if policy == "remote":
+        return min(local, upi_gbps)
+    # Interleave: for each byte, 1/2 local + 1/2 remote (UPI-capped).
+    remote_rate = min(local, upi_gbps)
+    return 2.0 / (1.0 / local + 1.0 / remote_rate)
+
+
+def numa_penalty(n_threads, config, policy, upi_gbps=DEFAULT_UPI_GBPS):
+    """Slowdown factor of ``policy`` versus local allocation (>= 1)."""
+    local = numa_bandwidth(n_threads, config, "local")
+    chosen = numa_bandwidth(n_threads, config, policy, upi_gbps)
+    return local / chosen if chosen > 0 else float("inf")
+
+
+def spmm_time_with_numa(n_vertices, n_edges, embedding_dim, config,
+                        n_cores=None, skew=None, policy="local",
+                        upi_gbps=DEFAULT_UPI_GBPS):
+    """CPU SpMM estimate under a NUMA policy.
+
+    Same structure as :func:`repro.cpu.spmm.spmm_time`, with the DRAM
+    term served at the policy's effective bandwidth (cache hits are
+    socket-local under every policy).
+    """
+    from repro.cpu.cache import DEFAULT_SKEW, feature_hit_rate
+    from repro.cpu.spmm import CPU_ELEMENT_BYTES, CPUSpMMEstimate
+    from repro.sparse.spmm import spmm_traffic
+
+    if skew is None:
+        skew = DEFAULT_SKEW
+    n_cores = n_cores or config.physical_cores
+    traffic = spmm_traffic(
+        n_vertices, n_edges, embedding_dim, CPU_ELEMENT_BYTES
+    )
+    hit = feature_hit_rate(n_vertices, embedding_dim, config, skew)
+    dram_bytes = (
+        traffic.csr_bytes
+        + (1.0 - hit) * traffic.feature_bytes
+        + traffic.write_bytes
+    )
+    cache_bytes = hit * traffic.feature_bytes
+    dram_bw = (
+        numa_bandwidth(n_cores, config, policy, upi_gbps)
+        * config.spmm_stream_efficiency
+    )
+    cache_bw = config.cache_bandwidth_gbps_per_core * min(
+        n_cores, config.physical_cores
+    )
+    memory_ns = dram_bytes / dram_bw + cache_bytes / cache_bw
+    compute_ns = traffic.flops / (
+        config.peak_gflops(n_cores) * config.spmm_compute_efficiency
+    )
+    time_ns = max(memory_ns, compute_ns)
+    return CPUSpMMEstimate(
+        time_ns=time_ns,
+        gflops=traffic.flops / time_ns,
+        hit_rate=hit,
+        dram_bytes=dram_bytes,
+        cache_bytes=cache_bytes,
+        bound="memory" if memory_ns >= compute_ns else "compute",
+    )

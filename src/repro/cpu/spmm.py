@@ -1,0 +1,104 @@
+"""SpMM timing on the Xeon model.
+
+The production strategy is vertex-parallel with dynamic OpenMP load
+balancing (Section V-A); the edge-parallel variant is provided as the
+baseline the paper rejects on CPU because of atomic-operation overhead.
+Time is the maximum of a memory term (DRAM misses at SpMM-effective
+STREAM bandwidth, cache hits at on-chip bandwidth) and a compute term
+(vectorized MACs at a fraction of AVX-512 peak).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cpu.cache import DEFAULT_SKEW, feature_hit_rate
+from repro.cpu.stream import stream_bandwidth
+from repro.sparse.spmm import spmm_traffic
+
+#: Element sizes of the fp32 CPU kernels.
+CPU_ELEMENT_BYTES = {"row": 4, "col": 4, "nnz": 4, "feature": 4}
+
+
+@dataclass(frozen=True)
+class CPUSpMMEstimate:
+    """Prediction for one SpMM on the Xeon model."""
+
+    time_ns: float
+    gflops: float
+    hit_rate: float
+    dram_bytes: float
+    cache_bytes: float
+    bound: str  # "memory" or "compute"
+
+
+def spmm_time(n_vertices, n_edges, embedding_dim, config, n_cores=None,
+              skew=DEFAULT_SKEW):
+    """Vertex-parallel SpMM estimate.
+
+    Parameters
+    ----------
+    n_vertices, n_edges, embedding_dim:
+        Kernel size (|V|, |E|, K) of the normalized adjacency.
+    config:
+        :class:`XeonConfig`.
+    n_cores:
+        Thread count (defaults to all physical cores).
+    skew:
+        Degree-skew parameter of the cache model.
+    """
+    n_cores = n_cores or config.physical_cores
+    traffic = spmm_traffic(
+        n_vertices, n_edges, embedding_dim, CPU_ELEMENT_BYTES
+    )
+    hit = feature_hit_rate(n_vertices, embedding_dim, config, skew)
+    dram_bytes = (
+        traffic.csr_bytes
+        + (1.0 - hit) * traffic.feature_bytes
+        + traffic.write_bytes
+    )
+    cache_bytes = hit * traffic.feature_bytes
+    dram_bw = stream_bandwidth(n_cores, config) * config.spmm_stream_efficiency
+    cache_bw = config.cache_bandwidth_gbps_per_core * min(
+        n_cores, config.physical_cores
+    )
+    memory_ns = dram_bytes / dram_bw + cache_bytes / cache_bw
+    compute_ns = traffic.flops / (
+        config.peak_gflops(n_cores) * config.spmm_compute_efficiency
+    )
+    time_ns = max(memory_ns, compute_ns)
+    return CPUSpMMEstimate(
+        time_ns=time_ns,
+        gflops=traffic.flops / time_ns,
+        hit_rate=hit,
+        dram_bytes=dram_bytes,
+        cache_bytes=cache_bytes,
+        bound="memory" if memory_ns >= compute_ns else "compute",
+    )
+
+
+def spmm_time_edge_parallel(n_vertices, n_edges, embedding_dim, config,
+                            n_cores=None, skew=DEFAULT_SKEW):
+    """Edge-parallel SpMM on CPU: the atomics-burdened baseline.
+
+    Every output-row write-back must be atomic; each K-element row costs
+    one atomic RMW per cache line.  The paper found this strictly slower
+    than vertex-parallel on Xeon — the opposite of PIUMA, whose remote
+    atomics make edge-parallel the kernel of choice.
+    """
+    n_cores = n_cores or config.physical_cores
+    base = spmm_time(
+        n_vertices, n_edges, embedding_dim, config, n_cores, skew
+    )
+    lines_per_row = max(1, math.ceil(embedding_dim * 4 / 64))
+    atomic_ns = n_vertices * lines_per_row * config.atomic_ns / n_cores
+    time_ns = base.time_ns + atomic_ns
+    return CPUSpMMEstimate(
+        time_ns=time_ns,
+        gflops=base.gflops * base.time_ns / time_ns,
+        hit_rate=base.hit_rate,
+        dram_bytes=base.dram_bytes,
+        cache_bytes=base.cache_bytes,
+        bound=base.bound,
+    )

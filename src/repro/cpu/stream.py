@@ -1,0 +1,57 @@
+"""STREAM-style memory-bandwidth curve for the Xeon model.
+
+The paper measures effective bandwidth with a STREAM benchmark under
+``numactl``/OpenMP control (Fig 8 left): bandwidth rises with thread
+count, saturates per socket, doubles when the second socket fills, and
+*decreases* past 80 threads because hyperthread pairs contend for the
+same load/store resources.  This module reproduces that curve with a
+saturating per-socket model plus an SMT-contention term.
+"""
+
+from __future__ import annotations
+
+
+def socket_bandwidth(n_cores, config):
+    """Achievable bandwidth (GB/s) of ``n_cores`` threads on one socket.
+
+    A saturating hyperbola anchored at the measured single-core
+    bandwidth and the socket's STREAM plateau.
+    """
+    if n_cores <= 0:
+        return 0.0
+    peak = config.stream_socket_gbps
+    single = config.single_core_gbps
+    # bw(n) = peak * n / (n + k); k chosen so bw(1) == single.
+    k = peak / single - 1.0
+    return peak * n_cores / (n_cores + k)
+
+
+def stream_bandwidth(n_threads, config):
+    """System bandwidth (GB/s) with ``n_threads`` STREAM threads.
+
+    Threads fill socket 0's physical cores first, then socket 1, then
+    hyperthreads.  Hyperthreading beyond the physical core count causes
+    contention that *reduces* total bandwidth — the Fig 8 (left) dip.
+    """
+    if n_threads <= 0:
+        return 0.0
+    per_socket = config.cores_per_socket
+    physical = config.physical_cores
+    n_threads = min(n_threads, config.max_threads)
+
+    total = 0.0
+    remaining = min(n_threads, physical)
+    for _socket in range(config.n_sockets):
+        on_this = min(remaining, per_socket)
+        total += socket_bandwidth(on_this, config)
+        remaining -= on_this
+        if remaining <= 0:
+            break
+
+    if n_threads > physical:
+        # Each hyperthread pair contends on load/store queues; at full
+        # SMT the system loses `ht_contention` of its plateau.
+        extra = n_threads - physical
+        overcommit = extra / (config.max_threads - physical)
+        total *= 1.0 - config.ht_contention * overcommit
+    return total

@@ -1,0 +1,269 @@
+"""Experiment registry: every table and figure as a callable.
+
+One place maps the paper's experiment ids to functions that compute and
+render the corresponding data.  The benchmark harness asserts on the
+same quantities; this registry is the user-facing path
+(``python -m repro experiment fig5``) and keeps the per-experiment
+index of DESIGN.md executable.
+
+Every experiment function takes an :class:`ExperimentContext` and
+returns the rendered text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentContext:
+    """Shared configuration for experiment runs.
+
+    ``scale`` shrinks the DES graphs (vertex cap) so the registry works
+    on laptops; the analytical experiments always use full Table I
+    sizes.
+    """
+
+    max_vertices: int = 16384
+    seed: int = 7
+    _cache: dict = field(default_factory=dict)
+
+    def graph(self, name="products"):
+        from repro.graphs.datasets import get_dataset
+
+        key = ("graph", name)
+        if key not in self._cache:
+            self._cache[key] = get_dataset(name).materialize(
+                max_vertices=self.max_vertices, seed=self.seed
+            )
+        return self._cache[key]
+
+    @property
+    def xeon(self):
+        from repro.cpu.config import XeonConfig
+
+        return self._cache.setdefault("xeon", XeonConfig())
+
+    @property
+    def a100(self):
+        from repro.gpu.config import A100Config
+
+        return self._cache.setdefault("a100", A100Config())
+
+    @property
+    def piuma_node(self):
+        from repro.piuma.config import PIUMAConfig
+
+        return self._cache.setdefault("node", PIUMAConfig.node())
+
+
+def table1(context):
+    """Table I: dataset descriptions."""
+    from repro.graphs.datasets import OGB_TABLE_I
+    from repro.report.tables import format_number, format_table
+
+    return format_table(
+        ["Name", "|V|", "|E|", "avg deg", "density", "task"],
+        [[s.name, format_number(s.n_vertices), format_number(s.n_edges),
+          f"{s.avg_degree:.1f}", f"{s.density:.2e}", s.task]
+         for s in OGB_TABLE_I],
+        title="TABLE I — OGB dataset descriptions",
+    )
+
+
+def fig2(context):
+    """Fig 2: SpMM-share contours plus dataset annotations."""
+    import numpy as np
+
+    from repro.core.contour import annotate_datasets, contour_grid
+    from repro.report.figures import contour_map
+    from repro.report.tables import format_table
+
+    vertex_grid = [10**k for k in (4, 5, 6, 7, 8)]
+    density_grid = [10.0**e for e in range(-8, -1)]
+    grid = contour_grid(vertex_grid, density_grid, context.xeon, 256)
+    chart = contour_map(np.asarray(grid), vertex_grid, density_grid)
+    points = annotate_datasets(context.xeon)
+    table = format_table(
+        ["dataset", "SpMM share"],
+        [[p.name, f"{p.spmm_fraction:.0%}"] for p in points],
+        title="OGB datasets at K=256",
+    )
+    return chart + "\n\n" + table
+
+
+def _breakdown_figure(context, platform):
+    from repro.report.figures import breakdown_chart
+    from repro.workloads.gcn_workload import workload_for
+
+    if platform == "cpu":
+        from repro.cpu.gcn import gcn_breakdown
+
+        config = context.xeon
+    elif platform == "gpu":
+        from repro.gpu.gcn import gcn_breakdown
+
+        config = context.a100
+    else:
+        from repro.piuma.gcn import gcn_breakdown
+
+        config = context.piuma_node
+    from repro.graphs.datasets import list_datasets
+
+    return breakdown_chart(
+        [
+            (f"{name:10s} K={k:<3d}",
+             gcn_breakdown(workload_for(name, k), config))
+            for name in list_datasets()
+            for k in (8, 64, 256)
+        ]
+    )
+
+
+def fig3(context):
+    """Fig 3: CPU execution-time breakdown."""
+    return _breakdown_figure(context, "cpu")
+
+
+def fig4(context):
+    """Fig 4: GPU execution-time breakdown."""
+    return _breakdown_figure(context, "gpu")
+
+
+def fig5(context):
+    """Fig 5: PIUMA SpMM strong scaling (DES)."""
+    from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
+    from repro.report.figures import series_chart
+
+    adj = context.graph()
+    cores = (1, 2, 4, 8, 16, 32)
+    rows = {}
+    for c in cores:
+        cfg = PIUMAConfig(n_cores=c)
+        rows[c] = (
+            spmm_model(adj.n_rows, adj.nnz, 256, cfg).gflops,
+            simulate_spmm(adj, 256, cfg, "dma").gflops,
+            simulate_spmm(adj, 256, cfg, "loop").gflops,
+        )
+    base = rows[1][1]
+    return series_chart(
+        cores,
+        [("model", [rows[c][0] / base for c in cores]),
+         ("dma", [rows[c][1] / base for c in cores]),
+         ("loop", [rows[c][2] / base for c in cores])],
+        x_label="cores",
+    )
+
+
+def fig6(context):
+    """Fig 6: bandwidth (top) and latency (bottom) sweeps (DES)."""
+    from repro.piuma import PIUMAConfig, simulate_spmm
+    from repro.report.figures import series_chart
+    from repro.workloads.sweeps import BANDWIDTH_SWEEP, LATENCY_SWEEP_NS
+
+    adj = context.graph()
+    bw = [
+        simulate_spmm(adj, 64, PIUMAConfig(dram_bandwidth_scale=s), "dma"
+                      ).gflops
+        for s in BANDWIDTH_SWEEP
+    ]
+    lat = [
+        simulate_spmm(adj, 64, PIUMAConfig(dram_latency_ns=l), "dma").gflops
+        for l in LATENCY_SWEEP_NS
+    ]
+    top = series_chart(BANDWIDTH_SWEEP, [("GF/s", bw)], x_label="bw scale")
+    bottom = series_chart(LATENCY_SWEEP_NS, [("GF/s", lat)],
+                          x_label="latency ns")
+    return f"bandwidth sweep (8 cores, K=64)\n{top}\n\n" \
+           f"latency sweep (8 cores, K=64)\n{bottom}"
+
+
+def fig7(context):
+    """Fig 7: threads/MTP vs latency tolerance (DES)."""
+    from repro.piuma import PIUMAConfig, simulate_spmm
+    from repro.report.figures import series_chart
+    from repro.workloads.sweeps import LATENCY_SWEEP_NS
+
+    adj = context.graph()
+    series = []
+    for tpm in (1, 4, 16):
+        values = [
+            simulate_spmm(
+                adj, 8,
+                PIUMAConfig(threads_per_mtp=tpm, dram_latency_ns=l), "dma",
+            ).gflops
+            for l in LATENCY_SWEEP_NS
+        ]
+        series.append((f"{tpm} thr", [v / values[0] for v in values]))
+    return "K=8, 8 cores, normalized to 45 ns\n" + series_chart(
+        LATENCY_SWEEP_NS, series, x_label="latency ns"
+    )
+
+
+def fig8(context):
+    """Fig 8: bandwidth and SpMM scaling, PIUMA vs Xeon."""
+    from repro.cpu.stream import stream_bandwidth
+    from repro.piuma.config import PIUMAConfig
+    from repro.report.figures import series_chart
+
+    threads = (1, 8, 16, 40, 80, 120, 160)
+    cpu = [stream_bandwidth(n, context.xeon) for n in threads]
+    cores = (1, 2, 4, 8, 16, 32)
+    piuma = [PIUMAConfig(n_cores=c).total_bandwidth_gbps for c in cores]
+    return (
+        "CPU STREAM curve\n"
+        + series_chart(threads, [("GB/s", cpu)], x_label="threads")
+        + "\n\nPIUMA slice scaling\n"
+        + series_chart(cores, [("GB/s", piuma)], x_label="cores")
+    )
+
+
+def fig9(context):
+    """Fig 9: speedups over the Xeon baseline."""
+    from repro.core.speedup import compare_platforms
+    from repro.graphs.datasets import list_datasets
+    from repro.report.tables import format_table
+    from repro.workloads.gcn_workload import workload_for
+
+    rows = []
+    for name in list_datasets(include_power=True):
+        for k in (8, 64, 256):
+            c = compare_platforms(
+                workload_for(name, k), context.xeon, context.a100,
+                context.piuma_node,
+            )
+            rows.append([name, k, f"{c.gcn_speedup('piuma'):.2f}x",
+                         f"{c.gcn_speedup('gpu'):.2f}x"])
+    return format_table(
+        ["dataset", "K", "PIUMA", "GPU"], rows,
+        title="GCN speedup vs dual-socket Xeon",
+    )
+
+
+def fig10(context):
+    """Fig 10: PIUMA execution-time breakdown."""
+    return _breakdown_figure(context, "piuma")
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+
+def run_experiment(name, context=None):
+    """Run one experiment by id; returns the rendered text."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[name](context or ExperimentContext())

@@ -1,0 +1,72 @@
+"""Extensions: the paper's Section VI directions, made quantitative.
+
+Heterogeneous SoC (PIUMA + dense tiles), random-walk neighbor sampling,
+clustering for mini-batch GCN training, and the distributed-memory CPU
+baseline that DGAS obviates.
+"""
+
+from repro.ext.clustering import (
+    ClusteringCost,
+    cluster_minibatches,
+    clustering_time_cpu,
+    clustering_time_piuma,
+    label_propagation,
+)
+from repro.ext.distributed import (
+    ClusterConfig,
+    DistributedSpMMEstimate,
+    distributed_spmm_time,
+    measure_cut_fraction,
+    piuma_multinode_spmm_time,
+)
+from repro.ext.minibatch import (
+    SampledBatch,
+    induced_block,
+    sample_batch,
+    sampled_inference,
+)
+from repro.ext.heterogeneous import (
+    DenseUnit,
+    HeterogeneousSoC,
+    hetero_gcn_breakdown,
+    sweep_dense_units,
+)
+from repro.ext.sampling import (
+    WalkTimeEstimate,
+    random_walks,
+    walk_time_cpu,
+    walk_time_piuma,
+)
+from repro.ext.training_cost import (
+    TrainingStepEstimate,
+    compare_training,
+    training_step_cost,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusteringCost",
+    "DenseUnit",
+    "DistributedSpMMEstimate",
+    "HeterogeneousSoC",
+    "WalkTimeEstimate",
+    "cluster_minibatches",
+    "clustering_time_cpu",
+    "clustering_time_piuma",
+    "distributed_spmm_time",
+    "hetero_gcn_breakdown",
+    "label_propagation",
+    "measure_cut_fraction",
+    "piuma_multinode_spmm_time",
+    "random_walks",
+    "sample_batch",
+    "sampled_inference",
+    "SampledBatch",
+    "TrainingStepEstimate",
+    "compare_training",
+    "induced_block",
+    "sweep_dense_units",
+    "training_step_cost",
+    "walk_time_cpu",
+    "walk_time_piuma",
+]

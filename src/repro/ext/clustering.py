@@ -1,0 +1,118 @@
+"""Graph clustering for subgraph-based GCN training (paper Section VI).
+
+Cluster-GCN-style training needs a clustering pass to build
+mini-batches.  This module provides a functional label-propagation
+clusterer over CSR graphs (the cheap, parallel family of methods the
+paper says PIUMA accelerates, e.g. Louvain), a mini-batch builder on
+top of it, and timing models: one clustering sweep is SpMM-shaped
+traffic with K=1, so the platform SpMM models price it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.spmm import spmm_traffic
+
+
+def label_propagation(adj, n_iters=10, seed=0):
+    """Cluster vertices by synchronous label propagation.
+
+    Each vertex adopts the most common label among its neighbors
+    (ties broken toward the smaller label); labels start unique.
+    Returns an int64 label array of length ``n_rows`` relabeled to
+    0..n_clusters-1.
+    """
+    if n_iters < 0:
+        raise ValueError("n_iters must be non-negative")
+    del seed  # deterministic variant; kept for API stability
+    labels = np.arange(adj.n_rows, dtype=np.int64)
+    row_of_edge = np.repeat(
+        np.arange(adj.n_rows, dtype=np.int64), adj.row_degrees()
+    )
+    for _ in range(n_iters):
+        neighbor_labels = labels[adj.indices]
+        # Majority label per row: count (row, label) pairs.
+        keys = row_of_edge * (adj.n_rows + 1) + neighbor_labels
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        rows = unique_keys // (adj.n_rows + 1)
+        candidate = unique_keys % (adj.n_rows + 1)
+        # Sort so the best (count desc, label asc) pair per row wins.
+        order = np.lexsort((candidate, -counts, rows))
+        rows_sorted = rows[order]
+        first = np.ones(rows_sorted.shape[0], dtype=bool)
+        first[1:] = rows_sorted[1:] != rows_sorted[:-1]
+        new_labels = labels.copy()
+        new_labels[rows_sorted[first]] = candidate[order][first]
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    _, relabeled = np.unique(labels, return_inverse=True)
+    return relabeled.astype(np.int64)
+
+
+def cluster_minibatches(labels, max_batch_vertices):
+    """Group clusters into mini-batches of bounded vertex count.
+
+    Greedy first-fit over clusters in size order (Cluster-GCN's
+    stochastic multiple-partition scheme, deterministic variant).
+    Returns a list of int64 vertex arrays covering every vertex once.
+    """
+    if max_batch_vertices < 1:
+        raise ValueError("max_batch_vertices must be positive")
+    labels = np.asarray(labels, dtype=np.int64)
+    batches = []
+    current = []
+    current_size = 0
+    cluster_ids, sizes = np.unique(labels, return_counts=True)
+    for cluster, size in sorted(
+        zip(cluster_ids, sizes), key=lambda pair: -pair[1]
+    ):
+        if current_size and current_size + size > max_batch_vertices:
+            batches.append(np.concatenate(current))
+            current, current_size = [], 0
+        current.append(np.flatnonzero(labels == cluster))
+        current_size += size
+    if current:
+        batches.append(np.concatenate(current))
+    return batches
+
+
+@dataclass(frozen=True)
+class ClusteringCost:
+    """Per-sweep clustering cost on one platform."""
+
+    time_ns: float
+    sweeps: int
+
+    @property
+    def total_ns(self):
+        return self.time_ns * self.sweeps
+
+
+def clustering_time_cpu(n_vertices, n_edges, config, sweeps=10,
+                        n_cores=None):
+    """Label-propagation cost on the Xeon model.
+
+    One sweep touches every edge once with K=1 payloads — SpMM-shaped
+    traffic priced at the CPU SpMM model.
+    """
+    from repro.cpu.spmm import spmm_time
+
+    per_sweep = spmm_time(
+        n_vertices, n_edges, 1, config, n_cores=n_cores, skew=0.0
+    ).time_ns
+    return ClusteringCost(time_ns=per_sweep, sweeps=sweeps)
+
+
+def clustering_time_piuma(n_vertices, n_edges, config, sweeps=10,
+                          spmm_efficiency=0.88):
+    """Label-propagation cost on the PIUMA model (Eq. 5 at K=1)."""
+    from repro.piuma.analytical import spmm_model
+
+    per_sweep = spmm_model(n_vertices, n_edges, 1, config).time_ns
+    return ClusteringCost(
+        time_ns=per_sweep / spmm_efficiency, sweeps=sweeps
+    )

@@ -1,0 +1,110 @@
+"""Distributed-memory CPU baseline (paper Section V-A and VI).
+
+The paper argues CPU clusters can scale SpMM only by paying MPI
+communication for every cut edge, while PIUMA's DGAS scales bandwidth
+with no partitioning at all ("communication overheads of MPI
+significantly reduce performance relative to an at-scale DGAS system",
+citing the COST critique).  This module prices that trade: a
+block-partitioned SpMM on an MPI cluster of Xeon nodes versus a
+multi-node PIUMA system, with the edge cut measured on a (down-scaled)
+materialization of the actual graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.partition import block_vertex_partition, evaluate_partition
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """An MPI cluster of identical Xeon nodes."""
+
+    n_nodes: int
+    interconnect_gbps: float = 12.5   # 100 Gb/s network per node
+    mpi_latency_us: float = 2.0       # per message pair
+    messages_per_layer: int = 2       # halo exchange: post + reduce
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+        if self.interconnect_gbps <= 0:
+            raise ValueError("interconnect bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class DistributedSpMMEstimate:
+    """One distributed SpMM: local compute plus halo communication."""
+
+    compute_ns: float
+    communication_ns: float
+    cut_fraction: float
+
+    @property
+    def time_ns(self):
+        return self.compute_ns + self.communication_ns
+
+    @property
+    def communication_share(self):
+        return self.communication_ns / self.time_ns if self.time_ns else 0.0
+
+
+def measure_cut_fraction(adj, n_nodes):
+    """Edge-cut fraction of a block vertex partition of ``adj``."""
+    if n_nodes == 1:
+        return 0.0
+    part = block_vertex_partition(adj.n_rows, n_nodes)
+    report = evaluate_partition(adj, part)
+    return report.edge_cut / adj.nnz if adj.nnz else 0.0
+
+
+def distributed_spmm_time(n_vertices, n_edges, embedding_dim, xeon_config,
+                          cluster, cut_fraction):
+    """SpMM across an MPI cluster of Xeon nodes.
+
+    Local work divides across nodes (each node runs the single-node
+    SpMM model on its shard); every cut edge ships a K-element feature
+    vector over the interconnect, each node sending/receiving its share
+    in parallel, plus per-layer message latency.
+    """
+    from repro.cpu.spmm import spmm_time
+
+    if not 0 <= cut_fraction <= 1:
+        raise ValueError("cut_fraction must be in [0, 1]")
+    shard = spmm_time(
+        max(1, n_vertices // cluster.n_nodes),
+        max(1, n_edges // cluster.n_nodes),
+        embedding_dim,
+        xeon_config,
+    )
+    cut_edges = cut_fraction * n_edges
+    halo_bytes = cut_edges * embedding_dim * 4
+    per_node_bytes = halo_bytes / cluster.n_nodes
+    communication_ns = (
+        per_node_bytes / cluster.interconnect_gbps
+        + cluster.messages_per_layer * cluster.mpi_latency_us * 1e3
+    ) if cluster.n_nodes > 1 else 0.0
+    return DistributedSpMMEstimate(
+        compute_ns=shard.time_ns,
+        communication_ns=communication_ns,
+        cut_fraction=cut_fraction,
+    )
+
+
+def piuma_multinode_spmm_time(n_vertices, n_edges, embedding_dim,
+                              piuma_node_config, n_nodes,
+                              spmm_efficiency=0.88):
+    """SpMM across ``n_nodes`` PIUMA nodes.
+
+    The DGAS means no partitioning and no halo exchange: aggregate
+    bandwidth simply scales, which is Key Takeaway 1 of Section V.
+    """
+    from repro.piuma.analytical import spmm_model
+
+    bandwidth = piuma_node_config.total_bandwidth_gbps * n_nodes
+    model = spmm_model(
+        n_vertices, n_edges, embedding_dim, piuma_node_config,
+        read_bandwidth=bandwidth, write_bandwidth=bandwidth,
+    )
+    return model.time_ns / spmm_efficiency

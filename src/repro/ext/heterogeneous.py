@@ -1,0 +1,109 @@
+"""Heterogeneous SoC study (paper Section VI, "Heterogeneous SoC").
+
+The paper proposes combining PIUMA dies with dense-compute accelerators
+to fix the Dense-MM bottleneck of Fig 10, noting "the ratio of PIUMA
+dies to dense units will largely depend on the application
+requirements".  This module models such an SoC: SpMM and glue stay on
+the PIUMA fabric, the dense update runs on attached matrix units that
+share the DGAS (so activations stream at DRAM bandwidth), and the unit
+count is the swept design parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import ExecutionBreakdown, combine
+from repro.piuma.analytical import spmm_model
+from repro.piuma.gcn import DEFAULT_SPMM_EFFICIENCY
+
+
+@dataclass(frozen=True)
+class DenseUnit:
+    """One attached dense-compute tile (systolic-array class).
+
+    Defaults approximate a modest inference NPU tile: 8 TFLOP/s fp32
+    peak at 80% achievable GEMM efficiency.
+    """
+
+    peak_gflops: float = 8000.0
+    efficiency: float = 0.80
+
+    def __post_init__(self):
+        if self.peak_gflops <= 0:
+            raise ValueError("peak_gflops must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def achievable_gflops(self):
+        return self.peak_gflops * self.efficiency
+
+
+@dataclass(frozen=True)
+class HeterogeneousSoC:
+    """PIUMA fabric plus ``n_dense_units`` attached dense tiles."""
+
+    piuma: object  # PIUMAConfig
+    n_dense_units: int
+    dense_unit: DenseUnit = DenseUnit()
+
+    def __post_init__(self):
+        if self.n_dense_units < 0:
+            raise ValueError("n_dense_units must be non-negative")
+
+    def dense_gflops(self):
+        return self.n_dense_units * self.dense_unit.achievable_gflops
+
+
+def hetero_layer_breakdown(shape, soc, spmm_efficiency=DEFAULT_SPMM_EFFICIENCY):
+    """One GCN layer on the heterogeneous SoC, in nanoseconds.
+
+    With zero dense units the dense update falls back to the PIUMA
+    scalar pipelines (the Fig 10 baseline).
+    """
+    from repro.piuma.densemm import dense_mm_time
+    from repro.piuma.gcn import layer_breakdown as piuma_layer
+
+    base = piuma_layer(shape, soc.piuma, spmm_efficiency)
+    if soc.n_dense_units == 0:
+        return base
+    flops = 2 * shape.n_vertices * shape.in_dim * shape.out_dim
+    compute_ns = flops / soc.dense_gflops()
+    streamed = shape.n_vertices * (shape.in_dim + shape.out_dim) * (
+        soc.piuma.feature_bytes
+    )
+    bandwidth_ns = streamed / soc.piuma.total_bandwidth_gbps
+    accel_ns = max(compute_ns, bandwidth_ns)
+    # The accelerator can never be worse than the scalar fallback.
+    scalar_ns = dense_mm_time(
+        shape.n_vertices, shape.in_dim, shape.out_dim, soc.piuma
+    ).time_ns
+    return ExecutionBreakdown(
+        spmm=base.spmm, dense=min(accel_ns, scalar_ns), glue=base.glue
+    )
+
+
+def hetero_gcn_breakdown(workload, soc, spmm_efficiency=DEFAULT_SPMM_EFFICIENCY):
+    """Whole-model breakdown on the heterogeneous SoC (ns)."""
+    return combine(
+        hetero_layer_breakdown(shape, soc, spmm_efficiency)
+        for shape in workload.layer_shapes()
+    )
+
+
+def sweep_dense_units(workload, piuma_config, unit_counts,
+                      dense_unit=DenseUnit()):
+    """GCN time for each dense-unit count; the §VI ratio study.
+
+    Returns ``{count: ExecutionBreakdown}``.  The knee of this curve is
+    where the SoC stops being dense-bound — adding more units past it
+    buys nothing because SpMM and glue set the floor.
+    """
+    results = {}
+    for count in unit_counts:
+        soc = HeterogeneousSoC(
+            piuma=piuma_config, n_dense_units=count, dense_unit=dense_unit
+        )
+        results[count] = hetero_gcn_breakdown(workload, soc)
+    return results

@@ -1,0 +1,111 @@
+"""Random-walk neighbor sampling (paper Section VI, "Graph Clustering
+and Sampling").
+
+pinSAGE/GraphSAGE-style GNNs sample neighborhoods with random walks,
+"known to be latency bound"; the paper notes PIUMA "has been shown to
+greatly accelerate random-walk over standard CPUs".  This module
+provides a functional random-walk sampler over CSR graphs plus latency
+-bound timing models for both platforms: each walk step is a dependent
+pointer chase, so throughput is (parallel walk contexts) / (step
+latency) — PIUMA's 16K thread contexts versus a CPU core's handful of
+outstanding misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def random_walks(adj, start_vertices, walk_length, seed=0):
+    """Sample one random walk per start vertex (functional layer).
+
+    Returns an int64 array of shape ``(len(start_vertices),
+    walk_length + 1)`` whose first column is the starts.  A walk that
+    reaches a sink vertex (no out-edges) stays there.
+    """
+    if walk_length < 0:
+        raise ValueError("walk_length must be non-negative")
+    rng = np.random.default_rng(seed)
+    current = np.asarray(start_vertices, dtype=np.int64)
+    if current.size and (
+        current.min() < 0 or current.max() >= adj.n_rows
+    ):
+        raise ValueError("start vertex out of range")
+    walks = np.empty((current.shape[0], walk_length + 1), dtype=np.int64)
+    walks[:, 0] = current
+    degrees = adj.row_degrees()
+    for step in range(1, walk_length + 1):
+        deg = degrees[current]
+        draws = (rng.random(current.shape[0]) * np.maximum(deg, 1)).astype(
+            np.int64
+        )
+        if adj.nnz:
+            # Sinks gather a dummy offset 0 and are masked out below.
+            offsets = np.where(deg > 0, adj.indptr[current] + draws, 0)
+            next_vertices = adj.indices[offsets]
+        else:
+            next_vertices = current
+        # Sinks stay put.
+        current = np.where(deg > 0, next_vertices, current)
+        walks[:, step] = current
+    return walks
+
+
+@dataclass(frozen=True)
+class WalkTimeEstimate:
+    """Latency-bound random-walk timing."""
+
+    time_ns: float
+    steps_per_second: float
+    parallel_contexts: int
+
+
+#: Outstanding pointer chases a Xeon core sustains (MLP limited by the
+#: miss queue and the dependent-load pattern).
+CPU_CONTEXTS_PER_CORE = 10
+#: Average DRAM round trip for a dependent random access on the CPU.
+CPU_STEP_LATENCY_NS = 90.0
+
+
+def walk_time_cpu(n_walks, walk_length, config, n_cores=None):
+    """Random-walk time on the Xeon model.
+
+    Walk steps are dependent loads; each core keeps a bounded number of
+    independent walks in flight, so throughput saturates at
+    ``cores x contexts / latency``.
+    """
+    n_cores = n_cores or config.physical_cores
+    contexts = min(n_walks, n_cores * CPU_CONTEXTS_PER_CORE)
+    total_steps = n_walks * walk_length
+    steps_per_ns = contexts / CPU_STEP_LATENCY_NS
+    time_ns = total_steps / steps_per_ns if total_steps else 0.0
+    return WalkTimeEstimate(
+        time_ns=time_ns,
+        steps_per_second=steps_per_ns * 1e9,
+        parallel_contexts=contexts,
+    )
+
+
+def walk_time_piuma(n_walks, walk_length, config):
+    """Random-walk time on the PIUMA model.
+
+    Every hardware thread advances one walk; the step latency is the
+    remote DGAS round trip (worse per step than the CPU's local DRAM),
+    but 16K contexts bury it — the latency-tolerance argument of the
+    paper applied to sampling.
+    """
+    from repro.piuma.network import Network
+
+    mean_hop = Network(config).mean_remote_latency()
+    step_latency = config.dram_latency_ns + 2 * mean_hop
+    contexts = min(n_walks, config.n_threads)
+    total_steps = n_walks * walk_length
+    steps_per_ns = contexts / step_latency
+    time_ns = total_steps / steps_per_ns if total_steps else 0.0
+    return WalkTimeEstimate(
+        time_ns=time_ns,
+        steps_per_second=steps_per_ns * 1e9,
+        parallel_contexts=contexts,
+    )

@@ -1,0 +1,87 @@
+"""Training-step cost across platforms (Section VI, "training").
+
+A full-batch GCN training step runs, per layer, the forward SpMM and
+dense update plus their backward counterparts: the gradient SpMM
+(``A_tilde^T``, same traffic as forward on the symmetric adjacency) and
+two dense products (weight gradient and input gradient), plus the
+optimizer's elementwise pass over the weights.  This module prices that
+on each platform model and projects epochs — quantifying the §VI claim
+that the paper's inference findings carry (doubled) into training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import ExecutionBreakdown, combine
+
+
+@dataclass(frozen=True)
+class TrainingStepEstimate:
+    """One full-batch step on one platform."""
+
+    platform: str
+    forward: ExecutionBreakdown
+    backward: ExecutionBreakdown
+
+    @property
+    def step_ns(self):
+        return self.forward.total + self.backward.total
+
+    def epochs_per_hour(self):
+        return 3.6e12 / self.step_ns if self.step_ns else 0.0
+
+
+def _forward(workload, platform, config):
+    if platform == "cpu":
+        from repro.cpu.gcn import gcn_breakdown
+    elif platform == "gpu":
+        from repro.gpu.gcn import gcn_breakdown
+    elif platform == "piuma":
+        from repro.piuma.gcn import gcn_breakdown
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+    return gcn_breakdown(workload, config)
+
+
+def _backward(workload, platform, config):
+    """Backward cost from the same per-layer primitives.
+
+    Per layer: one gradient SpMM (same |V|, |E|, K as forward), one
+    dense product for dW (same FLOPs as forward's update) and one for
+    dH (same again), plus a glue-scale elementwise pass (activation
+    mask + optimizer update).  Modeled as forward with the dense phase
+    doubled.
+    """
+    forward = _forward(workload, platform, config)
+    return ExecutionBreakdown(
+        spmm=forward.spmm,
+        dense=2.0 * forward.dense,
+        glue=forward.glue,
+        offload=forward.offload,
+        sampling=forward.sampling,
+    )
+
+
+def training_step_cost(workload, platform, config):
+    """Estimate one full-batch training step on a platform model."""
+    return TrainingStepEstimate(
+        platform=platform,
+        forward=_forward(workload, platform, config),
+        backward=_backward(workload, platform, config),
+    )
+
+
+def compare_training(workload, cpu_config, gpu_config, piuma_config):
+    """Training-step estimates for all three platforms.
+
+    Returns ``{platform: TrainingStepEstimate}``.  The paper's Fig 9
+    ordering tends to *strengthen* for training on CPU-vs-PIUMA (two
+    SpMMs per layer), while the GPU's dense advantage grows (three
+    dense products per layer).
+    """
+    return {
+        "cpu": training_step_cost(workload, "cpu", cpu_config),
+        "gpu": training_step_cost(workload, "gpu", gpu_config),
+        "piuma": training_step_cost(workload, "piuma", piuma_config),
+    }

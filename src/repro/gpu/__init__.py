@@ -1,0 +1,29 @@
+"""Analytical timing model of the NVIDIA A100 GPU testbed."""
+
+from repro.gpu.config import A100Config
+from repro.gpu.footprint import Footprint, fits_on_gpu, workload_footprint
+from repro.gpu.gcn import gcn_breakdown as gpu_gcn_breakdown
+from repro.gpu.kernels import GPUKernelEstimate
+from repro.gpu.kernels import dense_mm_time as gpu_dense_mm_time
+from repro.gpu.kernels import spmm_time as gpu_spmm_time
+from repro.gpu.sampling import (
+    SampledRunEstimate,
+    SamplingProfile,
+    measure_receptive_expansion,
+    sampled_run_cost,
+)
+
+__all__ = [
+    "A100Config",
+    "Footprint",
+    "GPUKernelEstimate",
+    "SampledRunEstimate",
+    "SamplingProfile",
+    "fits_on_gpu",
+    "gpu_dense_mm_time",
+    "gpu_gcn_breakdown",
+    "gpu_spmm_time",
+    "measure_receptive_expansion",
+    "sampled_run_cost",
+    "workload_footprint",
+]

@@ -1,0 +1,59 @@
+"""GPU memory footprint of a GCN workload.
+
+The capacity gate of Fig 4/9: a workload whose adjacency, features,
+weights and double-buffered activations exceed device memory cannot run
+full-graph on the GPU and falls back to host-side sampling — the cliff
+that makes ``papers`` two orders of magnitude slower on A100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ELEMENT = 4  # fp32 / int32 everywhere on device
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Bytes resident on the GPU for one full-graph inference."""
+
+    adjacency: int
+    features: int
+    activations: int
+    weights: int
+
+    @property
+    def total(self):
+        return self.adjacency + self.features + self.activations + self.weights
+
+
+def workload_footprint(workload):
+    """Compute the :class:`Footprint` of a GCN workload.
+
+    Adjacency in CSR (row offsets + column indices + values), the input
+    feature matrix, two activation buffers of the widest layer (ping
+    pong), and all weight matrices.
+    """
+    n_v = workload.n_vertices
+    n_e = workload.n_edges_normalized
+    adjacency = (n_v + 1) * ELEMENT + 2 * n_e * ELEMENT
+    features = n_v * workload.config.in_dim * ELEMENT
+    widest = max(
+        max(shape.in_dim, shape.out_dim) for shape in workload.layer_shapes()
+    )
+    activations = 2 * n_v * widest * ELEMENT
+    weights = sum(
+        shape.in_dim * shape.out_dim * ELEMENT
+        for shape in workload.layer_shapes()
+    )
+    return Footprint(
+        adjacency=int(adjacency),
+        features=int(features),
+        activations=int(activations),
+        weights=int(weights),
+    )
+
+
+def fits_on_gpu(workload, config):
+    """Whether the workload runs full-graph on the device."""
+    return workload_footprint(workload).total <= config.memory_bytes

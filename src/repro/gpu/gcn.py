@@ -1,0 +1,65 @@
+"""Full-GCN timing on the A100 model (Fig 4).
+
+Two regimes, gated by device memory:
+
+* **Full-graph** — adjacency and input features cross PCIe once
+  (inductive inference; "data offload is an unavoidable runtime
+  contribution"), then all layers run on device.  Offload dominates for
+  small hidden dims; kernel shares grow with K because the offloaded
+  volume is fixed while hidden-layer compute is not.
+* **Sampled** — the graph does not fit (``papers``): layer-wise
+  full-neighborhood sampling runs on the host CPU, every layer's
+  neighbor features are gathered and shipped over PCIe.  Sampling plus
+  offload consume effectively all the runtime (>99% in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import ExecutionBreakdown, combine
+from repro.gpu.footprint import fits_on_gpu, workload_footprint
+from repro.gpu.kernels import dense_mm_time, spmm_time
+
+
+def _layer_kernels(shape, config, locality):
+    """SpMM + Dense + glue of one on-device layer, in ns."""
+    spmm_ns = spmm_time(
+        shape.n_vertices, shape.n_edges, shape.in_dim, config, locality
+    ).time_ns
+    dense_ns = dense_mm_time(
+        shape.n_vertices, shape.update_in_dim, shape.out_dim, config
+    ).time_ns
+    passes = 2 if shape.has_activation else 1
+    glue_ns = (
+        passes * 2 * shape.n_vertices * shape.out_dim * 4 / config.hbm_gbps
+        + config.launch_overhead_ns
+    )
+    return ExecutionBreakdown(spmm=spmm_ns, dense=dense_ns, glue=glue_ns)
+
+
+def gcn_breakdown(workload, config, locality=None):
+    """Whole-model A100 :class:`ExecutionBreakdown` (ns) for a workload."""
+    if locality is None:
+        locality = workload.dataset.locality
+    kernels = combine(
+        _layer_kernels(shape, config, locality)
+        for shape in workload.layer_shapes()
+    )
+    if fits_on_gpu(workload, config):
+        footprint = workload_footprint(workload)
+        offload_bytes = footprint.adjacency + footprint.features
+        offload_ns = offload_bytes / config.pcie_gbps
+        if config.overlap_offload:
+            # Double-buffered streaming hides transfer behind compute;
+            # only the non-overlappable excess remains visible.
+            offload_ns = max(0.0, offload_ns - kernels.total)
+        return kernels + ExecutionBreakdown(offload=offload_ns)
+    # Sampling regime: every layer's full neighborhood is gathered on
+    # the host and shipped across PCIe.
+    sampled_bytes = sum(
+        shape.n_edges * shape.in_dim * 4 for shape in workload.layer_shapes()
+    )
+    sampling_ns = sampled_bytes / config.sample_gather_gbps
+    offload_ns = sampled_bytes / config.pcie_gbps
+    return kernels + ExecutionBreakdown(
+        offload=offload_ns, sampling=sampling_ns
+    )

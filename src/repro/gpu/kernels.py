@@ -1,0 +1,60 @@
+"""Device-kernel timing: SpMM and Dense MM on the A100 model.
+
+SpMM gathers run at a locality-dependent fraction of HBM bandwidth —
+unless the feature working set fits in the 40 MB L2, where small
+well-clustered graphs (``ddi``, ``proteins`` at low K) are served at
+on-chip bandwidth; that L2 residency is why the GPU wins SpMM on those
+graphs in Fig 9 while losing badly on the low-locality power graphs.
+Dense MM is a plain fp32 roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse.spmm import spmm_traffic
+
+GPU_ELEMENT_BYTES = {"row": 4, "col": 4, "nnz": 4, "feature": 4}
+
+
+@dataclass(frozen=True)
+class GPUKernelEstimate:
+    """Prediction for one device kernel."""
+
+    time_ns: float
+    gflops: float
+    bound: str
+
+
+def spmm_time(n_vertices, n_edges, embedding_dim, config, locality=0.5):
+    """SpMM kernel time on the A100 model."""
+    traffic = spmm_traffic(
+        n_vertices, n_edges, embedding_dim, GPU_ELEMENT_BYTES
+    )
+    working_set = n_vertices * embedding_dim * 4
+    if working_set <= config.l2_bytes:
+        bandwidth = config.l2_gbps
+        bound = "l2"
+    else:
+        bandwidth = config.spmm_bandwidth(locality)
+        bound = "hbm"
+    time_ns = traffic.total_bytes / bandwidth
+    return GPUKernelEstimate(
+        time_ns=time_ns, gflops=traffic.flops / time_ns, bound=bound
+    )
+
+
+def dense_mm_time(n_rows, in_dim, out_dim, config):
+    """Dense update kernel time on the A100 model."""
+    if min(n_rows, in_dim, out_dim) < 1:
+        raise ValueError("matrix dimensions must be positive")
+    flops = 2 * n_rows * in_dim * out_dim
+    compute_ns = flops / (config.peak_fp32_gflops * config.gemm_efficiency)
+    streamed = n_rows * (in_dim + out_dim) * 4
+    bandwidth_ns = streamed / config.hbm_gbps
+    time_ns = max(compute_ns, bandwidth_ns)
+    return GPUKernelEstimate(
+        time_ns=time_ns,
+        gflops=flops / time_ns,
+        bound="compute" if compute_ns >= bandwidth_ns else "bandwidth",
+    )

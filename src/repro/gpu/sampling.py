@@ -1,0 +1,106 @@
+"""Measured sampling-cost model for out-of-memory GPU inference.
+
+The coarse Fig 4 model charges host sampling as one full-neighborhood
+gather of every layer's edges.  For batched execution the real cost
+depends on how fast receptive fields *expand*: an L-layer full
+neighborhood of a small batch can touch a large fraction of a dense
+graph (neighborhood explosion).  This module measures that expansion on
+a (down-scaled) materialization with the functional sampler and prices
+the resulting per-batch gather, offload and kernel work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ext.minibatch import sample_batch
+
+
+@dataclass(frozen=True)
+class SamplingProfile:
+    """Measured receptive-field statistics for one (graph, L) pair.
+
+    Attributes
+    ----------
+    batch_size:
+        Targets per batch.
+    n_layers:
+        GCN depth.
+    mean_frontier_fraction:
+        Mean |L-hop receptive field| / |V| across probes.
+    mean_edges_fraction:
+        Mean touched-edge fraction per batch (edges into each layer's
+        output set), relative to |E|.
+    """
+
+    batch_size: int
+    n_layers: int
+    mean_frontier_fraction: float
+    mean_edges_fraction: float
+
+
+def measure_receptive_expansion(adj, batch_size, n_layers, n_probes=5,
+                                seed=0):
+    """Probe random batches and measure their receptive fields."""
+    if batch_size < 1 or n_probes < 1:
+        raise ValueError("batch_size and n_probes must be positive")
+    rng = np.random.default_rng(seed)
+    degrees = adj.row_degrees()
+    frontier_fractions = []
+    edge_fractions = []
+    for _ in range(n_probes):
+        targets = rng.choice(
+            adj.n_rows, size=min(batch_size, adj.n_rows), replace=False
+        )
+        batch = sample_batch(adj, targets, n_layers)
+        frontier_fractions.append(batch.frontier_size / adj.n_rows)
+        touched = sum(
+            int(degrees[layer].sum()) for layer in batch.layers[1:]
+        )
+        edge_fractions.append(touched / max(adj.nnz, 1))
+    return SamplingProfile(
+        batch_size=batch_size,
+        n_layers=n_layers,
+        mean_frontier_fraction=float(np.mean(frontier_fractions)),
+        mean_edges_fraction=float(np.mean(edge_fractions)),
+    )
+
+
+@dataclass(frozen=True)
+class SampledRunEstimate:
+    """Cost of covering every vertex once with sampled batches."""
+
+    n_batches: int
+    sampling_ns: float
+    offload_ns: float
+
+    @property
+    def host_ns(self):
+        return self.sampling_ns + self.offload_ns
+
+
+def sampled_run_cost(n_vertices, n_edges, embedding_dim, profile, config):
+    """Price a full-inference pass under measured expansion.
+
+    Each batch gathers its touched edges' feature vectors on the host
+    and ships them over PCIe; batches cover all vertices once.
+    Neighborhood explosion shows up as ``mean_edges_fraction`` close to
+    1 even for small batches — each of the many batches re-gathers a
+    large share of the graph, which is exactly why `papers` drowns in
+    sampling time.
+    """
+    if embedding_dim < 1:
+        raise ValueError("embedding_dim must be positive")
+    n_batches = max(1, -(-n_vertices // profile.batch_size))
+    per_batch_bytes = profile.mean_edges_fraction * n_edges * (
+        embedding_dim
+    ) * 4
+    sampling_ns = n_batches * per_batch_bytes / config.sample_gather_gbps
+    offload_ns = n_batches * per_batch_bytes / config.pcie_gbps
+    return SampledRunEstimate(
+        n_batches=n_batches,
+        sampling_ns=sampling_ns,
+        offload_ns=offload_ns,
+    )

@@ -1,0 +1,59 @@
+"""Graph substrate.
+
+An RMAT generator (replacing the SNAP generator the paper uses), degree
+utilities, a synthetic OGB catalog matched to Table I, and partitioning
+utilities used by the distributed-baseline extension.
+"""
+
+from repro.graphs.datasets import (
+    OGB_TABLE_I,
+    DatasetSpec,
+    get_dataset,
+    list_datasets,
+    power_graph_spec,
+)
+from repro.graphs.degree import (
+    DegreeStats,
+    degree_stats,
+    reuse_distance_proxy,
+    window_span_fraction,
+)
+from repro.graphs.generators import (
+    barabasi_albert,
+    community_features,
+    erdos_renyi,
+    stochastic_block_model,
+)
+from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.rmat import RMATParams, rmat_edges, rmat_graph
+from repro.graphs.stats import (
+    clustering_coefficient,
+    connected_components,
+    largest_component_fraction,
+)
+
+__all__ = [
+    "OGB_TABLE_I",
+    "DatasetSpec",
+    "DegreeStats",
+    "RMATParams",
+    "barabasi_albert",
+    "clustering_coefficient",
+    "community_features",
+    "connected_components",
+    "degree_stats",
+    "erdos_renyi",
+    "get_dataset",
+    "largest_component_fraction",
+    "list_datasets",
+    "load_edge_list",
+    "load_npz",
+    "power_graph_spec",
+    "reuse_distance_proxy",
+    "rmat_edges",
+    "rmat_graph",
+    "save_edge_list",
+    "save_npz",
+    "stochastic_block_model",
+    "window_span_fraction",
+]

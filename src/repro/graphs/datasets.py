@@ -1,0 +1,152 @@
+"""Dataset catalog: synthetic stand-ins for the OGB graphs of Table I.
+
+The paper evaluates on nine Open Graph Benchmark datasets.  OGB data is
+not redistributable inside this offline environment, so each dataset is
+represented by a :class:`DatasetSpec` carrying the *exact* |V| and |E|
+from Table I (the only graph properties the paper's timing analysis
+consumes) plus an input feature dimension.  For functional runs the spec
+materializes an RMAT graph degree-matched to those counts, optionally
+down-scaled: all timing models accept the full-size spec analytically,
+while the discrete-event PIUMA simulator runs on a materialized
+down-scaled instance and projects (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.rmat import GRAPH500, UNIFORM, rmat_for_size
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata of one benchmark graph.
+
+    Attributes
+    ----------
+    name:
+        Short OGB-style name (``products``, ``papers``, ...).
+    n_vertices, n_edges:
+        Exact counts from Table I of the paper.
+    feature_dim:
+        Input feature dimension used when materializing features.  OGB
+        datasets without native node features (e.g. ``ddi``) use the
+        learned-embedding width common in OGB baselines.
+    task:
+        ``"node"`` or ``"link"`` classification (Table I groups).
+    skewed:
+        Whether degrees are hub-dominated; selects the RMAT quadrant
+        probabilities when materializing.
+    locality:
+        Cache-friendliness of the graph's access pattern in [0, 1):
+        how strongly feature reuse concentrates (community structure,
+        vertex ordering, hubs).  Fig 9's caption distinguishes graphs
+        by exactly this: `products` "can make use of the CPU caches"
+        while `power-16`/`power-22` are called out as low-locality.
+    """
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    feature_dim: int
+    task: str
+    skewed: bool = True
+    locality: float = 0.5
+
+    @property
+    def density(self):
+        """|E| / |V|^2, the x-axis of the paper's Fig 2."""
+        return self.n_edges / (self.n_vertices**2)
+
+    @property
+    def avg_degree(self):
+        return self.n_edges / self.n_vertices
+
+    def materialize(self, max_vertices=None, seed=0):
+        """Generate a CSR adjacency for this dataset.
+
+        Parameters
+        ----------
+        max_vertices:
+            When given and smaller than ``n_vertices``, the graph is
+            down-scaled to this vertex count with the average degree
+            preserved (the down-scaled-simulation strategy of the
+            paper's ref [18]).
+        seed:
+            Deterministic generator seed.
+
+        Returns
+        -------
+        CSRMatrix
+            The (unnormalized) adjacency.
+        """
+        n_v = self.n_vertices
+        n_e = self.n_edges
+        if max_vertices is not None and max_vertices < n_v:
+            ratio = max_vertices / n_v
+            n_v = int(max_vertices)
+            n_e = max(n_v, int(round(self.n_edges * ratio)))
+        abcd = GRAPH500 if self.skewed else UNIFORM
+        return rmat_for_size(n_v, n_e, abcd=abcd, seed=seed)
+
+
+#: Table I of the paper, in presentation order.
+OGB_TABLE_I = (
+    DatasetSpec("ddi", 4_267, 1_334_889, 256, "link", skewed=False,
+                locality=0.7),
+    DatasetSpec("proteins", 132_534, 39_561_252, 8, "node", locality=0.6),
+    DatasetSpec("arxiv", 169_343, 1_166_243, 128, "node", locality=0.5),
+    DatasetSpec("collab", 235_868, 1_285_465, 128, "link", locality=0.5),
+    DatasetSpec("ppa", 576_289, 30_326_273, 58, "link", locality=0.55),
+    DatasetSpec("mag", 1_939_743, 21_111_007, 128, "node", locality=0.5),
+    DatasetSpec("products", 2_449_029, 61_859_140, 100, "node",
+                locality=0.55),
+    DatasetSpec("citation2", 2_927_963, 30_561_187, 128, "link",
+                locality=0.5),
+    DatasetSpec("papers", 111_059_956, 1_615_685_872, 128, "node",
+                locality=0.3),
+)
+
+_REGISTRY = {spec.name: spec for spec in OGB_TABLE_I}
+
+
+def power_graph_spec(scale, edge_factor=16):
+    """RMAT ``power-<scale>`` graph spec, as used in the paper's Fig 9.
+
+    ``power-16`` and ``power-22`` are Graph500-style skewed RMAT graphs
+    with ``2**scale`` vertices; the paper uses them as low-locality SpMM
+    stress tests where PIUMA's advantage over the GPU is largest.
+    """
+    n_vertices = 1 << scale
+    return DatasetSpec(
+        name=f"power-{scale}",
+        n_vertices=n_vertices,
+        n_edges=edge_factor * n_vertices,
+        feature_dim=128,
+        task="node",
+        skewed=True,
+        locality=0.05,
+    )
+
+
+def list_datasets(include_power=False):
+    """Names of all catalogued datasets, Table I order."""
+    names = [spec.name for spec in OGB_TABLE_I]
+    if include_power:
+        names += ["power-16", "power-22"]
+    return names
+
+
+def get_dataset(name):
+    """Look up a :class:`DatasetSpec` by name (OGB or ``power-<k>``)."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    if name.startswith("power-"):
+        try:
+            scale = int(name.split("-", 1)[1])
+        except ValueError:
+            raise KeyError(f"unknown dataset {name!r}") from None
+        return power_graph_spec(scale)
+    raise KeyError(
+        f"unknown dataset {name!r}; available: {', '.join(list_datasets(True))}"
+    )

@@ -1,0 +1,124 @@
+"""Degree-distribution utilities.
+
+The paper's characterization hinges on graph *scale* (|V|) and
+*sparsity* (|E|), but the CPU cache model and the load-balance analysis
+additionally need degree skew: a skewed graph concentrates feature-vector
+reuse on hub vertices (better cacheability per byte) and unbalances the
+vertex-parallel partition.  These statistics quantify that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of a degree distribution.
+
+    Attributes
+    ----------
+    n_vertices, n_edges:
+        Graph size (edges = stored adjacency entries).
+    mean, maximum:
+        Average and maximum degree.
+    gini:
+        Gini coefficient of the degree distribution in [0, 1];
+        0 is perfectly uniform, values near 1 are hub-dominated.
+    top1pct_share:
+        Fraction of all edges incident (out-bound) to the top 1% of
+        vertices by degree — a direct measure of hub concentration.
+    """
+
+    n_vertices: int
+    n_edges: int
+    mean: float
+    maximum: int
+    gini: float
+    top1pct_share: float
+
+
+def gini_coefficient(values):
+    """Gini coefficient of a non-negative sample, 0 for uniform."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = values.shape[0]
+    if n == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    # Standard rank-weighted formula.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (ranks * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def degree_stats(adj):
+    """Compute :class:`DegreeStats` from a CSR adjacency matrix."""
+    degrees = adj.row_degrees().astype(np.float64)
+    n = adj.n_rows
+    nnz = adj.nnz
+    if n == 0:
+        return DegreeStats(0, 0, 0.0, 0, 0.0, 0.0)
+    top_k = max(1, n // 100)
+    top_share = (
+        float(np.sort(degrees)[-top_k:].sum() / nnz) if nnz else 0.0
+    )
+    return DegreeStats(
+        n_vertices=n,
+        n_edges=nnz,
+        mean=float(degrees.mean()),
+        maximum=int(degrees.max()) if n else 0,
+        gini=gini_coefficient(degrees),
+        top1pct_share=top_share,
+    )
+
+
+def window_span_fraction(adj, window=8192, samples=40, seed=0):
+    """How much of the vertex range a temporal window of edges touches.
+
+    For random windows of ``window`` consecutive edges, measures the
+    5th-95th percentile span of referenced vertex ids as a fraction of
+    |V| (median over samples).  This is the locality metric *vertex
+    ordering* moves: RCM-ordered graphs confine each window to a narrow
+    id band whose feature rows fit in cache, while a shuffled graph
+    touches the whole feature matrix from every window.  (Exact-repeat
+    reuse — :func:`reuse_distance_proxy` — is ordering-invariant.)
+    """
+    if adj.nnz == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    cols = adj.indices
+    take = min(window, cols.shape[0])
+    spans = []
+    for _ in range(max(1, samples)):
+        start = rng.integers(0, max(1, cols.shape[0] - take + 1))
+        chunk = cols[start:start + take]
+        spans.append(
+            np.percentile(chunk, 95) - np.percentile(chunk, 5)
+        )
+    return float(np.median(spans) / max(adj.n_cols, 1))
+
+
+def reuse_distance_proxy(adj, window=4096):
+    """Fraction of feature reads likely served by a recently-used window.
+
+    A cheap locality proxy for the CPU cache model: for edges in CSR
+    order, counts how often a destination vertex repeats within the last
+    ``window`` distinct destinations.  Hub-heavy graphs score high; near
+    1.0 means feature vectors are effectively cache-resident.
+    """
+    if adj.nnz == 0:
+        return 0.0
+    cols = adj.indices
+    # Vectorized approximation: a feature read at edge position i hits if
+    # the same column index appeared within the previous `window` edges.
+    position = np.arange(cols.shape[0], dtype=np.int64)
+    order = np.lexsort((position, cols))
+    sorted_cols = cols[order]
+    sorted_pos = position[order]
+    same_col = sorted_cols[1:] == sorted_cols[:-1]
+    gaps = sorted_pos[1:] - sorted_pos[:-1]
+    hits = int(np.count_nonzero(same_col & (gaps <= window)))
+    return hits / adj.nnz

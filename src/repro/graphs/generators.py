@@ -1,0 +1,107 @@
+"""Additional graph generators beyond RMAT.
+
+RMAT covers the paper's sweeps; downstream users characterizing their
+own workloads need the other standard families: Erdos-Renyi (the
+uniform null model), Barabasi-Albert (preferential attachment,
+power-law by construction) and the stochastic block model (communities
+— the structure Cluster-GCN-style methods exploit and the locality knob
+abstracts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def erdos_renyi(n_vertices, avg_degree, seed=0, symmetric=True):
+    """G(n, m)-style uniform random graph with ``avg_degree * n`` edges."""
+    if n_vertices < 1 or avg_degree <= 0:
+        raise ValueError("need positive size and degree")
+    rng = np.random.default_rng(seed)
+    n_edges = int(round(avg_degree * n_vertices))
+    src = rng.integers(0, n_vertices, n_edges)
+    dst = rng.integers(0, n_vertices, n_edges)
+    if symmetric:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return CSRMatrix.from_edges(src, dst, shape=(n_vertices, n_vertices))
+
+
+def barabasi_albert(n_vertices, attach=4, seed=0):
+    """Preferential attachment: each new vertex links to ``attach``
+    existing vertices chosen proportionally to degree.
+
+    Produces the heavy-tailed degree distribution analytically (gamma
+    ~ 3); the generated graph is undirected (symmetric adjacency).
+    """
+    if n_vertices < 2 or attach < 1:
+        raise ValueError("need at least 2 vertices and attach >= 1")
+    rng = np.random.default_rng(seed)
+    # Repeated-endpoint list trick: sampling uniformly from the list of
+    # all edge endpoints is sampling proportionally to degree.
+    endpoints = [0, 1, 1, 0]  # seed edge 0-1, both directions
+    src, dst = [0], [1]
+    for v in range(2, n_vertices):
+        k = min(attach, v)
+        picks = set()
+        while len(picks) < k:
+            picks.add(int(endpoints[rng.integers(len(endpoints))]))
+        for u in picks:
+            src.append(v)
+            dst.append(u)
+            endpoints.extend((v, u))
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    both = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return CSRMatrix.from_edges(*both, shape=(n_vertices, n_vertices))
+
+
+def stochastic_block_model(n_vertices, n_blocks, avg_degree, p_in=0.9,
+                           seed=0):
+    """Community-structured random graph.
+
+    Each vertex draws ``avg_degree`` edges; with probability ``p_in``
+    the endpoint stays inside the vertex's block, otherwise it is
+    uniform over the graph.  Returns ``(adjacency, block_labels)``.
+    """
+    if n_blocks < 1 or n_vertices < n_blocks:
+        raise ValueError("need 1 <= n_blocks <= n_vertices")
+    if not 0 <= p_in <= 1:
+        raise ValueError("p_in must be a probability")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_blocks, n_vertices)
+    members = [np.flatnonzero(labels == b) for b in range(n_blocks)]
+    # Guarantee non-empty blocks by reassigning if needed.
+    for b, m in enumerate(members):
+        if m.size == 0:
+            labels[rng.integers(n_vertices)] = b
+    members = [np.flatnonzero(labels == b) for b in range(n_blocks)]
+    src = np.repeat(np.arange(n_vertices), int(round(avg_degree)))
+    stay = rng.random(src.shape[0]) < p_in
+    uniform = rng.integers(0, n_vertices, src.shape[0])
+    same_block = np.empty(src.shape[0], dtype=np.int64)
+    for i, u in enumerate(src):
+        block = members[labels[u]]
+        same_block[i] = block[rng.integers(block.size)]
+    dst = np.where(stay, same_block, uniform)
+    both = np.concatenate([src, dst]), np.concatenate([dst, src])
+    adj = CSRMatrix.from_edges(*both, shape=(n_vertices, n_vertices))
+    return adj, labels
+
+
+def community_features(labels, feature_dim, noise=1.0, seed=0):
+    """Features correlated with community labels (training tasks).
+
+    Each community gets a random center; vertices get the center plus
+    Gaussian noise.  Returns a ``(n, feature_dim)`` float array.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if feature_dim < 1:
+        raise ValueError("feature_dim must be positive")
+    rng = np.random.default_rng(seed)
+    n_blocks = int(labels.max()) + 1 if labels.size else 0
+    centers = rng.normal(size=(n_blocks, feature_dim))
+    return centers[labels] + noise * rng.normal(
+        size=(labels.shape[0], feature_dim)
+    )

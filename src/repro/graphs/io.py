@@ -1,0 +1,83 @@
+"""Graph persistence.
+
+Two formats: a compact ``.npz`` (the CSR arrays, lossless and fast) and
+a plain edge-list text format for interchange with SNAP-style tools.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def save_npz(adj, path):
+    """Write a CSR matrix to ``path`` (.npz)."""
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        indptr=adj.indptr,
+        indices=adj.indices,
+        data=adj.data,
+        shape=np.asarray(adj.shape, dtype=np.int64),
+    )
+
+
+def load_npz(path):
+    """Read a CSR matrix written by :func:`save_npz`."""
+    with np.load(pathlib.Path(path)) as archive:
+        required = {"indptr", "indices", "data", "shape"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"not a graph archive; missing {sorted(missing)}")
+        return CSRMatrix(
+            archive["indptr"],
+            archive["indices"],
+            archive["data"],
+            tuple(archive["shape"]),
+        )
+
+
+def save_edge_list(adj, path, weights=False):
+    """Write ``src dst [weight]`` lines (SNAP interchange format)."""
+    path = pathlib.Path(path)
+    rows = np.repeat(
+        np.arange(adj.n_rows, dtype=np.int64), adj.row_degrees()
+    )
+    with open(path, "w") as handle:
+        handle.write(f"# {adj.n_rows} {adj.n_cols} {adj.nnz}\n")
+        if weights:
+            for u, v, w in zip(rows, adj.indices, adj.data):
+                handle.write(f"{u} {v} {w:g}\n")
+        else:
+            for u, v in zip(rows, adj.indices):
+                handle.write(f"{u} {v}\n")
+
+
+def load_edge_list(path):
+    """Read an edge list written by :func:`save_edge_list`.
+
+    Also accepts headerless files (shape inferred, weights optional).
+    """
+    path = pathlib.Path(path)
+    shape = None
+    src, dst, vals = [], [], []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                fields = line[1:].split()
+                if len(fields) >= 2:
+                    shape = (int(fields[0]), int(fields[1]))
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(f"bad edge line: {line!r}")
+            src.append(int(fields[0]))
+            dst.append(int(fields[1]))
+            vals.append(float(fields[2]) if len(fields) > 2 else 1.0)
+    return CSRMatrix.from_edges(src, dst, vals, shape=shape)

@@ -1,0 +1,88 @@
+"""Structural graph statistics beyond degrees.
+
+Connected components and local clustering complete the picture the
+characterization models consume: components bound how far BFS orderings
+can help, and clustering is the structural driver of the ``locality``
+knob (triangle-rich neighborhoods mean repeated feature reuse).
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+
+def connected_components(adj):
+    """Component label per vertex (treating edges as undirected).
+
+    Returns ``(labels, n_components)``; labels are 0-based and
+    contiguous in discovery order.
+    """
+    n = adj.n_rows
+    # Build an undirected view once: out-neighbors plus in-neighbors.
+    reverse = adj.transpose()
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for seed in range(n):
+        if labels[seed] != -1:
+            continue
+        queue = collections.deque([seed])
+        labels[seed] = current
+        while queue:
+            u = queue.popleft()
+            for view in (adj, reverse):
+                neighbors, _ = view.row(u)
+                for v in neighbors:
+                    if labels[v] == -1:
+                        labels[v] = current
+                        queue.append(int(v))
+        current += 1
+    return labels, current
+
+
+def largest_component_fraction(adj):
+    """|largest component| / |V|."""
+    labels, n_components = connected_components(adj)
+    if adj.n_rows == 0:
+        return 0.0
+    counts = np.bincount(labels, minlength=n_components)
+    return float(counts.max() / adj.n_rows)
+
+
+def clustering_coefficient(adj, sample=None, seed=0):
+    """Mean local clustering coefficient (triangle density).
+
+    ``sample`` limits the computation to a random vertex subset for
+    large graphs.  Treats the adjacency as undirected and unweighted.
+    """
+    n = adj.n_rows
+    if n == 0:
+        return 0.0
+    neighbor_sets = None
+    if sample is not None and sample < n:
+        rng = np.random.default_rng(seed)
+        vertices = rng.choice(n, size=sample, replace=False)
+    else:
+        vertices = np.arange(n)
+    # Undirected neighbor sets (excluding self loops).
+    reverse = adj.transpose()
+
+    def neighbors_of(u):
+        out, _ = adj.row(u)
+        inc, _ = reverse.row(u)
+        merged = set(int(v) for v in out) | set(int(v) for v in inc)
+        merged.discard(int(u))
+        return merged
+
+    total = 0.0
+    for u in vertices:
+        hood = neighbors_of(int(u))
+        k = len(hood)
+        if k < 2:
+            continue
+        links = 0
+        for v in hood:
+            links += len(neighbors_of(v) & hood)
+        total += links / (k * (k - 1))
+    return float(total / len(vertices))

@@ -1,0 +1,70 @@
+"""Bandwidth-bound analytical SpMM model (Section IV-A, Equations 1-5).
+
+The model assumes no reuse of input feature vectors — fair on PIUMA,
+which has no L2/L3 — and one write-back per output row.  Read and write
+phases are charged sequentially against the system's aggregate DRAM
+bandwidth, exactly as Equation 5 divides traffic volumes by the
+respective bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse.spmm import SpMMTraffic, spmm_traffic
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Analytical prediction for one SpMM invocation.
+
+    Attributes
+    ----------
+    time_ns:
+        Equation 5 execution time.
+    gflops:
+        Equation 4 FLOPs divided by the Equation 5 time (the paper's
+        expected-throughput curve in Fig 5).
+    traffic:
+        The underlying Equations 1-4 byte/FLOP counts.
+    """
+
+    time_ns: float
+    gflops: float
+    traffic: SpMMTraffic
+
+
+def element_bytes(config):
+    """Per-element sizes of the PIUMA kernels, from the hardware config."""
+    return {
+        "row": config.index_bytes,
+        "col": config.index_bytes,
+        "nnz": config.value_bytes,
+        "feature": config.feature_bytes,
+    }
+
+
+def spmm_model(n_vertices, n_edges, embedding_dim, config,
+               read_bandwidth=None, write_bandwidth=None):
+    """Evaluate the Equation 5 model for a graph on a PIUMA config.
+
+    Parameters
+    ----------
+    n_vertices, n_edges, embedding_dim:
+        Kernel size (|V|, |E|, K).
+    config:
+        :class:`PIUMAConfig`; supplies element sizes and, by default,
+        the aggregate DRAM bandwidth for both directions.
+    read_bandwidth, write_bandwidth:
+        Override bandwidths in bytes/ns (GB/s).
+    """
+    traffic = spmm_traffic(
+        n_vertices, n_edges, embedding_dim, element_bytes(config)
+    )
+    bw_read = read_bandwidth or config.total_bandwidth_gbps
+    bw_write = write_bandwidth or config.total_bandwidth_gbps
+    if bw_read <= 0 or bw_write <= 0:
+        raise ValueError("bandwidths must be positive")
+    time_ns = traffic.read_bytes / bw_read + traffic.write_bytes / bw_write
+    gflops = traffic.flops / time_ns if time_ns > 0 else 0.0
+    return ModelResult(time_ns=time_ns, gflops=gflops, traffic=traffic)

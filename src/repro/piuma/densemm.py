@@ -1,0 +1,58 @@
+"""Dense matrix multiplication on PIUMA.
+
+PIUMA has no SIMD units, so Dense MM throughput is bounded by the
+scalar-issue MAC rate of the MTPs — the paper computes PIUMA Dense MM
+time from the peak FLOPS observed in its ref [21] (SU3 bench), and this
+model does the same: a pipeline roofline (peak MAC throughput times an
+achievable-efficiency factor) crossed with a bandwidth roofline for the
+streamed activations.  This is the structural reason PIUMA's GCN
+advantage shrinks as the embedding dimension grows (Fig 9/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fraction of scalar peak a hand-tuned blocked GEMM achieves on the
+#: MTPs (loads and address math share the single issue port with MACs).
+DEFAULT_GEMM_EFFICIENCY = 0.65
+
+
+@dataclass(frozen=True)
+class DenseMMEstimate:
+    """Time and limiting factor of one dense multiply."""
+
+    time_ns: float
+    flops: int
+    gflops: float
+    bound: str  # "compute" or "bandwidth"
+
+
+def peak_mac_gflops(config):
+    """Scalar MAC peak: every MTP retires one 2-FLOP MAC per cycle."""
+    pipelines = config.n_cores * config.mtps_per_core
+    return pipelines * config.clock_ghz * 2.0
+
+
+def dense_mm_time(n_rows, in_dim, out_dim, config,
+                  efficiency=DEFAULT_GEMM_EFFICIENCY):
+    """Estimate ``(n_rows x in_dim) @ (in_dim x out_dim)`` on PIUMA.
+
+    The weight matrix is scratchpad-resident (it is tiny next to the
+    activations); activations stream through DRAM once in, once out.
+    """
+    if min(n_rows, in_dim, out_dim) < 1:
+        raise ValueError("matrix dimensions must be positive")
+    if not 0 < efficiency <= 1:
+        raise ValueError("efficiency must be in (0, 1]")
+    flops = 2 * n_rows * in_dim * out_dim
+    compute_ns = flops / (peak_mac_gflops(config) * efficiency)
+    streamed = n_rows * (in_dim + out_dim) * config.feature_bytes
+    bandwidth_ns = streamed / config.total_bandwidth_gbps
+    time_ns = max(compute_ns, bandwidth_ns)
+    return DenseMMEstimate(
+        time_ns=time_ns,
+        flops=flops,
+        gflops=flops / time_ns,
+        bound="compute" if compute_ns >= bandwidth_ns else "bandwidth",
+    )

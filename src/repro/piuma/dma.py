@@ -1,0 +1,95 @@
+"""DMA offload engine.
+
+One engine per core.  Requests from all threads of the core are
+serialized in arrival order (the property Section IV-C leans on: a
+single thread that keeps the engine fed saturates it without help).
+The engine itself is latency *tolerant*: it occupies only for descriptor
+setup plus streaming time, while the DRAM access latency is paid by the
+data, not by the engine — so back-to-back requests pipeline.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.piuma.resources import FluidResource
+
+
+class DMAEngine:
+    """Per-core DMA engine with an in-order request queue."""
+
+    def __init__(self, core_id, config):
+        self.core_id = core_id
+        self._config = config
+        self._engine = FluidResource(config.dma_rate_gbps, name=f"dma{core_id}")
+        self.ops = 0
+        self.bytes_moved = 0.0
+        # Bounded memory credits: the engine keeps at most
+        # ``dma_inflight_bytes`` outstanding at DRAM (its staging-buffer
+        # capacity).  This is the backpressure that lets the system reach
+        # a steady state instead of dumping unbounded request bursts into
+        # the memory timelines, while still allowing many small requests
+        # in flight (a per-op limit would starve small embedding dims).
+        self._inflight = collections.deque()  # (completion, nbytes)
+        self._inflight_bytes = 0.0
+
+    def submit(self, now, nbytes, targets=None, network=None):
+        """Enqueue a request of ``nbytes`` at time ``now``.
+
+        Parameters
+        ----------
+        nbytes:
+            Payload size.  Zero-byte requests (e.g. buffer init with a
+            broadcast value) still pay the descriptor overhead.
+        targets:
+            List of ``(DRAMSlice, core_id)`` stripes the payload spreads
+            over (line interleaving), or None for engine-internal
+            operations (scratchpad copy-add) that move no DRAM traffic.
+        network:
+            :class:`Network` used to reach remote slices.
+
+        Returns
+        -------
+        (engine_free, completion):
+            When the engine can accept its next request, and when the
+            data movement finished.
+        """
+        gate = now
+        if targets:
+            # Retire outstanding requests that completed by now, then
+            # wait for the oldest ones until the new payload fits in the
+            # staging buffer (backpressure toward the issuing threads'
+            # descriptor stream).
+            limit = max(self._config.dma_inflight_bytes, nbytes)
+            while self._inflight and self._inflight[0][0] <= gate:
+                self._inflight_bytes -= self._inflight.popleft()[1]
+            while self._inflight and self._inflight_bytes + nbytes > limit:
+                done, size = self._inflight.popleft()
+                self._inflight_bytes -= size
+                gate = max(gate, done)
+        start, engine_free = self._engine.reserve(
+            gate, nbytes, extra_time=self._config.dma_overhead_ns
+        )
+        self.ops += 1
+        self.bytes_moved += nbytes
+        if not targets:
+            return engine_free, engine_free
+        share = nbytes / len(targets)
+        completion = start
+        for memory, dst_core in targets:
+            arrival = start
+            if network is not None:
+                arrival = network.transfer(
+                    start, self.core_id, dst_core, share
+                )
+            completion = max(completion, memory.request(arrival, share))
+        self._inflight.append((completion, nbytes))
+        self._inflight_bytes += nbytes
+        return engine_free, completion
+
+    def utilization(self, horizon):
+        return self._engine.utilization(horizon)
+
+    @property
+    def busy_time(self):
+        return self._engine.busy_time

@@ -1,0 +1,48 @@
+"""Full-GCN timing on PIUMA (Figs 9 and 10).
+
+Per layer: SpMM from the Equation 5 bandwidth model scaled by the DMA
+kernel's achieved efficiency (the DES measures 85-90%; the paper quotes
+"up to 88% of theoretical peak"), Dense MM from the scalar-pipeline
+roofline, and glue (bias + activation) as one streaming pass over the
+activations.  The same structure as the CPU/GPU models, so breakdowns
+and speedups compare like for like.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import ExecutionBreakdown, combine
+from repro.piuma.analytical import spmm_model
+from repro.piuma.densemm import dense_mm_time
+
+#: Default achieved fraction of the analytical SpMM model; the DES
+#: (tests/piuma) measures the DMA kernel at 0.85-0.95 of Equation 5.
+DEFAULT_SPMM_EFFICIENCY = 0.88
+
+
+def layer_breakdown(shape, config, spmm_efficiency=DEFAULT_SPMM_EFFICIENCY):
+    """Per-phase time of one GCN layer on PIUMA, in nanoseconds."""
+    if not 0 < spmm_efficiency <= 1:
+        raise ValueError("spmm_efficiency must be in (0, 1]")
+    model = spmm_model(shape.n_vertices, shape.n_edges, shape.in_dim, config)
+    spmm_ns = model.time_ns / spmm_efficiency
+    dense_ns = dense_mm_time(
+        shape.n_vertices, shape.update_in_dim, shape.out_dim, config
+    ).time_ns
+    # Glue: bias add + activation, one read and one write of the output
+    # activations, plus the STP-side kernel launches of the layer.
+    glue_passes = 2 if shape.has_activation else 1
+    glue_bytes = glue_passes * 2 * shape.n_vertices * shape.out_dim * (
+        config.feature_bytes
+    )
+    glue_ns = glue_bytes / config.total_bandwidth_gbps + 3 * (
+        config.launch_overhead_ns
+    )
+    return ExecutionBreakdown(spmm=spmm_ns, dense=dense_ns, glue=glue_ns)
+
+
+def gcn_breakdown(workload, config, spmm_efficiency=DEFAULT_SPMM_EFFICIENCY):
+    """Whole-model PIUMA :class:`ExecutionBreakdown` (ns) for a workload."""
+    return combine(
+        layer_breakdown(shape, config, spmm_efficiency)
+        for shape in workload.layer_shapes()
+    )

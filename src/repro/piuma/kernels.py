@@ -1,0 +1,196 @@
+"""Kernel runner: window selection, thread spawning, projection.
+
+The PIUMA simulator executes a *window* of edges at full mechanism
+fidelity (every NNZ read, feature fetch, DMA request of those edges) and
+projects steady-state throughput to the whole graph — the down-scaled
+simulation methodology of the paper's ref [18].  Edge-parallel work
+division follows Algorithm 2: each of the T hardware threads owns a
+contiguous 1/T slice of the edge array, and the simulated window takes
+the leading edges of every slice so all cores and pipelines stay
+populated exactly as they would be in a full run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.piuma.engine import Simulator
+from repro.sparse.spmm import spmm_traffic
+
+
+@dataclass(frozen=True)
+class ThreadWork:
+    """The simulated slice of one hardware thread.
+
+    Attributes
+    ----------
+    core, mtp:
+        Hardware placement.
+    cols:
+        Destination (neighbor) vertex of each simulated edge, in order.
+    rows:
+        Owning (output) vertex of each simulated edge.
+    start_edge:
+        Global index of the first simulated edge (placement of NNZ
+        reads in the interleaved address space).
+    """
+
+    core: int
+    mtp: int
+    cols: np.ndarray
+    rows: np.ndarray
+    start_edge: int
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of one simulated SpMM kernel invocation.
+
+    Attributes
+    ----------
+    sim_time_ns:
+        End-to-end simulated time of the window (incl. launch overhead).
+    window_edges / total_edges:
+        Simulated vs full-graph edge counts.
+    embedding_dim:
+        K.
+    gflops:
+        Steady-state throughput achieved inside the window.
+    projected_time_ns:
+        Full-graph kernel time at that throughput (plus launch).
+    memory_utilization:
+        Mean DRAM-slice busy fraction.
+    achieved_bandwidth:
+        System DRAM bytes/ns during the window.
+    tag_stats:
+        Per-category accounting (``nnz``, ``feature``, ``dma_read``...):
+        counts, bytes, and thread-blocking wait — the raw material of the
+        Fig 8 (right) breakdown.
+    """
+
+    sim_time_ns: float
+    window_edges: int
+    total_edges: int
+    embedding_dim: int
+    gflops: float
+    projected_time_ns: float
+    memory_utilization: float
+    achieved_bandwidth: float
+    tag_stats: dict
+
+    def efficiency_vs(self, model_gflops):
+        """Fraction of an analytical-model throughput achieved."""
+        return self.gflops / model_gflops if model_gflops > 0 else 0.0
+
+    def wait_fraction(self, tag):
+        """Share of total blocking wait attributed to ``tag``."""
+        total = sum(s.wait_ns for s in self.tag_stats.values())
+        if total <= 0:
+            return 0.0
+        stats = self.tag_stats.get(tag)
+        return stats.wait_ns / total if stats else 0.0
+
+
+def auto_window(config, total_edges, edges_per_thread=48, floor=4096, cap=131072):
+    """Pick the simulated window size.
+
+    Every thread should see several NNZ groups to reach steady state, so
+    the window grows with the thread count, clamped to keep Python-side
+    simulation cost bounded.
+    """
+    want = config.n_threads * edges_per_thread
+    return int(min(total_edges, max(floor, min(want, cap))))
+
+
+def split_work(adj, config, window_edges):
+    """Build per-thread :class:`ThreadWork` for an edge-parallel window.
+
+    Thread ``t`` owns the contiguous global slice ``[tE/T, (t+1)E/T)``
+    (Algorithm 2 line 3) and simulates its leading ``~window/T`` edges.
+    """
+    total_edges = adj.nnz
+    n_threads = config.n_threads
+    bounds = np.linspace(0, total_edges, n_threads + 1).astype(np.int64)
+    per_thread = max(1, int(round(window_edges / n_threads)))
+    work = []
+    for t in range(n_threads):
+        start, end = int(bounds[t]), int(bounds[t + 1])
+        stop = min(end, start + per_thread)
+        if stop <= start:
+            continue
+        cols = adj.indices[start:stop]
+        rows = (
+            np.searchsorted(
+                adj.indptr, np.arange(start, stop, dtype=np.int64), side="right"
+            )
+            - 1
+        )
+        core = t // config.threads_per_core
+        mtp = (t % config.threads_per_core) // config.threads_per_mtp
+        work.append(
+            ThreadWork(
+                core=core, mtp=mtp, cols=cols, rows=rows, start_edge=start
+            )
+        )
+    return work
+
+
+def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
+                    window_edges=None, splitter=None):
+    """Simulate one SpMM kernel and project to the full graph.
+
+    Parameters
+    ----------
+    adj:
+        CSR adjacency (typically a down-scaled materialization; only its
+        structure matters).
+    embedding_dim:
+        K.
+    config:
+        :class:`PIUMAConfig`.
+    thread_factory:
+        ``f(work: ThreadWork, embedding_dim, config) -> generator`` —
+        one of the kernels in ``spmm_loop`` / ``spmm_dma``.
+    window_edges:
+        Simulated window size; default :func:`auto_window`.
+    splitter:
+        Work-division function ``(adj, config, window) -> [ThreadWork]``;
+        default :func:`split_work` (edge-parallel, Algorithm 2).
+    """
+    if adj.nnz == 0:
+        raise ValueError("cannot simulate SpMM on an empty matrix")
+    if window_edges is None:
+        window_edges = auto_window(config, adj.nnz)
+    if splitter is None:
+        splitter = split_work
+    simulator = Simulator(config)
+    work_items = splitter(adj, config, window_edges)
+    simulated_edges = sum(len(w.cols) for w in work_items)
+    for work in work_items:
+        simulator.spawn(
+            thread_factory(work, embedding_dim, config), work.core, work.mtp
+        )
+    end = simulator.run()
+    # Steady state excludes the per-thread setup (binary search): in a
+    # full run it is amortized over thousands of edges per thread; a
+    # down-scaled window would overweight it by orders of magnitude.
+    setup = min(simulator.setup_end, end - config.launch_overhead_ns)
+    steady = max(end - config.launch_overhead_ns - setup, 1e-9)
+    flops = 2.0 * simulated_edges * embedding_dim
+    gflops = flops / steady  # flops per ns == GFLOP/s
+    total_flops = 2.0 * adj.nnz * embedding_dim
+    projected = config.launch_overhead_ns + setup + total_flops / gflops
+    return KernelResult(
+        sim_time_ns=end,
+        window_edges=simulated_edges,
+        total_edges=adj.nnz,
+        embedding_dim=embedding_dim,
+        gflops=gflops,
+        projected_time_ns=projected,
+        memory_utilization=simulator.memory_utilization(),
+        achieved_bandwidth=simulator.achieved_bandwidth(),
+        tag_stats=dict(simulator.stats),
+    )

@@ -1,0 +1,65 @@
+"""HyperX-flavored interconnect delay model.
+
+PIUMA connects cores within a die over a low-latency fabric and dies
+over optical links in a HyperX topology (paper ref [8]), whose diameter
+stays small (one inter-die hop in our flat single-dimension model).
+Takeaway 3 of the paper is that SpMM at scale is *not* network-bound, so
+the model charges realistic latencies but generous per-core injection
+bandwidth; the bandwidth resource exists so ablations can artificially
+choke it and verify the claim.
+"""
+
+from __future__ import annotations
+
+from repro.piuma.resources import FluidResource
+
+
+class Network:
+    """Latency and (optional) injection-bandwidth model between cores."""
+
+    def __init__(self, config):
+        self._config = config
+        self._injection = [
+            FluidResource(config.network_bandwidth_gbps, name=f"net{c}")
+            for c in range(config.n_cores)
+        ]
+
+    def latency(self, src_core, dst_core):
+        """One-way latency in ns from ``src_core`` to ``dst_core``.
+
+        Same core is free (local slice access); same die pays the
+        intra-die fabric; different dies one optical HyperX hop;
+        different nodes the node-to-node optical tier.
+        """
+        if src_core == dst_core:
+            return 0.0
+        per_die = self._config.cores_per_die
+        per_node = self._config.cores_per_node
+        if src_core // per_die == dst_core // per_die:
+            return self._config.intra_die_latency_ns
+        if src_core // per_node == dst_core // per_node:
+            return self._config.inter_die_latency_ns
+        return self._config.inter_node_latency_ns
+
+    def transfer(self, now, src_core, dst_core, nbytes):
+        """Inject ``nbytes`` at ``now``; returns arrival time at ``dst``.
+
+        Local transfers bypass the network entirely.
+        """
+        if src_core == dst_core:
+            return now
+        _start, end = self._injection[src_core].reserve(now, nbytes)
+        return end + self.latency(src_core, dst_core)
+
+    def mean_remote_latency(self):
+        """Average one-way latency from a core to a uniformly random
+        *other* location (including itself), used by analytical checks."""
+        n = self._config.n_cores
+        if n == 1:
+            return 0.0
+        total = sum(self.latency(0, dst) for dst in range(n))
+        return total / n
+
+    def injection_utilization(self, horizon):
+        """Max per-core injection-port utilization over ``[0, horizon]``."""
+        return max(r.utilization(horizon) for r in self._injection)

@@ -1,0 +1,120 @@
+"""Operation vocabulary of the simulated PIUMA kernels.
+
+Kernel thread generators (``repro.piuma.spmm_loop``/``spmm_dma``) yield
+these records; the simulator (``repro.piuma.engine``) executes them
+against the shared hardware resources.  Each record carries a ``tag``
+naming what the access is *for* (``"nnz"``, ``"feature"``, ...) so the
+simulator can attribute wait time per category — that attribution is the
+Fig 8 (right) execution-time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Load:
+    """Blocking read: the thread stalls until the data returns.
+
+    ``grouped`` loads are issued back-to-back before stalling (the
+    loop-unrolling trick); the stall covers the slowest of them, modeled
+    as one request of the combined size.
+    """
+
+    nbytes: int
+    target_core: int
+    tag: str
+    grouped: int = 1
+    #: Demand loads (NNZ/index fetches) are arbitrated ahead of bulk DMA
+    #: streams at the memory controller.
+    priority: bool = True
+
+
+@dataclass(frozen=True)
+class SequentialAccess:
+    """Blocking stall-on-use loop: ``n_rounds`` dependent line fetches.
+
+    Each round issues ``instrs_per_round`` pipeline instructions, then a
+    read of ``bytes_per_round`` that must complete before the next round
+    begins.  This is the inner loop of the loop-unrolled kernel, where
+    the round-trip latency appears ``n_rounds`` times on the critical
+    path — the scaling killer of Section IV-B.
+    """
+
+    n_rounds: int
+    bytes_per_round: int
+    target_core: int
+    instrs_per_round: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class PhaseMarker:
+    """Zero-cost marker separating kernel setup from steady state.
+
+    Kernels emit one after their per-thread setup (binary search); the
+    runner uses the latest marker to project steady-state throughput
+    without the setup transient, which a down-scaled window would
+    otherwise overweight by orders of magnitude.
+    """
+
+    name: str = "setup_done"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pipeline-only work of ``n_instrs`` single-issue instructions."""
+
+    n_instrs: int
+    tag: str = "compute"
+
+
+@dataclass(frozen=True)
+class Store:
+    """Fire-and-forget write: occupies issue slots and memory bandwidth
+    but does not stall the thread (stall-on-use pipelines only stall on
+    loads)."""
+
+    nbytes: int
+    target_core: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class AtomicUpdate:
+    """Remote atomic read-modify-write of a row (fire-and-forget).
+
+    Edge-parallel SpMM write-backs must be atomic because rows that
+    straddle thread boundaries have multiple writers (Algorithm 2).  On
+    PIUMA these land on the *target* core's near-memory atomic unit,
+    which serializes updates to its slice and performs the RMW locally
+    (one read + one write of the payload) — the "highly optimized
+    remote atomic instructions" that make edge-parallel viable on PIUMA
+    where it loses on CPUs.
+    """
+
+    nbytes: int
+    target_core: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class DMAOp:
+    """Asynchronous DMA request routed to the thread's core engine.
+
+    ``kind`` selects the data path: ``"read"``/``"write"`` move DRAM
+    traffic to/from ``target_core``'s slice; ``"internal"`` occupies the
+    engine only (scratchpad buffer init / copy-add).  The issuing thread
+    pays ``dma_issue_instrs`` pipeline instructions and continues — only
+    the end-of-kernel barrier waits for completions.
+    """
+
+    kind: str
+    nbytes: int
+    target_core: int
+    tag: str
+
+    def __post_init__(self):
+        if self.kind not in ("read", "write", "internal"):
+            raise ValueError(f"unknown DMA kind {self.kind!r}")

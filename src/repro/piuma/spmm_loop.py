@@ -1,0 +1,111 @@
+"""Loop-unrolled SpMM kernel (the baseline of Section IV-B).
+
+Each MTP thread walks its edge slice: every ``nnz_group_edges`` edges it
+fetches the column-index and value lines (a blocking grouped load), then
+for each edge streams the neighbor's feature vector through the scalar
+pipeline in unrolled rounds — issue 8-element loads, stall on use, MAC
+into the register/cache-resident accumulation buffer.  The round-trip
+latency of every round sits on the thread's critical path, which is why
+this kernel "was challenged with scaling past 8 cores": more cores mean
+more remote accesses, longer latency per round, and a fixed thread count
+cannot buy it back.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.piuma.ops import AtomicUpdate, Load, PhaseMarker, SequentialAccess
+
+
+def owner_core(vertex, n_cores, hashed=True):
+    """Home slice of a vertex row in the DGAS.
+
+    PIUMA's global address space hash-interleaves blocks across slices;
+    plain ``v % n_cores`` would send ~44% of RMAT traffic to slice 0
+    (power-law hubs have low-biased id bits) — a hotspot real hardware
+    avoids by address hashing, so we hash too (Knuth multiplicative
+    mix).  ``hashed=False`` selects the naive placement for ablation.
+    """
+    if not hashed:
+        return int(vertex) % n_cores
+    mixed = (int(vertex) * 0x9E3779B1) & 0xFFFFFFFF
+    return (mixed >> 16) % n_cores
+
+
+def nnz_line_core(edge_index, group, n_cores):
+    """Home slice of the CSR line holding ``edge_index`` (line interleave)."""
+    return (int(edge_index) // group) % n_cores
+
+
+def binary_search_op(work, config):
+    """Algorithm 2 line 4: locate the first owned row via binary search.
+
+    ``log2(|V|)``-ish dependent probes of the row-offset array, each a
+    small load to a pseudo-random slice.
+    """
+    n_rows = max(2, int(work.rows.max()) + 1 if len(work.rows) else 2)
+    probes = max(1, int(math.ceil(math.log2(n_rows))))
+    target = (work.core * 7 + work.mtp + 3) % config.n_cores
+    return SequentialAccess(
+        n_rounds=probes,
+        bytes_per_round=2 * config.index_bytes,
+        target_core=target,
+        instrs_per_round=4,
+        tag="binary_search",
+    )
+
+
+def loop_unrolled_thread(work, embedding_dim, config):
+    """Thread generator for the loop-unrolled kernel."""
+    n_cores = config.n_cores
+    hashed = config.hashed_placement
+    group = config.nnz_group_edges
+    feature_bytes = config.feature_bytes
+    # The tail round (K not a multiple of the unroll) is folded into the
+    # uniform rounds; the size error is under one line per edge.
+    rounds = max(1, math.ceil(embedding_dim / config.unroll))
+    round_bytes = min(embedding_dim, config.unroll) * feature_bytes
+    row_bytes = embedding_dim * feature_bytes
+
+    yield binary_search_op(work, config)
+    yield PhaseMarker()
+
+    n_edges = len(work.cols)
+    current_row = int(work.rows[0]) if n_edges else -1
+    for begin in range(0, n_edges, group):
+        stop = min(begin + group, n_edges)
+        nnz_bytes = (stop - begin) * (config.index_bytes + config.value_bytes)
+        yield Load(
+            nbytes=nnz_bytes,
+            target_core=nnz_line_core(work.start_edge + begin, group, n_cores),
+            tag="nnz",
+            grouped=2,
+        )
+        for e in range(begin, stop):
+            row = int(work.rows[e])
+            if row != current_row:
+                # Row boundary: flush the accumulation buffer.
+                # Edge-parallel write-backs are atomic (multiple
+                # writers per straddled row) and do not stall the
+                # pipeline.
+                yield AtomicUpdate(
+                    nbytes=row_bytes,
+                    target_core=owner_core(current_row, n_cores, hashed),
+                    tag="atomic_write",
+                )
+                current_row = row
+            vertex = int(work.cols[e])
+            yield SequentialAccess(
+                n_rounds=rounds,
+                bytes_per_round=round_bytes,
+                target_core=owner_core(vertex, n_cores, hashed),
+                instrs_per_round=config.instrs_per_unrolled_round,
+                tag="feature",
+            )
+    if current_row >= 0:
+        yield AtomicUpdate(
+            nbytes=row_bytes,
+            target_core=owner_core(current_row, n_cores, hashed),
+            tag="atomic_write",
+        )

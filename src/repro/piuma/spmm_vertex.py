@@ -1,0 +1,112 @@
+"""Vertex-parallel SpMM kernel on PIUMA (the Section IV-B alternative).
+
+Rows are divided across threads by *count*, so no binary search and no
+atomic write-backs are needed (each row has exactly one writer) — but a
+thread that draws hub rows processes far more edges than its peers, and
+the kernel barrier waits for the slowest.  On skewed graphs this load
+imbalance is why the paper picks edge-parallel for PIUMA, whose remote
+atomics make the balanced division cheap.
+
+The kernel otherwise mirrors the DMA-offload data path: grouped NNZ
+line fetches, one DMA multiply-read per edge, one plain DMA write per
+finished row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.piuma.kernels import ThreadWork
+from repro.piuma.ops import DMAOp, Load, PhaseMarker
+from repro.piuma.spmm_loop import nnz_line_core, owner_core
+
+
+def split_work_vertex(adj, config, window_edges):
+    """Per-thread :class:`ThreadWork` for a vertex-parallel window.
+
+    Threads own contiguous row ranges of near-equal *row count*
+    (Section II-C's vertex-parallel division).  Each thread simulates a
+    fraction of its own edges proportional to the global window — so a
+    hub-heavy thread simulates proportionally more edges and the window
+    exhibits the same imbalance as a full run.
+    """
+    n_threads = config.n_threads
+    total_edges = adj.nnz
+    fraction = min(1.0, window_edges / total_edges) if total_edges else 0.0
+    row_bounds = np.linspace(0, adj.n_rows, n_threads + 1).astype(np.int64)
+    work = []
+    for t in range(n_threads):
+        row_start, row_end = int(row_bounds[t]), int(row_bounds[t + 1])
+        lo = int(adj.indptr[row_start])
+        hi = int(adj.indptr[row_end])
+        owned = hi - lo
+        take = int(round(owned * fraction))
+        if take <= 0:
+            continue
+        stop = lo + take
+        cols = adj.indices[lo:stop]
+        rows = (
+            np.searchsorted(
+                adj.indptr, np.arange(lo, stop, dtype=np.int64), side="right"
+            )
+            - 1
+        )
+        core = t // config.threads_per_core
+        mtp = (t % config.threads_per_core) // config.threads_per_mtp
+        work.append(
+            ThreadWork(core=core, mtp=mtp, cols=cols, rows=rows,
+                       start_edge=lo)
+        )
+    return work
+
+
+def vertex_parallel_thread(work, embedding_dim, config):
+    """Thread generator for the vertex-parallel kernel.
+
+    No binary search (row ranges are assigned directly) and regular —
+    not atomic — row write-backs.
+    """
+    n_cores = config.n_cores
+    hashed = config.hashed_placement
+    group = config.nnz_group_edges
+    row_bytes = embedding_dim * config.feature_bytes
+
+    yield PhaseMarker()
+
+    n_edges = len(work.cols)
+    current_row = int(work.rows[0]) if n_edges else -1
+    for begin in range(0, n_edges, group):
+        stop = min(begin + group, n_edges)
+        nnz_bytes = (stop - begin) * (config.index_bytes + config.value_bytes)
+        yield Load(
+            nbytes=nnz_bytes,
+            target_core=nnz_line_core(work.start_edge + begin, group, n_cores),
+            tag="nnz",
+            grouped=2,
+        )
+        for e in range(begin, stop):
+            row = int(work.rows[e])
+            if row != current_row:
+                yield DMAOp(
+                    kind="write",
+                    nbytes=row_bytes,
+                    target_core=owner_core(current_row, n_cores, hashed),
+                    tag="dma_write",
+                )
+                current_row = row
+            vertex = int(work.cols[e])
+            yield DMAOp(kind="internal", nbytes=0, target_core=0,
+                        tag="dma_init")
+            yield DMAOp(
+                kind="read",
+                nbytes=row_bytes,
+                target_core=owner_core(vertex, n_cores, hashed),
+                tag="dma_read",
+            )
+    if current_row >= 0:
+        yield DMAOp(
+            kind="write",
+            nbytes=row_bytes,
+            target_core=owner_core(current_row, n_cores, hashed),
+            tag="dma_write",
+        )

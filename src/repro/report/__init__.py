@@ -1,0 +1,37 @@
+"""Text rendering of tables and figures for the benchmark harness."""
+
+from repro.report.figures import (
+    breakdown_chart,
+    contour_map,
+    series_chart,
+    stacked_bar,
+)
+from repro.report.markdown import generate_report
+from repro.report.roofline import (
+    KernelPoint,
+    Roofline,
+    cpu_roofline,
+    gpu_roofline,
+    piuma_roofline,
+    render_roofline,
+    spmm_kernel_point,
+)
+from repro.report.tables import format_number, format_table, format_time_ns
+
+__all__ = [
+    "KernelPoint",
+    "Roofline",
+    "breakdown_chart",
+    "contour_map",
+    "cpu_roofline",
+    "format_number",
+    "format_table",
+    "format_time_ns",
+    "generate_report",
+    "gpu_roofline",
+    "piuma_roofline",
+    "render_roofline",
+    "series_chart",
+    "spmm_kernel_point",
+    "stacked_bar",
+]

@@ -1,0 +1,96 @@
+"""ASCII renderers for the paper's figures.
+
+The benchmark harness regenerates every figure as a *series* (the
+numbers the paper plots); these helpers print them in a terminal —
+stacked-percentage bars for the breakdown figures, aligned series for
+the sweeps and a coarse character map for the Fig 2 contours.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import CATEGORIES
+
+#: Fill characters per breakdown category, presentation order.
+CATEGORY_CHARS = {
+    "spmm": "#",
+    "dense": "=",
+    "glue": ".",
+    "offload": "o",
+    "sampling": "s",
+}
+
+
+def stacked_bar(breakdown, width=50):
+    """One stacked-percentage bar for an :class:`ExecutionBreakdown`."""
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    fractions = [(c, breakdown.fraction(c)) for c in CATEGORIES]
+    spans = {c: int(round(f * width)) for c, f in fractions}
+    if breakdown.total > 0:
+        # Rounding drift goes to the largest category, never to an
+        # empty one.
+        largest = max(fractions, key=lambda cf: cf[1])[0]
+        spans[largest] += width - sum(spans.values())
+    cells = []
+    used = 0
+    for category, _fraction in fractions:
+        span = max(0, min(spans[category], width - used))
+        cells.append(CATEGORY_CHARS[category] * span)
+        used += span
+    return "|" + "".join(cells).ljust(width) + "|"
+
+
+def breakdown_chart(labeled_breakdowns, width=50):
+    """Render labeled stacked bars plus a legend (Figs 3, 4, 10)."""
+    labels = [label for label, _ in labeled_breakdowns]
+    pad = max((len(l) for l in labels), default=0)
+    lines = [
+        f"{label.ljust(pad)} {stacked_bar(b, width)} "
+        f"spmm={100 * b.fraction('spmm'):5.1f}% "
+        f"dense={100 * b.fraction('dense'):5.1f}%"
+        for label, b in labeled_breakdowns
+    ]
+    legend = "  ".join(
+        f"{char}={category}" for category, char in CATEGORY_CHARS.items()
+    )
+    return "\n".join(lines + [legend])
+
+
+def series_chart(x_values, labeled_series, x_label="x", value_format="{:.2f}"):
+    """Aligned multi-series table (the sweep figures 5-8)."""
+    headers = [x_label] + [label for label, _ in labeled_series]
+    lines = ["  ".join(f"{h:>12s}" for h in headers)]
+    for i, x in enumerate(x_values):
+        cells = [f"{x!s:>12s}"]
+        for _label, values in labeled_series:
+            cells.append(f"{value_format.format(values[i]):>12s}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def contour_map(grid, vertex_counts, densities, levels=(0.4, 0.6, 0.8)):
+    """Character map of the Fig 2 SpMM-fraction surface.
+
+    Cells show the highest crossed level: ' ' below all levels, then
+    '-', '+', '#' as the SpMM fraction rises.
+    """
+    symbols = [" ", "-", "+", "#"]
+    if len(levels) + 1 > len(symbols):
+        raise ValueError("at most three contour levels supported")
+    lines = []
+    for i in range(len(densities) - 1, -1, -1):  # high density on top
+        row = []
+        for j in range(len(vertex_counts)):
+            value = grid[i, j]
+            rank = sum(value >= level for level in levels)
+            row.append(symbols[rank])
+        lines.append(f"{densities[i]:9.2e} |" + "".join(row))
+    footer = " " * 11 + "+" + "-" * len(vertex_counts)
+    scale = (
+        " " * 12
+        + f"|V|: {vertex_counts[0]:.0e} .. {vertex_counts[-1]:.0e}"
+    )
+    legend = " " * 12 + "levels: " + ", ".join(
+        f"{symbols[k + 1]}>={levels[k]:.0%}" for k in range(len(levels))
+    )
+    return "\n".join(lines + [footer, scale, legend])

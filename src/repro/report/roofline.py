@@ -1,0 +1,124 @@
+"""Roofline analysis and rendering.
+
+The paper's platform arguments are roofline arguments: SpMM sits far
+left (low arithmetic intensity, bandwidth-bound everywhere), Dense MM
+far right (compute-bound on CPU/GPU, *pipeline*-bound on PIUMA).  This
+module makes that quantitative per platform and renders a text roofline
+so users can place their own kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A machine roofline: compute peak and memory bandwidth."""
+
+    name: str
+    peak_gflops: float
+    bandwidth_gbps: float
+
+    def __post_init__(self):
+        if self.peak_gflops <= 0 or self.bandwidth_gbps <= 0:
+            raise ValueError("peaks must be positive")
+
+    @property
+    def ridge_intensity(self):
+        """FLOP/byte where the machine turns compute-bound."""
+        return self.peak_gflops / self.bandwidth_gbps
+
+    def attainable(self, intensity):
+        """Attainable GFLOP/s at a given arithmetic intensity."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return min(self.peak_gflops, self.bandwidth_gbps * intensity)
+
+    def bound(self, intensity):
+        """``"memory"`` or ``"compute"`` at this intensity."""
+        return "memory" if intensity < self.ridge_intensity else "compute"
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel placed on a roofline."""
+
+    name: str
+    intensity: float       # FLOP per byte
+    achieved_gflops: float
+
+    def efficiency_on(self, roofline):
+        """Fraction of the attainable performance achieved."""
+        return self.achieved_gflops / roofline.attainable(self.intensity)
+
+
+def cpu_roofline(config, n_cores=None):
+    """Xeon roofline from a :class:`XeonConfig`."""
+    from repro.cpu.stream import stream_bandwidth
+
+    cores = n_cores or config.physical_cores
+    return Roofline(
+        name=f"Xeon x{cores}",
+        peak_gflops=config.peak_gflops(cores),
+        bandwidth_gbps=stream_bandwidth(cores, config),
+    )
+
+
+def gpu_roofline(config):
+    """A100 roofline from an :class:`A100Config`."""
+    return Roofline(
+        name="A100",
+        peak_gflops=config.peak_fp32_gflops,
+        bandwidth_gbps=config.hbm_gbps,
+    )
+
+
+def piuma_roofline(config):
+    """PIUMA roofline from a :class:`PIUMAConfig` (scalar MAC peak)."""
+    from repro.piuma.densemm import peak_mac_gflops
+
+    return Roofline(
+        name=f"PIUMA x{config.n_cores}",
+        peak_gflops=peak_mac_gflops(config),
+        bandwidth_gbps=config.total_bandwidth_gbps,
+    )
+
+
+def render_roofline(roofline, kernels, width=60):
+    """Text roofline: a log-log sketch plus a kernel table."""
+    lines = [
+        f"{roofline.name}: peak {roofline.peak_gflops:.0f} GFLOP/s, "
+        f"bandwidth {roofline.bandwidth_gbps:.0f} GB/s, "
+        f"ridge at {roofline.ridge_intensity:.2f} FLOP/byte"
+    ]
+    header = (
+        f"{'kernel':<16s}{'AI':>8s}{'attainable':>12s}"
+        f"{'achieved':>10s}{'eff':>6s}  bound"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kernel in kernels:
+        attainable = roofline.attainable(kernel.intensity)
+        lines.append(
+            f"{kernel.name:<16s}{kernel.intensity:>8.2f}"
+            f"{attainable:>12.1f}{kernel.achieved_gflops:>10.1f}"
+            f"{kernel.efficiency_on(roofline):>6.0%}"
+            f"  {roofline.bound(kernel.intensity)}"
+        )
+    return "\n".join(lines)
+
+
+def spmm_kernel_point(n_vertices, n_edges, embedding_dim, achieved_gflops,
+                      element_bytes=None):
+    """Place an SpMM invocation on a roofline (Eq. 1-4 intensity)."""
+    from repro.sparse.spmm import spmm_traffic
+
+    traffic = spmm_traffic(
+        n_vertices, n_edges, embedding_dim, element_bytes
+    )
+    return KernelPoint(
+        name=f"spmm K={embedding_dim}",
+        intensity=traffic.arithmetic_intensity,
+        achieved_gflops=achieved_gflops,
+    )

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells are ``str()``-ed.
+    title:
+        Optional heading printed above the table.
+    """
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_number(value, digits=2):
+    """Human-friendly numeric formatting with thousands separators."""
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:,.{digits}f}"
+
+
+def format_time_ns(nanoseconds):
+    """Scale a nanosecond quantity to a readable unit."""
+    value = float(nanoseconds)
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value:.0f} ns"

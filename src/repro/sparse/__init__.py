@@ -1,0 +1,46 @@
+"""Sparse-matrix substrate.
+
+From-scratch (numpy-backed) COO and CSR matrices, the functional SpMM
+kernels used by the GCN aggregation phase, GCN adjacency normalization,
+and exact traffic accounting matching Equations 1-4 of the paper.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.normalize import add_self_loops, gcn_normalize, row_normalize
+from repro.sparse.reorder import (
+    apply_permutation,
+    bandwidth,
+    bfs_order,
+    degree_order,
+    random_order,
+    rcm_order,
+)
+from repro.sparse.spmm import (
+    SpMMTraffic,
+    spmm,
+    spmm_edge_parallel,
+    spmm_traffic,
+    spmm_vertex_parallel,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "SpMMTraffic",
+    "add_self_loops",
+    "apply_permutation",
+    "bandwidth",
+    "bfs_order",
+    "degree_order",
+    "gcn_normalize",
+    "random_order",
+    "rcm_order",
+    "row_normalize",
+    "spmm",
+    "spmm_edge_parallel",
+    "spmm_traffic",
+    "spmm_vertex_parallel",
+]

@@ -1,0 +1,110 @@
+"""Compressed-sparse-column matrix.
+
+CSC is CSR of the transpose: column slices are contiguous.  The GCN
+backward pass propagates gradients through ``A_tilde^T``; for the
+symmetric normalized adjacency that equals ``A_tilde``, but the library
+supports directed adjacencies too, and a CSC view gives the transpose
+product without materializing a second CSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+class CSCMatrix:
+    """A sparse matrix stored by compressed columns.
+
+    Parameters mirror :class:`CSRMatrix` with roles swapped: ``indptr``
+    has one slot per column, ``indices`` holds *row* ids.
+    """
+
+    def __init__(self, indptr, indices, data, shape):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.shape[0] != n_cols + 1:
+            raise ValueError(
+                f"indptr must have length n_cols + 1 = {n_cols + 1}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing from 0")
+        if indptr[-1] != indices.shape[0] or indices.shape != data.shape:
+            raise ValueError("indptr/indices/data sizes are inconsistent")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_rows):
+            raise ValueError("row index out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = (n_rows, n_cols)
+
+    @classmethod
+    def from_csr(cls, csr):
+        """Convert a :class:`CSRMatrix`; O(nnz log nnz)."""
+        transposed = csr.transpose()  # CSR of A^T == CSC of A
+        return cls(
+            transposed.indptr,
+            transposed.indices,
+            transposed.data,
+            csr.shape,
+        )
+
+    @property
+    def nnz(self):
+        return int(self.indices.shape[0])
+
+    @property
+    def n_rows(self):
+        return self.shape[0]
+
+    @property
+    def n_cols(self):
+        return self.shape[1]
+
+    def col(self, v):
+        """Return (row indices, values) of column ``v``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_degrees(self):
+        """Stored entries per column."""
+        return np.diff(self.indptr)
+
+    def to_csr(self):
+        """Convert back to row-compressed storage."""
+        as_csr_of_transpose = CSRMatrix(
+            self.indptr, self.indices, self.data,
+            (self.n_cols, self.n_rows),
+        )
+        return as_csr_of_transpose.transpose()
+
+    def to_dense(self):
+        dense = np.zeros(self.shape, dtype=np.float64)
+        cols = np.repeat(
+            np.arange(self.n_cols, dtype=np.int64), self.col_degrees()
+        )
+        dense[self.indices, cols] = self.data
+        return dense
+
+    def transpose_matmat(self, dense):
+        """Compute ``A^T @ dense`` directly from the CSC view.
+
+        Column slices of ``A`` are row slices of ``A^T``, so this is an
+        ordinary SpMM over the CSC arrays — no transpose materialized.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != self.n_rows:
+            raise ValueError(f"dense must be ({self.n_rows}, K)")
+        scaled = self.data[:, None] * dense[self.indices]
+        out = np.zeros((self.n_cols, dense.shape[1]), dtype=np.float64)
+        segment = np.repeat(
+            np.arange(self.n_cols, dtype=np.int64), self.col_degrees()
+        )
+        np.add.at(out, segment, scaled)
+        return out
+
+    def __repr__(self):
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

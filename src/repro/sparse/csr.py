@@ -1,0 +1,162 @@
+"""Compressed-sparse-row matrix.
+
+CSR is the storage format assumed by the paper's analytical model
+(Equation 1: a row-offset array, a column-index array and a non-zero
+value array) and by both PIUMA SpMM kernels.  This implementation is
+numpy-backed but self-contained — scipy is used only in the test suite
+as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRMatrix:
+    """A sparse matrix in compressed-sparse-row format.
+
+    Parameters
+    ----------
+    indptr:
+        Row-offset array of length ``n_rows + 1``; row ``u`` owns the
+        half-open slice ``[indptr[u], indptr[u + 1])`` of ``indices``/``data``.
+    indices:
+        Column indices of stored entries, row-major.
+    data:
+        Values of stored entries.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    def __init__(self, indptr, indices, data, shape):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.shape[0] != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length n_rows + 1 = {n_rows + 1}, got {indptr.shape}"
+            )
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if indices.shape != data.shape:
+            raise ValueError("indices and data must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise ValueError("column index out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = (n_rows, n_cols)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, src, dst, vals=None, shape=None):
+        """Build a CSR matrix from an edge list (src -> dst)."""
+        from repro.sparse.coo import COOMatrix
+
+        return COOMatrix(src, dst, vals, shape).to_csr()
+
+    @classmethod
+    def identity(cls, n):
+        """The n-by-n identity matrix."""
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        data = np.ones(n, dtype=np.float64)
+        return cls(indptr, indices, data, (n, n))
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def nnz(self):
+        """Number of stored entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def n_rows(self):
+        return self.shape[0]
+
+    @property
+    def n_cols(self):
+        return self.shape[1]
+
+    @property
+    def density(self):
+        """nnz / (n_rows * n_cols); 0.0 for an empty shape."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    def row_degrees(self):
+        """Out-degree (stored entries per row) as an int64 array."""
+        return np.diff(self.indptr)
+
+    def row(self, u):
+        """Return (column indices, values) of row ``u``."""
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    # -- transformations ---------------------------------------------------
+
+    def transpose(self):
+        """Return the transpose as a new CSR matrix."""
+        return self.to_coo().transpose().to_csr()
+
+    def to_coo(self):
+        """Convert to :class:`repro.sparse.COOMatrix`."""
+        from repro.sparse.coo import COOMatrix
+
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_degrees()
+        )
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+
+    def to_dense(self):
+        """Materialize as a dense numpy array (tests and small graphs only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_degrees()
+        )
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def scale_rows(self, factors):
+        """Return a new CSR with row ``u`` multiplied by ``factors[u]``."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.n_rows,):
+            raise ValueError("factors must have one entry per row")
+        data = self.data * np.repeat(factors, self.row_degrees())
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), data, self.shape)
+
+    def scale_cols(self, factors):
+        """Return a new CSR with column ``v`` multiplied by ``factors[v]``."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.n_cols,):
+            raise ValueError("factors must have one entry per column")
+        data = self.data * factors[self.indices]
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), data, self.shape)
+
+    # -- products ----------------------------------------------------------
+
+    def matvec(self, x):
+        """Sparse matrix - dense vector product."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"vector of length {self.n_cols} expected")
+        products = self.data * x[self.indices]
+        out = np.zeros(self.n_rows, dtype=np.float64)
+        segment = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_degrees())
+        np.add.at(out, segment, products)
+        return out
+
+    def matmat(self, dense):
+        """Sparse matrix - dense matrix product (the SpMM reference)."""
+        from repro.sparse.spmm import spmm
+
+        return spmm(self, dense)
+
+    def __repr__(self):
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

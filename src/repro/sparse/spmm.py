@@ -1,0 +1,254 @@
+"""Functional SpMM kernels and exact traffic accounting.
+
+SpMM (``H_out = A_tilde @ H_in``) is the aggregation phase of a GCN layer
+and the paper's central kernel (Algorithm 1).  Three functional variants
+are provided:
+
+* :func:`spmm` — the vectorized numpy reference.
+* :func:`spmm_vertex_parallel` — rows partitioned across simulated
+  threads (the CPU-optimized strategy of Section V-A).  Exposes the
+  per-thread edge counts so the load-imbalance trade-off discussed in
+  Section IV-B is observable.
+* :func:`spmm_edge_parallel` — edges partitioned evenly (Algorithm 2),
+  with the binary search for the starting row and counting of the atomic
+  write-backs that make this strategy expensive on CPUs but cheap on
+  PIUMA.
+
+:func:`spmm_traffic` evaluates Equations 1-4 of the paper exactly; the
+PIUMA analytical model (``repro.piuma.analytical``) and every platform
+timing model consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+#: Default element sizes in bytes (int64 row/col indices, float64 values),
+#: matching the numpy-backed functional kernels.  Timing models may pass
+#: their own sizes (the paper's hardware uses 4-byte indices/floats).
+DEFAULT_BYTES = {"row": 8, "col": 8, "nnz": 8, "feature": 8}
+
+
+@dataclass(frozen=True)
+class SpMMTraffic:
+    """Byte and FLOP counts of one SpMM invocation (Equations 1-4).
+
+    Attributes
+    ----------
+    csr_bytes:
+        Reads of the CSR structure: ``(|V|+1) * B_R + |E| * (B_C + B_N)``.
+    feature_bytes:
+        Reads of the dense input features: ``K * |E| * B_F``.
+    write_bytes:
+        Writes of the dense output: ``K * |V| * B_F`` (each output row
+        written exactly once, the model's optimal-caching assumption).
+    flops:
+        ``2 * |E| * K`` (one multiply and one add per edge per feature).
+    """
+
+    csr_bytes: int
+    feature_bytes: int
+    write_bytes: int
+    flops: int
+
+    @property
+    def read_bytes(self):
+        """Total bytes read (CSR structure plus features)."""
+        return self.csr_bytes + self.feature_bytes
+
+    @property
+    def total_bytes(self):
+        """Total bytes moved in either direction."""
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def arithmetic_intensity(self):
+        """FLOPs per byte moved; low for SpMM, hence bandwidth-bound."""
+        return self.flops / self.total_bytes if self.total_bytes else 0.0
+
+
+def spmm_traffic(n_vertices, n_edges, embedding_dim, element_bytes=None):
+    """Evaluate Equations 1-4 for a graph of given size.
+
+    Parameters
+    ----------
+    n_vertices, n_edges:
+        ``|V|`` and ``|E|`` of the (normalized) adjacency matrix.
+    embedding_dim:
+        Feature dimension ``K``.
+    element_bytes:
+        Mapping with keys ``row``, ``col``, ``nnz``, ``feature`` giving
+        per-element sizes in bytes; defaults to :data:`DEFAULT_BYTES`.
+    """
+    sizes = dict(DEFAULT_BYTES)
+    if element_bytes:
+        sizes.update(element_bytes)
+    csr_bytes = (n_vertices + 1) * sizes["row"] + n_edges * (
+        sizes["col"] + sizes["nnz"]
+    )
+    feature_bytes = embedding_dim * n_edges * sizes["feature"]
+    write_bytes = embedding_dim * n_vertices * sizes["feature"]
+    flops = 2 * n_edges * embedding_dim
+    return SpMMTraffic(
+        csr_bytes=int(csr_bytes),
+        feature_bytes=int(feature_bytes),
+        write_bytes=int(write_bytes),
+        flops=int(flops),
+    )
+
+
+def spmm(adj, features):
+    """Reference SpMM: ``out = adj @ features`` (Algorithm 1), vectorized.
+
+    Parameters
+    ----------
+    adj:
+        :class:`CSRMatrix` of shape ``(n, m)``.
+    features:
+        Dense array of shape ``(m, K)``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or features.shape[0] != adj.n_cols:
+        raise ValueError(
+            f"features must be ({adj.n_cols}, K), got {features.shape}"
+        )
+    scaled = adj.data[:, None] * features[adj.indices]
+    out = np.zeros((adj.n_rows, features.shape[1]), dtype=np.float64)
+    segment = np.repeat(np.arange(adj.n_rows, dtype=np.int64), adj.row_degrees())
+    np.add.at(out, segment, scaled)
+    return out
+
+
+def partition_rows(adj, n_threads):
+    """Split rows into ``n_threads`` contiguous chunks of near-equal count.
+
+    Returns a list of ``(row_start, row_end)`` half-open ranges.  This is
+    the vertex-parallel work division; chunks hold equal *vertices*, not
+    equal *edges*, which is exactly the load-imbalance hazard the paper
+    describes in Section IV-B.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be positive")
+    bounds = np.linspace(0, adj.n_rows, n_threads + 1).astype(np.int64)
+    return [(int(bounds[t]), int(bounds[t + 1])) for t in range(n_threads)]
+
+
+def partition_edges(adj, n_threads):
+    """Split edges into ``n_threads`` near-equal chunks (Algorithm 2 line 3).
+
+    Returns a list of ``(edge_start, edge_end, first_row)`` where
+    ``first_row`` is the row owning ``edge_start``, found by binary search
+    over ``indptr`` (Algorithm 2 line 4).
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be positive")
+    bounds = np.linspace(0, adj.nnz, n_threads + 1).astype(np.int64)
+    chunks = []
+    for t in range(n_threads):
+        start, end = int(bounds[t]), int(bounds[t + 1])
+        # First row whose slice contains edge `start`.
+        first_row = int(np.searchsorted(adj.indptr, start, side="right") - 1)
+        chunks.append((start, end, first_row))
+    return chunks
+
+
+@dataclass(frozen=True)
+class ParallelSpMMResult:
+    """Output of a simulated-parallel SpMM run.
+
+    Attributes
+    ----------
+    output:
+        The dense result matrix.
+    edges_per_thread:
+        Edges processed by each simulated thread (load-balance metric).
+    atomic_writes:
+        Row write-backs requiring atomicity (0 for vertex-parallel; for
+        edge-parallel, rows whose edges straddle a chunk boundary are
+        written by more than one thread and every write-back is atomic).
+    binary_searches:
+        Binary searches performed to locate starting rows (edge-parallel
+        only).
+    """
+
+    output: np.ndarray
+    edges_per_thread: np.ndarray
+    atomic_writes: int
+    binary_searches: int
+
+
+def spmm_vertex_parallel(adj, features, n_threads):
+    """Vertex-parallel SpMM: each thread owns a contiguous row range.
+
+    No atomics are needed because each output row has a single writer;
+    the cost is potential load imbalance, reported via
+    ``edges_per_thread``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((adj.n_rows, features.shape[1]), dtype=np.float64)
+    edges_per_thread = np.zeros(n_threads, dtype=np.int64)
+    for t, (row_start, row_end) in enumerate(partition_rows(adj, n_threads)):
+        lo = adj.indptr[row_start]
+        hi = adj.indptr[row_end]
+        edges_per_thread[t] = hi - lo
+        if hi == lo:
+            continue
+        scaled = adj.data[lo:hi, None] * features[adj.indices[lo:hi]]
+        segment = (
+            np.repeat(
+                np.arange(row_start, row_end, dtype=np.int64),
+                np.diff(adj.indptr[row_start : row_end + 1]),
+            )
+            - row_start
+        )
+        chunk_out = np.zeros((row_end - row_start, features.shape[1]))
+        np.add.at(chunk_out, segment, scaled)
+        out[row_start:row_end] = chunk_out
+    return ParallelSpMMResult(
+        output=out,
+        edges_per_thread=edges_per_thread,
+        atomic_writes=0,
+        binary_searches=0,
+    )
+
+
+def spmm_edge_parallel(adj, features, n_threads):
+    """Edge-parallel SpMM (Algorithm 2): each thread owns an edge range.
+
+    Perfect edge balance by construction; rows straddling chunk
+    boundaries receive partial sums from multiple threads, so every
+    write-back of such rows must be atomic.  The returned
+    ``atomic_writes`` counts them, which the CPU model charges for and
+    the PIUMA model absorbs with its remote-atomics engines.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((adj.n_rows, features.shape[1]), dtype=np.float64)
+    chunks = partition_edges(adj, n_threads)
+    edges_per_thread = np.zeros(n_threads, dtype=np.int64)
+    writer_count = np.zeros(adj.n_rows, dtype=np.int64)
+    for t, (start, end, first_row) in enumerate(chunks):
+        edges_per_thread[t] = end - start
+        if end == start:
+            continue
+        scaled = adj.data[start:end, None] * features[adj.indices[start:end]]
+        # Row owning each edge in [start, end): walk indptr from first_row.
+        rows = (
+            np.searchsorted(
+                adj.indptr, np.arange(start, end, dtype=np.int64), side="right"
+            )
+            - 1
+        )
+        np.add.at(out, rows, scaled)
+        touched = np.unique(rows)
+        writer_count[touched] += 1
+    atomic_writes = int(np.count_nonzero(writer_count > 1))
+    return ParallelSpMMResult(
+        output=out,
+        edges_per_thread=edges_per_thread,
+        atomic_writes=atomic_writes,
+        binary_searches=len(chunks),
+    )

@@ -1,0 +1,30 @@
+"""Validation and calibration of the simulator against the models.
+
+The paper's methodology rests on two kinds of agreement: the DES must
+track the bandwidth-bound analytical model where the model's
+assumptions hold (calibration — Fig 5's "within 10-20%"), and the
+simulator must conserve work and respond monotonically to resources
+(verification).  This package automates both.
+"""
+
+from repro.validation.calibrate import (
+    CalibrationPoint,
+    CalibrationResult,
+    calibrate_spmm_efficiency,
+)
+from repro.validation.verify import (
+    InvariantReport,
+    check_conservation,
+    check_monotonicity,
+    run_all_checks,
+)
+
+__all__ = [
+    "CalibrationPoint",
+    "CalibrationResult",
+    "InvariantReport",
+    "calibrate_spmm_efficiency",
+    "check_conservation",
+    "check_monotonicity",
+    "run_all_checks",
+]

@@ -1,0 +1,106 @@
+"""Simulator invariant checks.
+
+Three families, matching DESIGN.md's validation strategy:
+
+* **Conservation** — the DES must move the bytes Equations 1-3
+  prescribe for the window it simulated (no silently dropped work).
+* **Monotonicity** — more bandwidth never slower, more latency never
+  faster (beyond measurement noise from the finite window).
+* **Determinism** — identical configuration, identical result.
+
+Each check returns an :class:`InvariantReport`; :func:`run_all_checks`
+aggregates them into a user-facing self-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.piuma import simulate_spmm
+from repro.piuma.analytical import element_bytes
+from repro.piuma.config import PIUMAConfig
+from repro.sparse.spmm import spmm_traffic
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of one invariant check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def check_conservation(adj, embedding_dim=64, config=None, tolerance=0.35):
+    """DES window bytes vs the pro-rated Equations 1-3 volume.
+
+    The tolerance absorbs boundary effects: the window covers a
+    fraction of edges but whole-row writes and grouped NNZ lines do not
+    scale perfectly linearly.
+    """
+    config = config or PIUMAConfig(n_cores=2)
+    result = simulate_spmm(adj, embedding_dim, config)
+    moved = sum(s.bytes for s in result.tag_stats.values())
+    expected = spmm_traffic(
+        adj.n_rows, adj.nnz, embedding_dim, element_bytes(config)
+    ).total_bytes * (result.window_edges / result.total_edges)
+    ratio = moved / expected if expected else 0.0
+    passed = abs(ratio - 1.0) <= tolerance
+    return InvariantReport(
+        name="conservation",
+        passed=passed,
+        detail=f"moved/expected = {ratio:.2f} (tolerance {tolerance:.0%})",
+    )
+
+
+def check_monotonicity(adj, embedding_dim=64, config=None, slack=1.25):
+    """Resource monotonicity of the DES.
+
+    ``slack`` bounds how much a *worse* configuration may appear
+    *better* purely from window-measurement noise.
+    """
+    config = config or PIUMAConfig(n_cores=2)
+    nominal = simulate_spmm(adj, embedding_dim, config).gflops
+    half_bw = simulate_spmm(
+        adj, embedding_dim, config.with_(dram_bandwidth_scale=0.5)
+    ).gflops
+    high_lat = simulate_spmm(
+        adj, embedding_dim, config.with_(dram_latency_ns=720.0)
+    ).gflops
+    violations = []
+    if half_bw > nominal * slack:
+        violations.append(f"half bandwidth faster ({half_bw:.1f} vs {nominal:.1f})")
+    if high_lat > nominal * slack:
+        violations.append(f"16x latency faster ({high_lat:.1f} vs {nominal:.1f})")
+    return InvariantReport(
+        name="monotonicity",
+        passed=not violations,
+        detail="; ".join(violations) or
+               f"nominal={nominal:.1f}, half-bw={half_bw:.1f}, "
+               f"720ns={high_lat:.1f} GFLOP/s",
+    )
+
+
+def check_determinism(adj, embedding_dim=64, config=None):
+    """Two identical runs must agree bit-for-bit."""
+    config = config or PIUMAConfig(n_cores=2)
+    first = simulate_spmm(adj, embedding_dim, config)
+    second = simulate_spmm(adj, embedding_dim, config)
+    passed = (
+        first.gflops == second.gflops
+        and first.sim_time_ns == second.sim_time_ns
+    )
+    return InvariantReport(
+        name="determinism",
+        passed=passed,
+        detail=f"run1={first.gflops:.6f}, run2={second.gflops:.6f} GFLOP/s",
+    )
+
+
+def run_all_checks(adj, embedding_dim=64, config=None):
+    """Run every invariant check; returns a list of reports."""
+    return [
+        check_conservation(adj, embedding_dim, config),
+        check_monotonicity(adj, embedding_dim, config),
+        check_determinism(adj, embedding_dim, config),
+    ]

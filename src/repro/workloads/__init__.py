@@ -1,0 +1,18 @@
+"""Workload specifications and parameter sweeps."""
+
+from repro.workloads.gcn_workload import (
+    GCNWorkload,
+    SAGEWorkload,
+    sage_workload_for,
+    workload_for,
+)
+from repro.workloads.sweeps import EMBEDDING_SWEEP, geometric_sweep
+
+__all__ = [
+    "EMBEDDING_SWEEP",
+    "GCNWorkload",
+    "SAGEWorkload",
+    "geometric_sweep",
+    "sage_workload_for",
+    "workload_for",
+]

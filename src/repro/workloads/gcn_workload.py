@@ -1,0 +1,110 @@
+"""GCN workload specification.
+
+A workload binds a graph (by :class:`DatasetSpec`, so full-scale sizes
+are available even when the graph is never materialized) to a GCN
+architecture.  Platform timing models consume workloads; the functional
+layer materializes them at a chosen scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gcn import GCNConfig
+from repro.graphs.datasets import DatasetSpec, get_dataset
+
+
+@dataclass(frozen=True)
+class GCNWorkload:
+    """A dataset plus a GCN architecture.
+
+    Attributes
+    ----------
+    dataset:
+        :class:`DatasetSpec` (synthetic OGB catalog or power graph).
+    config:
+        :class:`GCNConfig`.  Its ``in_dim`` need not match the dataset's
+        native feature dimension — the paper sweeps hidden dims with the
+        dataset dims fixed, which :func:`workload_for` arranges.
+    """
+
+    dataset: DatasetSpec
+    config: GCNConfig
+
+    @property
+    def n_vertices(self):
+        return self.dataset.n_vertices
+
+    @property
+    def n_edges_normalized(self):
+        """Edge count of the normalized adjacency (self loops added)."""
+        return self.dataset.n_edges + self.dataset.n_vertices
+
+    def layer_shapes(self):
+        """Per-layer :class:`LayerShape` records at full dataset scale."""
+        return self.config.layer_shapes(
+            self.n_vertices, self.n_edges_normalized
+        )
+
+
+#: Output dimension used for every dataset: OGB node tasks have tens of
+#: classes; 48 approximates the catalogue average without per-dataset
+#: bookkeeping the paper does not describe.
+DEFAULT_OUT_DIM = 48
+
+
+@dataclass(frozen=True)
+class SAGEWorkload(GCNWorkload):
+    """GraphSAGE-mean workload: same SpMM traffic, doubled dense input.
+
+    The concatenation ``[h || mean_agg(h)]`` doubles every layer's dense
+    input dimension while the aggregation traffic is unchanged — so on
+    PIUMA the Fig 10 dense bottleneck is strictly worse for SAGE than
+    for GCN at the same dims, which the platform models expose through
+    ``LayerShape.dense_in_dim``.
+    """
+
+    def layer_shapes(self):
+        from repro.core.gcn import LayerShape
+
+        return [
+            LayerShape(
+                n_vertices=s.n_vertices,
+                n_edges=s.n_edges,
+                in_dim=s.in_dim,
+                out_dim=s.out_dim,
+                has_activation=s.has_activation,
+                dense_in_dim=2 * s.in_dim,
+            )
+            for s in super().layer_shapes()
+        ]
+
+
+def sage_workload_for(dataset_name, hidden_dim, n_layers=3,
+                      out_dim=DEFAULT_OUT_DIM):
+    """Build the GraphSAGE counterpart of :func:`workload_for`."""
+    spec = get_dataset(dataset_name)
+    config = GCNConfig(
+        in_dim=spec.feature_dim,
+        hidden_dim=hidden_dim,
+        out_dim=out_dim,
+        n_layers=n_layers,
+    )
+    return SAGEWorkload(dataset=spec, config=config)
+
+
+def workload_for(dataset_name, hidden_dim, n_layers=3, out_dim=DEFAULT_OUT_DIM):
+    """Build the paper's standard workload for one dataset.
+
+    The model is ``n_layers`` (default 3, as profiled in the paper) with
+    the dataset's native input dimension, the given hidden embedding
+    dimension and a classification output head.
+    """
+    spec = get_dataset(dataset_name)
+    config = GCNConfig(
+        in_dim=spec.feature_dim,
+        hidden_dim=hidden_dim,
+        out_dim=out_dim,
+        n_layers=n_layers,
+    )
+    return GCNWorkload(dataset=spec, config=config)

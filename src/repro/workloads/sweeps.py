@@ -1,0 +1,42 @@
+"""Parameter-sweep helpers.
+
+The paper's experiments sweep the hidden embedding dimension "from 8 to
+256 on orders of 2" (Fig 3), PIUMA core counts in powers of two (Fig 5),
+DRAM latency from 45 to 720 ns (Fig 7), and relative DRAM bandwidth
+(Fig 6).  These helpers generate exactly those grids.
+"""
+
+from __future__ import annotations
+
+#: Hidden embedding dimensions of Figs 3, 4, 9, 10.
+EMBEDDING_SWEEP = (8, 16, 32, 64, 128, 256)
+
+#: Core counts of the PIUMA strong-scaling studies (Fig 5).
+CORE_SWEEP = (1, 2, 4, 8, 16, 32)
+
+#: DRAM latency grid of Figs 6 (bottom) and 7, in nanoseconds.
+LATENCY_SWEEP_NS = (45, 90, 180, 360, 720)
+
+#: Relative DRAM-slice bandwidth grid of Fig 6 (top); 1.0 is nominal.
+BANDWIDTH_SWEEP = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: Threads-per-MTP grid of Fig 7.
+THREADS_PER_MTP_SWEEP = (1, 2, 4, 8, 16)
+
+
+def geometric_sweep(start, stop, factor=2):
+    """Inclusive geometric progression ``start, start*factor, ... <= stop``.
+
+    ``geometric_sweep(8, 256)`` is the embedding sweep;
+    ``geometric_sweep(45, 720)`` the latency sweep.
+    """
+    if start <= 0 or stop < start:
+        raise ValueError("need 0 < start <= stop")
+    if factor <= 1:
+        raise ValueError("factor must be > 1")
+    values = []
+    value = start
+    while value <= stop:
+        values.append(value)
+        value *= factor
+    return tuple(values)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.rmat import RMATParams, rmat_graph
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture
+def tiny_csr():
+    """A fixed 4x4 matrix with known structure.
+
+    [[0, 2, 0, 0],
+     [1, 0, 3, 0],
+     [0, 0, 0, 0],
+     [4, 0, 0, 5]]
+    """
+    indptr = [0, 1, 3, 3, 5]
+    indices = [1, 0, 2, 0, 3]
+    data = [2.0, 1.0, 3.0, 4.0, 5.0]
+    return CSRMatrix(indptr, indices, data, (4, 4))
+
+
+@pytest.fixture
+def small_rmat():
+    """A deterministic skewed RMAT graph, 256 vertices, ~2k edges."""
+    return rmat_graph(RMATParams(scale=8, edge_factor=8), seed=42, symmetric=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

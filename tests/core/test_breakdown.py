@@ -1,0 +1,48 @@
+import pytest
+
+from repro.core.breakdown import CATEGORIES, ExecutionBreakdown, combine
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = ExecutionBreakdown(spmm=1.0, dense=2.0, glue=0.5)
+        assert b.total == 3.5
+
+    def test_fractions_sum_to_one(self):
+        b = ExecutionBreakdown(spmm=3.0, dense=1.0, offload=1.0)
+        assert sum(b.fraction(c) for c in CATEGORIES) == pytest.approx(1.0)
+
+    def test_zero_total_fractions(self):
+        assert ExecutionBreakdown().fraction("spmm") == 0.0
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            ExecutionBreakdown().fraction("io")
+
+    def test_percentages(self):
+        b = ExecutionBreakdown(spmm=1.0, dense=3.0)
+        pct = b.percentages()
+        assert pct["spmm"] == 25.0
+        assert pct["dense"] == 75.0
+        assert pct["sampling"] == 0.0
+
+    def test_addition(self):
+        a = ExecutionBreakdown(spmm=1.0, glue=0.5)
+        b = ExecutionBreakdown(spmm=2.0, dense=1.0)
+        c = a + b
+        assert c.spmm == 3.0 and c.dense == 1.0 and c.glue == 0.5
+
+    def test_scaled(self):
+        b = ExecutionBreakdown(spmm=2.0, sampling=4.0).scaled(0.5)
+        assert b.spmm == 1.0 and b.sampling == 2.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExecutionBreakdown().scaled(-1)
+
+    def test_combine(self):
+        parts = [ExecutionBreakdown(spmm=1.0)] * 3
+        assert combine(parts).spmm == 3.0
+
+    def test_combine_empty(self):
+        assert combine([]).total == 0.0

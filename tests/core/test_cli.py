@@ -1,0 +1,106 @@
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(l) for l in lines)
+
+
+class TestDatasets:
+    def test_prints_table1(self):
+        code, text = run_cli(["datasets"])
+        assert code == 0
+        assert "products" in text
+        assert "111,059,956" in text  # papers |V|
+
+
+class TestBreakdown:
+    @pytest.mark.parametrize("platform", ["cpu", "gpu", "piuma"])
+    def test_platforms(self, platform):
+        code, text = run_cli(
+            ["breakdown", "arxiv", "--platform", platform, "--hidden", "32"]
+        )
+        assert code == 0
+        assert "total:" in text
+        assert "spmm=" in text
+
+    def test_unknown_dataset_is_error(self):
+        code, text = run_cli(["breakdown", "reddit"])
+        assert code == 2
+        assert "error" in text
+
+
+class TestSpeedup:
+    def test_reports_both_platforms(self):
+        code, text = run_cli(["speedup", "products", "--hidden", "64"])
+        assert code == 0
+        assert "piuma" in text and "gpu" in text
+        assert "x" in text
+
+
+class TestSimulate:
+    def test_runs_des(self):
+        code, text = run_cli(
+            ["simulate", "power-12", "--cores", "2", "--hidden", "16",
+             "--max-vertices", "2048"]
+        )
+        assert code == 0
+        assert "GFLOP/s" in text
+        assert "projected kernel time" in text
+
+    def test_kernel_choices(self):
+        code, text = run_cli(
+            ["simulate", "power-12", "--cores", "1", "--hidden", "8",
+             "--kernel", "vertex", "--max-vertices", "2048"]
+        )
+        assert code == 0
+        assert "vertex" in text
+
+
+class TestAdvise:
+    def test_dense_graph_accelerator_favored(self):
+        code, text = run_cli(["advise", "1000000", "1e-4"])
+        assert code == 0
+        assert "accelerator-favored" in text
+
+    def test_sparse_small_graph_cpu_favored(self):
+        code, text = run_cli(["advise", "50000", "1e-6", "--hidden", "256"])
+        assert code == 0
+        assert "CPU/GPU-favored" in text
+
+    def test_invalid_density_is_error(self):
+        code, text = run_cli(["advise", "1000", "5.0"])
+        assert code == 2
+
+
+class TestCalibrate:
+    def test_runs_small_grid(self):
+        code, text = run_cli(
+            ["calibrate", "--dataset", "power-12", "--max-vertices", "4096",
+             "--cores", "1", "2", "--dims", "8", "64"]
+        )
+        assert code == 0
+        assert "recommended" in text
+        assert "efficiency" in text
+
+
+class TestValidate:
+    def test_self_test_passes(self):
+        code, text = run_cli(
+            ["validate", "--dataset", "power-12", "--max-vertices", "4096",
+             "--hidden", "32"]
+        )
+        assert code == 0
+        assert text.count("[PASS]") == 3
+
+
+class TestRooflineCommand:
+    @pytest.mark.parametrize("platform", ["cpu", "gpu", "piuma"])
+    def test_platforms(self, platform):
+        code, text = run_cli(["roofline", "--platform", platform])
+        assert code == 0
+        assert "ridge" in text
+        assert "spmm" in text

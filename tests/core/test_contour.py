@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.core.contour import (
+    annotate_datasets,
+    contour_grid,
+    find_contour_density,
+    spmm_fraction,
+)
+from repro.cpu.config import XeonConfig
+
+
+@pytest.fixture
+def cfg():
+    return XeonConfig()
+
+
+class TestSpMMFraction:
+    def test_bounded(self, cfg):
+        f = spmm_fraction(100_000, 1e-4, cfg)
+        assert 0.0 < f < 1.0
+
+    def test_grows_with_density(self, cfg):
+        """Fig 2: 'for a given graph scale, the fraction of execution
+        time spent in SpMM increases with the graph density'."""
+        fractions = [
+            spmm_fraction(100_000, d, cfg) for d in (1e-5, 1e-4, 1e-3)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_grows_with_scale(self, cfg):
+        """Fig 2: 'for a given graph sparsity, the fraction of execution
+        time spent in SpMM increases with the graph scale' (|E| grows
+        quadratically with |V|; Dense MM only linearly)."""
+        fractions = [
+            spmm_fraction(v, 1e-4, cfg) for v in (30_000, 100_000, 300_000)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            spmm_fraction(0, 1e-4, cfg)
+        with pytest.raises(ValueError):
+            spmm_fraction(100, 0.0, cfg)
+        with pytest.raises(ValueError):
+            spmm_fraction(100, 2.0, cfg)
+
+
+class TestContourGrid:
+    def test_shape_and_range(self, cfg):
+        grid = contour_grid([1_000, 10_000], [1e-4, 1e-3, 1e-2], cfg)
+        assert grid.shape == (3, 2)
+        assert np.all((grid >= 0) & (grid <= 1))
+
+    def test_monotone_along_axes(self, cfg):
+        grid = contour_grid(
+            [10_000, 100_000, 1_000_000], [1e-6, 1e-5, 1e-4], cfg
+        )
+        assert np.all(np.diff(grid, axis=0) > 0)  # density up
+        assert np.all(np.diff(grid, axis=1) > 0)  # scale up
+
+
+class TestContourLines:
+    def test_contour_density_brackets_level(self, cfg):
+        density = find_contour_density(100_000, 0.6, cfg)
+        assert density is not None
+        assert spmm_fraction(100_000, density, cfg) == pytest.approx(
+            0.6, abs=0.02
+        )
+
+    def test_contour_falls_with_scale(self, cfg):
+        """Larger graphs reach the same SpMM share at lower density —
+        Fig 2's contour lines slope downward."""
+        d_small = find_contour_density(30_000, 0.6, cfg)
+        d_large = find_contour_density(3_000_000, 0.6, cfg)
+        assert d_small is not None and d_large is not None
+        assert d_large < d_small
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            find_contour_density(1000, 1.5, cfg)
+
+
+class TestDatasetAnnotation:
+    def test_all_table1_present(self, cfg):
+        points = annotate_datasets(cfg)
+        assert len(points) == 9
+        assert {p.name for p in points} == {
+            "ddi", "proteins", "arxiv", "collab", "ppa",
+            "mag", "products", "citation2", "papers",
+        }
+
+    def test_arxiv_collab_below_60pct(self, cfg):
+        """The paper reads Fig 2 as: arxiv and collab 'are expected to
+        spend less than 60% execution time in SpMM' at K=256."""
+        by_name = {p.name: p for p in annotate_datasets(cfg)}
+        assert by_name["arxiv"].spmm_fraction < 0.6
+        assert by_name["collab"].spmm_fraction < 0.6
+
+    def test_proteins_products_high(self, cfg):
+        """... while proteins and products benefit more from PIUMA."""
+        by_name = {p.name: p for p in annotate_datasets(cfg)}
+        assert by_name["proteins"].spmm_fraction > 0.7
+        assert by_name["products"].spmm_fraction > 0.7

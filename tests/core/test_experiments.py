@@ -1,0 +1,58 @@
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    # Tiny DES graphs so the whole registry runs in seconds.
+    return ExperimentContext(max_vertices=4096)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_present(self):
+        expected = {"table1"} | {f"fig{i}" for i in range(2, 11)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_table1(self, small_context):
+        text = run_experiment("table1", small_context)
+        assert "TABLE I" in text
+        assert "111,059,956" in text
+
+    @pytest.mark.parametrize("name", ["fig3", "fig4", "fig10"])
+    def test_breakdown_figures(self, small_context, name):
+        text = run_experiment(name, small_context)
+        assert "spmm=" in text
+        assert "papers" in text
+
+    def test_fig2(self, small_context):
+        text = run_experiment("fig2", small_context)
+        assert "levels:" in text
+        assert "arxiv" in text
+
+    def test_fig8(self, small_context):
+        text = run_experiment("fig8", small_context)
+        assert "STREAM" in text and "PIUMA" in text
+
+    def test_fig9(self, small_context):
+        text = run_experiment("fig9", small_context)
+        assert "power-22" in text
+
+    @pytest.mark.slow
+    def test_des_experiments_run(self, small_context):
+        for name in ("fig5", "fig6", "fig7"):
+            text = run_experiment(name, small_context)
+            assert "cores" in text or "ns" in text
+
+    def test_context_caches_graph(self, small_context):
+        g1 = small_context.graph()
+        g2 = small_context.graph()
+        assert g1 is g2

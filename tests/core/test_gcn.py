@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.sparse.normalize import gcn_normalize
+
+
+class TestGCNConfig:
+    def test_layer_dims_three_layer(self):
+        cfg = GCNConfig(in_dim=100, hidden_dim=64, out_dim=10, n_layers=3)
+        assert cfg.layer_dims() == [(100, 64), (64, 64), (64, 10)]
+
+    def test_layer_dims_single_layer(self):
+        cfg = GCNConfig(in_dim=7, hidden_dim=64, out_dim=3, n_layers=1)
+        assert cfg.layer_dims() == [(7, 3)]
+
+    def test_layer_shapes_activation_flags(self):
+        cfg = GCNConfig(in_dim=4, hidden_dim=8, out_dim=2, n_layers=3)
+        shapes = cfg.layer_shapes(n_vertices=10, n_edges=30)
+        assert [s.has_activation for s in shapes] == [True, True, False]
+        assert all(s.n_vertices == 10 and s.n_edges == 30 for s in shapes)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            GCNConfig(in_dim=4, hidden_dim=8, out_dim=2, n_layers=0)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            GCNConfig(in_dim=0, hidden_dim=8, out_dim=2)
+
+
+class TestGCNModel:
+    @pytest.fixture
+    def model(self, small_rmat):
+        cfg = GCNConfig(in_dim=8, hidden_dim=16, out_dim=4, n_layers=3)
+        return GCNModel(small_rmat, cfg, seed=0)
+
+    def test_layer_count(self, model):
+        assert model.n_layers == 3
+
+    def test_final_layer_has_no_activation(self, model):
+        assert model.layers[-1].activation == "identity"
+        assert all(l.activation == "relu" for l in model.layers[:-1])
+
+    def test_forward_shape(self, model):
+        out = model.forward(model.random_features())
+        assert out.shape == (model.adj.n_rows, 4)
+
+    def test_forward_rejects_bad_shape(self, model):
+        with pytest.raises(ValueError):
+            model.forward(np.ones((3, 8)))
+
+    def test_forward_matches_manual_composition(self, model):
+        h = model.random_features(seed=5)
+        manual = h
+        for layer in model.layers:
+            manual = layer.forward(model.adj, manual)
+        np.testing.assert_allclose(model.forward(h), manual)
+
+    def test_prenormalized_adjacency_accepted(self, small_rmat):
+        cfg = GCNConfig(in_dim=8, hidden_dim=16, out_dim=4)
+        norm = gcn_normalize(small_rmat)
+        m1 = GCNModel(small_rmat, cfg, seed=0)
+        m2 = GCNModel(norm, cfg, seed=0, normalized=True)
+        h = m1.random_features()
+        np.testing.assert_allclose(m1.forward(h), m2.forward(h))
+
+    def test_deterministic_by_seed(self, small_rmat):
+        cfg = GCNConfig(in_dim=8, hidden_dim=16, out_dim=4)
+        h = np.ones((small_rmat.n_rows, 8))
+        out1 = GCNModel(small_rmat, cfg, seed=3).forward(h)
+        out2 = GCNModel(small_rmat, cfg, seed=3).forward(h)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_output_finite(self, model):
+        out = model.forward(model.random_features())
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.core.inference import profile_inference
+
+
+@pytest.fixture
+def model(small_rmat):
+    cfg = GCNConfig(in_dim=8, hidden_dim=16, out_dim=4, n_layers=3)
+    return GCNModel(small_rmat, cfg, seed=0)
+
+
+class TestProfileInference:
+    def test_output_matches_forward(self, model):
+        h = model.random_features(seed=1)
+        profile = profile_inference(model, h)
+        np.testing.assert_allclose(profile.output, model.forward(h))
+
+    def test_one_profile_per_layer(self, model):
+        profile = profile_inference(model, model.random_features())
+        assert len(profile.layers) == 3
+
+    def test_traffic_uses_layer_input_dim(self, model):
+        profile = profile_inference(model, model.random_features())
+        v, e = model.adj.n_rows, model.adj.nnz
+        dims = [8, 16, 16]
+        for layer_profile, k in zip(profile.layers, dims):
+            t = layer_profile.spmm_traffic
+            assert t.flops == 2 * e * k
+            assert t.write_bytes == k * v * 8
+
+    def test_dense_flops(self, model):
+        profile = profile_inference(model, model.random_features())
+        v = model.adj.n_rows
+        expected = [2 * v * 8 * 16, 2 * v * 16 * 16, 2 * v * 16 * 4]
+        assert [p.dense_flops for p in profile.layers] == expected
+
+    def test_glue_ops_final_layer_smaller(self, model):
+        """Final layer has bias but no activation -> fewer glue ops/elem."""
+        profile = profile_inference(model, model.random_features())
+        v = model.adj.n_rows
+        assert profile.layers[0].glue_ops == 2 * v * 16
+        assert profile.layers[-1].glue_ops == 1 * v * 4
+
+    def test_wall_times_positive(self, model):
+        profile = profile_inference(model, model.random_features())
+        assert profile.wall.total > 0
+        for p in profile.layers:
+            assert p.wall.spmm >= 0 and p.wall.dense >= 0
+
+    def test_total_flops_aggregates(self, model):
+        profile = profile_inference(model, model.random_features())
+        expected = sum(
+            p.spmm_traffic.flops + p.dense_flops for p in profile.layers
+        )
+        assert profile.total_flops == expected

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.core.layers import ACTIVATIONS, GCNLayer, glorot_uniform, identity, relu
+from repro.sparse.normalize import gcn_normalize
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        np.testing.assert_allclose(relu(np.array([-1.0, 0.0, 2.0])), [0, 0, 2])
+
+    def test_identity_passthrough(self):
+        x = np.array([-1.0, 3.0])
+        np.testing.assert_array_equal(identity(x), x)
+
+    def test_registry(self):
+        assert set(ACTIVATIONS) == {"relu", "identity"}
+
+
+class TestGlorot:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(rng, 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit)
+
+
+class TestGCNLayer:
+    def test_initialize_shapes(self):
+        layer = GCNLayer.initialize(16, 8)
+        assert layer.in_dim == 16
+        assert layer.out_dim == 8
+        assert layer.bias.shape == (8,)
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError, match="bias"):
+            GCNLayer(weight=np.ones((4, 3)), bias=np.ones(4))
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            GCNLayer(weight=np.ones((2, 2)), activation="tanh")
+
+    def test_rejects_1d_weight(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GCNLayer(weight=np.ones(4))
+
+    def test_forward_matches_dense_formula(self, small_rmat, rng):
+        adj = gcn_normalize(small_rmat)
+        layer = GCNLayer.initialize(8, 4, seed=1)
+        h = rng.normal(size=(adj.n_rows, 8))
+        expected = np.maximum(
+            adj.to_dense() @ h @ layer.weight + layer.bias, 0.0
+        )
+        np.testing.assert_allclose(layer.forward(adj, h), expected, atol=1e-9)
+
+    def test_phases_compose_to_forward(self, small_rmat, rng):
+        adj = gcn_normalize(small_rmat)
+        layer = GCNLayer.initialize(8, 4, seed=2)
+        h = rng.normal(size=(adj.n_rows, 8))
+        step = layer.activate(layer.update(layer.aggregate(adj, h)))
+        np.testing.assert_allclose(step, layer.forward(adj, h))
+
+    def test_no_bias(self, small_rmat, rng):
+        adj = gcn_normalize(small_rmat)
+        layer = GCNLayer.initialize(8, 4, bias=False, seed=3)
+        assert layer.bias is None
+        h = rng.normal(size=(adj.n_rows, 8))
+        expected = np.maximum(adj.to_dense() @ h @ layer.weight, 0.0)
+        np.testing.assert_allclose(layer.forward(adj, h), expected, atol=1e-9)

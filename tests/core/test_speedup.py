@@ -1,0 +1,87 @@
+import pytest
+
+from repro.core.speedup import compare_platforms
+from repro.cpu.config import XeonConfig
+from repro.gpu.config import A100Config
+from repro.piuma.config import PIUMAConfig
+from repro.workloads.gcn_workload import workload_for
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return XeonConfig(), A100Config(), PIUMAConfig.node()
+
+
+def comparison(name, k, configs):
+    return compare_platforms(workload_for(name, k), *configs)
+
+
+class TestComparisonAPI:
+    def test_three_platforms(self, configs):
+        c = comparison("arxiv", 64, configs)
+        assert set(c.breakdowns) == {"cpu", "gpu", "piuma"}
+
+    def test_cpu_speedup_is_one(self, configs):
+        c = comparison("arxiv", 64, configs)
+        assert c.gcn_speedup("cpu") == pytest.approx(1.0)
+        assert c.spmm_speedup("cpu") == pytest.approx(1.0)
+
+    def test_unknown_platform(self, configs):
+        c = comparison("arxiv", 64, configs)
+        with pytest.raises(KeyError):
+            c.gcn_speedup("tpu")
+
+
+class TestFig9Shapes:
+    def test_piuma_always_outperforms_cpu(self, configs):
+        """Key Takeaway 2 of Section V: 'A single PIUMA node always
+        outperforms the CPU system'."""
+        for name in ("ddi", "proteins", "arxiv", "collab", "ppa",
+                     "mag", "products", "citation2", "papers"):
+            for k in (8, 64, 256):
+                c = comparison(name, k, configs)
+                assert c.gcn_speedup("piuma") > 1.0, (name, k)
+
+    def test_piuma_speedup_decreases_with_k(self, configs):
+        """Dense MM pressure: PIUMA's edge shrinks as K grows."""
+        speedups = [
+            comparison("products", k, configs).gcn_speedup("piuma")
+            for k in (8, 64, 256)
+        ]
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_gpu_speedup_increases_with_k(self, configs):
+        """GPU spends less time offloading relative to compute."""
+        speedups = [
+            comparison("products", k, configs).gcn_speedup("gpu")
+            for k in (8, 64, 256)
+        ]
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_gpu_below_cpu_at_small_k(self, configs):
+        """'GPUs actually performed worse than CPUs for lower embedding
+        dimensions due to the offloading overhead.'"""
+        assert comparison("arxiv", 8, configs).gcn_speedup("gpu") < 1.0
+
+    def test_gpu_above_cpu_at_large_k(self, configs):
+        assert comparison("arxiv", 256, configs).gcn_speedup("gpu") > 1.0
+
+    def test_papers_collapses_on_gpu(self, configs):
+        """Sampling + offload ruin the GPU for out-of-memory graphs."""
+        c = comparison("papers", 64, configs)
+        assert c.gcn_speedup("gpu") < 0.2
+        assert c.gcn_speedup("piuma") > 1.0
+
+    def test_piuma_spmm_beats_gpu_on_low_locality(self, configs):
+        """Fig 9 caption: PIUMA 'significantly outperformed GPU on SpMM
+        for graphs with low locality (power-16/power-22)'.  At K=256 the
+        feature matrix exceeds the A100 L2 even for power-16, so both
+        graphs hit the low-locality HBM regime."""
+        for name in ("power-16", "power-22"):
+            c = comparison(name, 256, configs)
+            assert c.spmm_speedup("piuma") > 2 * c.spmm_speedup("gpu"), name
+
+    def test_spmm_speedups_larger_than_gcn_for_piuma(self, configs):
+        """PIUMA accelerates SpMM more than the whole GCN (dense drags)."""
+        c = comparison("products", 256, configs)
+        assert c.spmm_speedup("piuma") > c.gcn_speedup("piuma")

@@ -1,0 +1,169 @@
+import numpy as np
+import pytest
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.core.loss import accuracy, cross_entropy, softmax
+from repro.core.optim import SGD, Adam
+from repro.core.training import GCNTrainer
+from repro.graphs.rmat import RMATParams, rmat_graph
+
+
+@pytest.fixture
+def setup():
+    """A small two-community graph with learnable labels."""
+    adj = rmat_graph(RMATParams(scale=7, edge_factor=8), seed=5,
+                     symmetric=True)
+    model = GCNModel(
+        adj, GCNConfig(in_dim=8, hidden_dim=16, out_dim=4, n_layers=2),
+        seed=3,
+    )
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(adj.n_rows, 8))
+    labels = rng.integers(0, 4, adj.n_rows)
+    return model, features, labels
+
+
+class TestLoss:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(10, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = cross_entropy(logits, [0, 1])
+        assert loss < 1e-6
+
+    def test_gradient_zero_outside_mask(self, rng):
+        logits = rng.normal(size=(6, 3))
+        mask = np.array([True, False, True, False, False, False])
+        _, dlogits = cross_entropy(logits, rng.integers(0, 3, 6), mask)
+        np.testing.assert_array_equal(dlogits[~mask], 0.0)
+
+    def test_validation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, [0, 1, 2])  # wrong length
+        with pytest.raises(ValueError):
+            cross_entropy(logits, [0, 1, 2, 5])  # label out of range
+        with pytest.raises(ValueError):
+            cross_entropy(logits, [0, 1, 2, 0], np.zeros(4, dtype=bool))
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 0.0]])
+        assert accuracy(logits, [0, 1, 1]) == pytest.approx(2 / 3)
+        assert accuracy(logits, [0, 1, 1], np.array([1, 1, 0], bool)) == 1.0
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        p = np.array([5.0])
+        opt = SGD(learning_rate=0.1)
+        for _ in range(100):
+            opt.step([p], [2 * p])
+        assert abs(p[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        plain, fast = np.array([5.0]), np.array([5.0])
+        a, b = SGD(0.01), SGD(0.01, momentum=0.9)
+        for _ in range(50):
+            a.step([plain], [2 * plain])
+            b.step([fast], [2 * fast])
+        assert abs(fast[0]) < abs(plain[0])
+
+    def test_adam_descends_quadratic(self):
+        p = np.array([5.0])
+        opt = Adam(learning_rate=0.2)
+        for _ in range(200):
+            opt.step([p], [2 * p])
+        assert abs(p[0]) < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam().step([np.zeros(1)], [])
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self, setup):
+        """Central-difference check on several weight entries across
+        all layers — the autograd correctness anchor."""
+        model, features, labels = setup
+        trainer = GCNTrainer(model)
+        mask = np.zeros(model.adj.n_rows, dtype=bool)
+        mask[:40] = True
+        logits, tapes = trainer.forward_with_tape(features)
+        _, dlogits = cross_entropy(logits, labels, mask)
+        grads = trainer.backward(dlogits, tapes)
+        for layer_index, position in ((0, (0, 0)), (0, (3, 7)),
+                                      (1, (0, 1)), (1, (15, 3))):
+            analytic = grads[layer_index][0][position]
+            numeric = trainer.numerical_gradient(
+                features, labels, mask, layer_index, position
+            )
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_bias_gradient_matches_numerical(self, setup):
+        model, features, labels = setup
+        trainer = GCNTrainer(model)
+        logits, tapes = trainer.forward_with_tape(features)
+        _, dlogits = cross_entropy(logits, labels)
+        grads = trainer.backward(dlogits, tapes)
+        layer = model.layers[0]
+        original = layer.bias[2]
+        epsilon = 1e-6
+
+        def loss_at(v):
+            layer.bias[2] = v
+            loss, _ = cross_entropy(model.forward(features), labels)
+            return loss
+
+        numeric = (loss_at(original + epsilon) - loss_at(original - epsilon)) / (
+            2 * epsilon
+        )
+        layer.bias[2] = original
+        assert grads[0][1][2] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_forward_with_tape_matches_plain_forward(self, setup):
+        model, features, _labels = setup
+        trainer = GCNTrainer(model)
+        logits, _ = trainer.forward_with_tape(features)
+        np.testing.assert_allclose(logits, model.forward(features))
+
+
+class TestFit:
+    def test_loss_decreases(self, setup):
+        model, features, labels = setup
+        trainer = GCNTrainer(model, Adam(learning_rate=0.02))
+        result = trainer.fit(features, labels, epochs=30)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_overfits_small_labelled_set(self, setup):
+        """Full supervision on a tiny graph should reach high accuracy —
+        the end-to-end sanity check that gradients are right."""
+        model, features, labels = setup
+        trainer = GCNTrainer(model, Adam(learning_rate=0.05))
+        trainer.fit(features, labels, epochs=150)
+        logits = model.forward(features)
+        assert accuracy(logits, labels) > 0.8
+
+    def test_masked_training_only_uses_mask(self, setup):
+        model, features, labels = setup
+        mask = np.zeros(model.adj.n_rows, dtype=bool)
+        mask[:20] = True
+        trainer = GCNTrainer(model, Adam(learning_rate=0.05))
+        result = trainer.fit(features, labels, mask=mask, epochs=50)
+        assert result.train_accuracies[-1] > 0.6
+
+    def test_fit_validates_epochs(self, setup):
+        model, features, labels = setup
+        with pytest.raises(ValueError):
+            GCNTrainer(model).fit(features, labels, epochs=0)

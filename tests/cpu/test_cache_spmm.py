@@ -1,0 +1,93 @@
+import pytest
+
+from repro.cpu.cache import feature_hit_rate, feature_working_set
+from repro.cpu.config import XeonConfig
+from repro.cpu.spmm import spmm_time, spmm_time_edge_parallel
+
+
+@pytest.fixture
+def cfg():
+    return XeonConfig()
+
+
+class TestCacheModel:
+    def test_working_set(self):
+        assert feature_working_set(1000, 256) == 1000 * 256 * 4
+
+    def test_small_graph_fully_cached(self, cfg):
+        # ddi at K=8: a few MB.
+        assert feature_hit_rate(4267, 8, cfg) == pytest.approx(0.98)
+
+    def test_huge_graph_mostly_misses(self, cfg):
+        # papers at K=256: ~114 GB working set.
+        assert feature_hit_rate(111_059_956, 256, cfg, skew=0.3) < 0.15
+
+    def test_hit_rate_decreases_with_k(self, cfg):
+        """Key Takeaway 1 of Section III: larger embedding dimensions
+        mean fewer vertex embeddings cached."""
+        hits = [
+            feature_hit_rate(2_449_029, k, cfg) for k in (8, 64, 256)
+        ]
+        assert hits[0] > hits[1] > hits[2]
+
+    def test_skew_raises_hit_rate(self, cfg):
+        uniform = feature_hit_rate(2_449_029, 256, cfg, skew=0.0)
+        skewed = feature_hit_rate(2_449_029, 256, cfg, skew=0.8)
+        assert skewed > uniform
+
+    def test_skew_validated(self, cfg):
+        with pytest.raises(ValueError):
+            feature_hit_rate(100, 8, cfg, skew=1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            XeonConfig(n_sockets=0)
+        with pytest.raises(ValueError):
+            XeonConfig(ht_contention=1.5)
+
+
+class TestSpMMModel:
+    def test_positive_time_and_gflops(self, cfg):
+        est = spmm_time(100_000, 2_000_000, 64, cfg)
+        assert est.time_ns > 0
+        assert est.gflops > 0
+
+    def test_memory_bound_for_large_graph(self, cfg):
+        est = spmm_time(2_449_029, 64_000_000, 256, cfg, skew=0.3)
+        assert est.bound == "memory"
+
+    def test_more_cores_is_faster_up_to_physical(self, cfg):
+        t16 = spmm_time(2_449_029, 64_000_000, 256, cfg, n_cores=16).time_ns
+        t80 = spmm_time(2_449_029, 64_000_000, 256, cfg, n_cores=80).time_ns
+        assert t80 < t16
+
+    def test_hyperthreading_hurts(self, cfg):
+        """The Fig 8 mechanism carried into SpMM time."""
+        t80 = spmm_time(2_449_029, 64_000_000, 256, cfg, n_cores=80).time_ns
+        t160 = spmm_time(2_449_029, 64_000_000, 256, cfg, n_cores=160).time_ns
+        assert t160 > t80
+
+    def test_cached_graph_much_faster_than_uncached(self, cfg):
+        """Cache-resident ddi-scale SpMM runs at on-chip bandwidth."""
+        small = spmm_time(4_267, 1_339_156, 64, cfg)
+        big = spmm_time(2_449_029, 64_308_169, 64, cfg)
+        assert small.hit_rate > big.hit_rate
+        assert small.gflops > big.gflops
+
+
+class TestEdgeParallelBaseline:
+    def test_atomics_make_it_slower(self, cfg):
+        """Section V-A: edge-parallel was slower than vertex-parallel on
+        CPU due to atomic-operation overheads."""
+        vp = spmm_time(500_000, 10_000_000, 64, cfg)
+        ep = spmm_time_edge_parallel(500_000, 10_000_000, 64, cfg)
+        assert ep.time_ns > vp.time_ns
+        assert ep.gflops < vp.gflops
+
+    def test_penalty_grows_with_embedding_dim(self, cfg):
+        def penalty(k):
+            vp = spmm_time(500_000, 10_000_000, k, cfg)
+            ep = spmm_time_edge_parallel(500_000, 10_000_000, k, cfg)
+            return ep.time_ns - vp.time_ns
+
+        assert penalty(256) > penalty(8)

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.cpu import XeonConfig, cpu_dense_mm_time, cpu_gcn_breakdown
+from repro.workloads.gcn_workload import workload_for
+
+
+@pytest.fixture
+def cfg():
+    return XeonConfig()
+
+
+class TestDenseMM:
+    def test_compute_bound_square(self, cfg):
+        est = cpu_dense_mm_time(1_000_000, 256, 256, cfg)
+        assert est.bound == "compute"
+
+    def test_bandwidth_bound_skinny(self, cfg):
+        est = cpu_dense_mm_time(10_000_000, 2, 2, cfg)
+        assert est.bound == "bandwidth"
+
+    def test_rejects_bad_dims(self, cfg):
+        with pytest.raises(ValueError):
+            cpu_dense_mm_time(0, 8, 8, cfg)
+
+    def test_gflops_below_peak(self, cfg):
+        est = cpu_dense_mm_time(1_000_000, 256, 256, cfg)
+        assert est.gflops <= cfg.peak_gflops()
+
+
+class TestFig3Shapes:
+    """Execution-time breakdown claims of Section III-C."""
+
+    def test_large_dense_graphs_spmm_dominated(self, cfg):
+        """'more than 80% of time was spent in SpMM' for ppa, products,
+        proteins, papers (large and/or dense)."""
+        for name in ("proteins", "ppa", "products", "papers"):
+            b = cpu_gcn_breakdown(workload_for(name, 256), cfg)
+            assert b.fraction("spmm") > 0.75, name
+
+    def test_small_sparse_graphs_below_60pct(self, cfg):
+        """Fig 2 annotation: arxiv and collab spend <60% in SpMM at
+        embedding dimension 256."""
+        for name in ("arxiv", "collab"):
+            b = cpu_gcn_breakdown(workload_for(name, 256), cfg)
+            assert b.fraction("spmm") < 0.6, name
+
+    def test_cached_graph_spmm_share_stays_dominant(self, cfg):
+        """ddi is dense enough that SpMM dominates at every K.  (The
+        paper reports its share *rising* with K as it outgrows the
+        cache; at Table I's sizes ddi stays cache-resident at every K in
+        our capacity model, so we assert dominance and stability —
+        recorded as a deviation in EXPERIMENTS.md.)"""
+        shares = [
+            cpu_gcn_breakdown(workload_for("ddi", k), cfg).fraction("spmm")
+            for k in (8, 64, 256)
+        ]
+        assert all(s > 0.75 for s in shares)
+        assert max(shares) - min(shares) < 0.1
+
+    def test_working_set_growth_cuts_hit_rate_mechanism(self, cfg):
+        """The mechanism behind the paper's ddi observation, asserted on
+        a graph that *does* outgrow the cache across the K sweep:
+        products' SpMM goes from partially cached to DRAM-bound."""
+        from repro.cpu.spmm import spmm_time
+
+        low = spmm_time(2_449_029, 64_308_169, 8, cfg)
+        high = spmm_time(2_449_029, 64_308_169, 256, cfg)
+        assert low.hit_rate > high.hit_rate
+
+    def test_absolute_time_grows_with_k(self, cfg):
+        times = [
+            cpu_gcn_breakdown(workload_for("products", k), cfg).total
+            for k in (8, 64, 256)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_no_gpu_categories(self, cfg):
+        b = cpu_gcn_breakdown(workload_for("arxiv", 64), cfg)
+        assert b.offload == 0.0 and b.sampling == 0.0
+
+    def test_papers_runs_at_cpu_scale(self, cfg):
+        """papers is feasible on CPU (512 GB memory), just slow —
+        tens of seconds at K=256."""
+        b = cpu_gcn_breakdown(workload_for("papers", 256), cfg)
+        assert 5e9 < b.total < 500e9  # between 5 s and 500 s
+
+    def test_explicit_skew_override(self, cfg):
+        low = cpu_gcn_breakdown(workload_for("products", 256), cfg, skew=0.0)
+        high = cpu_gcn_breakdown(workload_for("products", 256), cfg, skew=0.9)
+        assert high.spmm < low.spmm

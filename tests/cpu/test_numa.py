@@ -1,0 +1,87 @@
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.cpu.numa import (
+    numa_bandwidth,
+    numa_penalty,
+    spmm_time_with_numa,
+)
+from repro.cpu.spmm import spmm_time
+from repro.cpu.stream import stream_bandwidth
+
+
+@pytest.fixture
+def cfg():
+    return XeonConfig()
+
+
+class TestNumaBandwidth:
+    def test_local_matches_stream(self, cfg):
+        assert numa_bandwidth(80, cfg, "local") == stream_bandwidth(80, cfg)
+
+    def test_ordering(self, cfg):
+        """local >= interleave >= remote at every thread count."""
+        for n in (8, 40, 80):
+            local = numa_bandwidth(n, cfg, "local")
+            inter = numa_bandwidth(n, cfg, "interleave")
+            remote = numa_bandwidth(n, cfg, "remote")
+            assert local >= inter >= remote, n
+
+    def test_remote_upi_capped(self, cfg):
+        assert numa_bandwidth(80, cfg, "remote") == pytest.approx(62.4)
+
+    def test_interleave_harmonic(self, cfg):
+        local = stream_bandwidth(80, cfg)
+        expected = 2.0 / (1.0 / local + 1.0 / 62.4)
+        assert numa_bandwidth(80, cfg, "interleave") == pytest.approx(expected)
+
+    def test_single_socket_policy_irrelevant(self):
+        one = XeonConfig(n_sockets=1)
+        assert numa_bandwidth(40, one, "interleave") == numa_bandwidth(
+            40, one, "local"
+        )
+
+    def test_low_thread_counts_barely_penalized(self, cfg):
+        """Few threads do not saturate UPI either."""
+        assert numa_penalty(2, cfg, "interleave") < numa_penalty(
+            80, cfg, "interleave"
+        )
+
+    def test_validation(self, cfg):
+        with pytest.raises(ValueError):
+            numa_bandwidth(8, cfg, "striped")
+        with pytest.raises(ValueError):
+            numa_bandwidth(8, cfg, "remote", upi_gbps=0)
+
+    def test_zero_threads(self, cfg):
+        assert numa_bandwidth(0, cfg, "interleave") == 0.0
+
+
+class TestNumaSpMM:
+    def test_local_matches_plain_model(self, cfg):
+        v, e, k = 2_449_029, 64_000_000, 128
+        plain = spmm_time(v, e, k, cfg)
+        local = spmm_time_with_numa(v, e, k, cfg, policy="local")
+        assert local.time_ns == pytest.approx(plain.time_ns)
+
+    def test_remote_policy_hurts_large_graphs(self, cfg):
+        v, e, k = 2_449_029, 64_000_000, 128
+        local = spmm_time_with_numa(v, e, k, cfg, policy="local")
+        remote = spmm_time_with_numa(v, e, k, cfg, policy="remote")
+        assert remote.time_ns > 2 * local.time_ns
+
+    def test_cached_graphs_less_policy_sensitive(self, cfg):
+        """Cache-resident feature gathers are socket-local under every
+        policy, so a cached graph's NUMA penalty (CSR/write streams
+        only) is smaller than an uncached graph's (everything remote)."""
+
+        def penalty(v, e, k, skew):
+            local = spmm_time_with_numa(v, e, k, cfg, skew=skew,
+                                        policy="local")
+            remote = spmm_time_with_numa(v, e, k, cfg, skew=skew,
+                                         policy="remote")
+            return remote.time_ns / local.time_ns
+
+        cached = penalty(4_267, 1_339_156, 8, skew=0.7)        # ddi
+        uncached = penalty(2_449_029, 64_000_000, 256, skew=0.0)
+        assert cached < uncached

@@ -1,0 +1,51 @@
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.cpu.stream import socket_bandwidth, stream_bandwidth
+
+
+@pytest.fixture
+def cfg():
+    return XeonConfig()
+
+
+class TestSocketBandwidth:
+    def test_single_core_anchor(self, cfg):
+        assert socket_bandwidth(1, cfg) == pytest.approx(cfg.single_core_gbps)
+
+    def test_saturates_below_plateau(self, cfg):
+        assert socket_bandwidth(40, cfg) < cfg.stream_socket_gbps
+
+    def test_monotonic(self, cfg):
+        values = [socket_bandwidth(n, cfg) for n in range(1, 41)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_cores(self, cfg):
+        assert socket_bandwidth(0, cfg) == 0.0
+
+
+class TestStreamBandwidth:
+    def test_second_socket_adds_bandwidth(self, cfg):
+        assert stream_bandwidth(80, cfg) > 1.7 * stream_bandwidth(40, cfg)
+
+    def test_peak_at_physical_cores(self, cfg):
+        """Fig 8 left: bandwidth peaks at 80 cores then *decreases* under
+        hyperthreading contention."""
+        peak = stream_bandwidth(80, cfg)
+        assert stream_bandwidth(120, cfg) < peak
+        assert stream_bandwidth(160, cfg) < stream_bandwidth(120, cfg)
+
+    def test_full_smt_loses_configured_fraction(self, cfg):
+        peak = stream_bandwidth(80, cfg)
+        floor = stream_bandwidth(160, cfg)
+        assert floor == pytest.approx(peak * (1 - cfg.ht_contention))
+
+    def test_clamps_beyond_max_threads(self, cfg):
+        assert stream_bandwidth(1000, cfg) == stream_bandwidth(160, cfg)
+
+    def test_zero_threads(self, cfg):
+        assert stream_bandwidth(0, cfg) == 0.0
+
+    def test_dual_socket_plateau_realistic(self, cfg):
+        """Dual-socket 8380 STREAM lands in the 250-350 GB/s range."""
+        assert 250 <= stream_bandwidth(80, cfg) <= 350

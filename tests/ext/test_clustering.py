@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.ext.clustering import (
+    cluster_minibatches,
+    clustering_time_cpu,
+    clustering_time_piuma,
+    label_propagation,
+)
+from repro.piuma.config import PIUMAConfig
+from repro.sparse.csr import CSRMatrix
+
+
+def two_cliques():
+    """Two 4-cliques joined by a single edge."""
+    import itertools
+
+    edges = []
+    for block in (range(4), range(4, 8)):
+        for u, v in itertools.permutations(block, 2):
+            edges.append((u, v))
+    edges += [(3, 4), (4, 3)]
+    src, dst = zip(*edges)
+    return CSRMatrix.from_edges(list(src), list(dst), shape=(8, 8))
+
+
+class TestLabelPropagation:
+    def test_cliques_found(self):
+        labels = label_propagation(two_cliques(), n_iters=20)
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+        # The bridge should not merge the cliques.
+        assert labels[0] != labels[7]
+
+    def test_labels_relabeled_compactly(self):
+        labels = label_propagation(two_cliques(), n_iters=20)
+        assert set(labels) == set(range(len(set(labels))))
+
+    def test_isolated_vertices_keep_own_cluster(self):
+        adj = CSRMatrix([0, 0, 0], [], [], (2, 2))
+        labels = label_propagation(adj, n_iters=5)
+        assert labels[0] != labels[1]
+
+    def test_deterministic(self, small_rmat):
+        a = label_propagation(small_rmat, n_iters=5)
+        b = label_propagation(small_rmat, n_iters=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, small_rmat):
+        with pytest.raises(ValueError):
+            label_propagation(small_rmat, n_iters=-1)
+
+
+class TestMinibatches:
+    def test_covers_every_vertex_once(self, small_rmat):
+        labels = label_propagation(small_rmat, n_iters=3)
+        batches = cluster_minibatches(labels, max_batch_vertices=64)
+        combined = np.sort(np.concatenate(batches))
+        np.testing.assert_array_equal(
+            combined, np.arange(small_rmat.n_rows)
+        )
+
+    def test_batches_respect_bound_when_clusters_small(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        batches = cluster_minibatches(labels, max_batch_vertices=4)
+        assert all(len(b) <= 4 for b in batches)
+
+    def test_oversized_cluster_gets_own_batch(self):
+        labels = np.zeros(10, dtype=np.int64)
+        batches = cluster_minibatches(labels, max_batch_vertices=4)
+        assert len(batches) == 1 and len(batches[0]) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_minibatches(np.zeros(3, dtype=np.int64), 0)
+
+
+class TestClusteringCost:
+    def test_piuma_node_faster_than_cpu(self):
+        """The Section VI argument: PIUMA accelerates clustering too."""
+        cpu = clustering_time_cpu(2_449_029, 64_000_000, XeonConfig())
+        piuma = clustering_time_piuma(
+            2_449_029, 64_000_000, PIUMAConfig.node()
+        )
+        assert piuma.total_ns < cpu.total_ns
+
+    def test_sweep_count_scales_total(self):
+        one = clustering_time_cpu(10_000, 100_000, XeonConfig(), sweeps=1)
+        ten = clustering_time_cpu(10_000, 100_000, XeonConfig(), sweeps=10)
+        assert ten.total_ns == pytest.approx(10 * one.total_ns)

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.ext.distributed import (
+    ClusterConfig,
+    distributed_spmm_time,
+    measure_cut_fraction,
+    piuma_multinode_spmm_time,
+)
+from repro.piuma.config import PIUMAConfig
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=2, interconnect_gbps=0)
+
+
+class TestCutFraction:
+    def test_single_node_no_cut(self, small_rmat):
+        assert measure_cut_fraction(small_rmat, 1) == 0.0
+
+    def test_cut_grows_with_nodes(self, small_rmat):
+        cuts = [measure_cut_fraction(small_rmat, n) for n in (2, 4, 8)]
+        assert 0 < cuts[0] <= cuts[1] <= cuts[2] <= 1
+
+
+class TestDistributedSpMM:
+    def test_communication_dominates_at_scale(self):
+        """The COST-style point (Section V-A): MPI halo exchange eats
+        the gains of adding CPU nodes for cut-heavy graphs."""
+        est = distributed_spmm_time(
+            2_449_029, 64_000_000, 256, XeonConfig(),
+            ClusterConfig(n_nodes=16), cut_fraction=0.8,
+        )
+        assert est.communication_share > 0.5
+
+    def test_single_node_has_no_comm(self):
+        est = distributed_spmm_time(
+            100_000, 1_000_000, 64, XeonConfig(),
+            ClusterConfig(n_nodes=1), cut_fraction=0.5,
+        )
+        assert est.communication_ns == 0.0
+
+    def test_piuma_scales_without_comm(self):
+        node = PIUMAConfig.node()
+        one = piuma_multinode_spmm_time(2_449_029, 64_000_000, 256, node, 1)
+        four = piuma_multinode_spmm_time(2_449_029, 64_000_000, 256, node, 4)
+        assert four == pytest.approx(one / 4)
+
+    def test_piuma_cluster_beats_cpu_cluster(self):
+        """Same node count: DGAS vs MPI on a cut-heavy graph."""
+        cpu = distributed_spmm_time(
+            2_449_029, 64_000_000, 256, XeonConfig(),
+            ClusterConfig(n_nodes=4), cut_fraction=0.7,
+        )
+        piuma = piuma_multinode_spmm_time(
+            2_449_029, 64_000_000, 256, PIUMAConfig.node(), 4
+        )
+        assert piuma < cpu.time_ns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distributed_spmm_time(
+                100, 1000, 8, XeonConfig(),
+                ClusterConfig(n_nodes=2), cut_fraction=1.5,
+            )

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.ext.heterogeneous import (
+    DenseUnit,
+    HeterogeneousSoC,
+    hetero_gcn_breakdown,
+    sweep_dense_units,
+)
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
+from repro.workloads.gcn_workload import workload_for
+
+
+@pytest.fixture(scope="module")
+def node():
+    return PIUMAConfig.node()
+
+
+@pytest.fixture(scope="module")
+def dense_heavy_workload():
+    return workload_for("arxiv", 256)  # >75% Dense MM on plain PIUMA
+
+
+class TestDenseUnit:
+    def test_achievable(self):
+        unit = DenseUnit(peak_gflops=1000.0, efficiency=0.5)
+        assert unit.achievable_gflops == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseUnit(peak_gflops=0.0)
+        with pytest.raises(ValueError):
+            DenseUnit(efficiency=0.0)
+        with pytest.raises(ValueError):
+            HeterogeneousSoC(piuma=PIUMAConfig(), n_dense_units=-1)
+
+
+class TestHeteroBreakdown:
+    def test_zero_units_matches_plain_piuma(self, node, dense_heavy_workload):
+        soc = HeterogeneousSoC(piuma=node, n_dense_units=0)
+        hetero = hetero_gcn_breakdown(dense_heavy_workload, soc)
+        plain = piuma_gcn_breakdown(dense_heavy_workload, node)
+        assert hetero.total == pytest.approx(plain.total)
+
+    def test_units_cut_dense_time(self, node, dense_heavy_workload):
+        soc = HeterogeneousSoC(piuma=node, n_dense_units=4)
+        hetero = hetero_gcn_breakdown(dense_heavy_workload, soc)
+        plain = piuma_gcn_breakdown(dense_heavy_workload, node)
+        assert hetero.dense < plain.dense
+        assert hetero.spmm == pytest.approx(plain.spmm)
+
+    def test_never_worse_than_scalar_fallback(self, node):
+        """A pathetic accelerator cannot hurt: the scalar pipelines
+        remain the fallback."""
+        weak = DenseUnit(peak_gflops=1.0, efficiency=0.01)
+        soc = HeterogeneousSoC(piuma=node, n_dense_units=1, dense_unit=weak)
+        w = workload_for("arxiv", 64)
+        assert (hetero_gcn_breakdown(w, soc).total
+                <= piuma_gcn_breakdown(w, node).total * 1.0001)
+
+
+class TestRatioSweep:
+    def test_monotone_until_knee(self, node, dense_heavy_workload):
+        results = sweep_dense_units(
+            dense_heavy_workload, node, (0, 1, 2, 4, 8, 64)
+        )
+        totals = [results[c].total for c in (0, 1, 2, 4, 8, 64)]
+        assert all(b <= a * 1.0001 for a, b in zip(totals, totals[1:]))
+
+    def test_knee_exists(self, node, dense_heavy_workload):
+        """Past the knee, more units buy nothing: SpMM+glue floor."""
+        results = sweep_dense_units(
+            dense_heavy_workload, node, (8, 1024)
+        )
+        assert results[1024].total > 0.5 * results[8].total
+
+    def test_dense_bound_workload_flips_to_spmm_bound(self, node):
+        w = workload_for("arxiv", 256)
+        results = sweep_dense_units(w, node, (0, 64))
+        assert results[0].fraction("dense") > 0.6
+        assert results[64].fraction("dense") < 0.5

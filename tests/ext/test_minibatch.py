@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.ext.minibatch import (
+    full_neighborhood,
+    induced_block,
+    sample_batch,
+    sampled_inference,
+)
+from repro.graphs.rmat import RMATParams, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    adj = rmat_graph(RMATParams(scale=8, edge_factor=6), seed=4,
+                     symmetric=True)
+    return GCNModel(
+        adj, GCNConfig(in_dim=6, hidden_dim=12, out_dim=3, n_layers=2),
+        seed=2,
+    )
+
+
+class TestSampling:
+    def test_neighborhood_includes_self(self, model):
+        hood = full_neighborhood(model.adj, [5])
+        assert 5 in hood
+
+    def test_neighborhood_includes_neighbors(self, model):
+        neighbors, _ = model.adj.row(5)
+        hood = full_neighborhood(model.adj, [5])
+        assert set(neighbors).issubset(set(hood))
+
+    def test_batch_layers_grow_outward(self, model):
+        batch = sample_batch(model.adj, [0, 1, 2], n_layers=2)
+        sizes = [len(l) for l in batch.layers]
+        assert sizes[0] >= sizes[1] >= sizes[2] == 3
+
+    def test_layers_nested(self, model):
+        batch = sample_batch(model.adj, [0, 1], n_layers=2)
+        for inner, outer in zip(batch.layers[1:], batch.layers[:-1]):
+            assert set(inner).issubset(set(outer))
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            sample_batch(model.adj, [0], n_layers=0)
+        with pytest.raises(ValueError):
+            sample_batch(model.adj, [], n_layers=1)
+        with pytest.raises(ValueError):
+            sample_batch(model.adj, [10**9], n_layers=1)
+
+
+class TestInducedBlock:
+    def test_block_matches_dense_slice(self, model):
+        out_v = np.array([0, 3, 7])
+        in_v = full_neighborhood(model.adj, out_v)
+        block = induced_block(model.adj, out_v, in_v)
+        dense = model.adj.to_dense()
+        np.testing.assert_allclose(
+            block.to_dense(), dense[np.ix_(out_v, in_v)], atol=1e-12
+        )
+
+    def test_block_shape(self, model):
+        block = induced_block(model.adj, [0, 1], [0, 1, 2, 3])
+        assert block.shape == (2, 4)
+
+
+class TestSampledInference:
+    def test_matches_full_graph_forward(self, model):
+        """The headline property: full-neighborhood sampling computes
+        exactly what full-graph inference computes for the targets."""
+        features = model.random_features(seed=9)
+        targets = np.array([3, 17, 42, 100])
+        sampled, _batch = sampled_inference(model, features, targets)
+        full = model.forward(features)
+        np.testing.assert_allclose(sampled, full[targets], atol=1e-9)
+
+    def test_touches_only_receptive_field(self, model):
+        features = model.random_features(seed=9)
+        _out, batch = sampled_inference(model, features, [0])
+        assert batch.frontier_size < model.adj.n_rows
+
+    def test_single_target(self, model):
+        features = model.random_features(seed=1)
+        out, _ = sampled_inference(model, features, [25])
+        np.testing.assert_allclose(
+            out[0], model.forward(features)[25], atol=1e-9
+        )
+
+
+class TestOffloadOverlap:
+    def test_overlap_reduces_offload_share(self):
+        from repro.gpu.config import A100Config
+        from repro.gpu.gcn import gcn_breakdown
+        from repro.workloads.gcn_workload import workload_for
+
+        w = workload_for("products", 8)
+        plain = gcn_breakdown(w, A100Config())
+        overlapped = gcn_breakdown(w, A100Config(overlap_offload=True))
+        assert overlapped.offload < plain.offload
+        assert overlapped.total < plain.total
+        # Kernels are unchanged.
+        assert overlapped.spmm == plain.spmm

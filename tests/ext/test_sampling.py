@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.ext.sampling import (
+    random_walks,
+    walk_time_cpu,
+    walk_time_piuma,
+)
+from repro.piuma.config import PIUMAConfig
+from repro.sparse.csr import CSRMatrix
+
+
+class TestFunctionalWalks:
+    def test_shape_and_start(self, small_rmat):
+        starts = np.arange(10)
+        walks = random_walks(small_rmat, starts, walk_length=5, seed=1)
+        assert walks.shape == (10, 6)
+        np.testing.assert_array_equal(walks[:, 0], starts)
+
+    def test_steps_follow_edges(self, small_rmat):
+        walks = random_walks(small_rmat, [0, 1, 2], walk_length=8, seed=2)
+        dense = small_rmat.to_dense()
+        for row in walks:
+            for u, v in zip(row, row[1:]):
+                if u != v:
+                    assert dense[u, v] != 0.0
+                else:
+                    # Self-step allowed only via sink or self-loop.
+                    assert small_rmat.row_degrees()[u] == 0 or dense[u, u] != 0
+
+    def test_sink_stays_put(self):
+        # Vertex 1 has no out-edges.
+        adj = CSRMatrix([0, 1, 1], [1], [1.0], (2, 2))
+        walks = random_walks(adj, [0], walk_length=4, seed=0)
+        np.testing.assert_array_equal(walks[0], [0, 1, 1, 1, 1])
+
+    def test_deterministic_by_seed(self, small_rmat):
+        a = random_walks(small_rmat, [3, 4], 10, seed=7)
+        b = random_walks(small_rmat, [3, 4], 10, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, small_rmat):
+        with pytest.raises(ValueError):
+            random_walks(small_rmat, [0], walk_length=-1)
+        with pytest.raises(ValueError):
+            random_walks(small_rmat, [10**9], walk_length=1)
+
+
+class TestWalkTiming:
+    def test_piuma_beats_cpu_at_scale(self):
+        """Section VI: PIUMA 'greatly accelerates random-walk over
+        standard CPUs' — massive thread contexts bury the step latency."""
+        cpu = walk_time_cpu(1_000_000, 40, XeonConfig())
+        piuma = walk_time_piuma(1_000_000, 40, PIUMAConfig.node())
+        assert piuma.time_ns < cpu.time_ns / 5
+
+    def test_cpu_contexts_bounded(self):
+        est = walk_time_cpu(10**9, 10, XeonConfig())
+        assert est.parallel_contexts <= 80 * 10
+
+    def test_small_batch_no_advantage(self):
+        """With few walks, PIUMA's extra contexts are idle and its
+        longer per-step latency shows."""
+        cpu = walk_time_cpu(8, 40, XeonConfig())
+        piuma = walk_time_piuma(8, 40, PIUMAConfig.node())
+        assert piuma.time_ns > cpu.time_ns
+
+    def test_zero_walks(self):
+        assert walk_time_cpu(0, 10, XeonConfig()).time_ns == 0.0

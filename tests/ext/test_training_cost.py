@@ -1,0 +1,75 @@
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.ext.training_cost import compare_training, training_step_cost
+from repro.gpu.config import A100Config
+from repro.piuma.config import PIUMAConfig
+from repro.workloads.gcn_workload import workload_for
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return XeonConfig(), A100Config(), PIUMAConfig.node()
+
+
+class TestTrainingStep:
+    def test_backward_costs_more_dense(self, configs):
+        xeon, _a100, _node = configs
+        est = training_step_cost(workload_for("products", 64), "cpu", xeon)
+        assert est.backward.dense == pytest.approx(2 * est.forward.dense)
+        assert est.backward.spmm == pytest.approx(est.forward.spmm)
+
+    def test_step_exceeds_inference(self, configs):
+        xeon, _a100, _node = configs
+        est = training_step_cost(workload_for("products", 64), "cpu", xeon)
+        assert est.step_ns > 1.8 * est.forward.total
+
+    def test_epochs_per_hour_positive(self, configs):
+        xeon, _a100, _node = configs
+        est = training_step_cost(workload_for("arxiv", 64), "cpu", xeon)
+        assert est.epochs_per_hour() > 0
+
+    def test_unknown_platform(self, configs):
+        xeon, _a100, _node = configs
+        with pytest.raises(ValueError):
+            training_step_cost(workload_for("arxiv", 8), "tpu", xeon)
+
+
+class TestCrossPlatformTraining:
+    def test_piuma_still_beats_cpu_for_training(self, configs):
+        """§VI: the inference advantage carries into training for
+        SpMM-heavy workloads (two SpMMs per layer per step)."""
+        results = compare_training(workload_for("products", 64), *configs)
+        assert results["piuma"].step_ns < results["cpu"].step_ns
+
+    def test_training_shifts_toward_dense_on_piuma(self, configs):
+        """Three dense products per layer per step erode PIUMA's edge
+        faster in training than in inference."""
+        results = compare_training(workload_for("products", 256), *configs)
+        piuma = results["piuma"]
+        total_dense = piuma.forward.dense + piuma.backward.dense
+        assert total_dense / piuma.step_ns > piuma.forward.fraction("dense")
+
+    def test_all_platforms_present(self, configs):
+        results = compare_training(workload_for("arxiv", 8), *configs)
+        assert set(results) == {"cpu", "gpu", "piuma"}
+
+
+class TestMarkdownReport:
+    def test_subset_report(self):
+        from repro.experiments import ExperimentContext
+        from repro.report.markdown import generate_report
+
+        text = generate_report(
+            ExperimentContext(max_vertices=2048),
+            experiments=("table1", "fig9"),
+        )
+        assert "# Reproduction report" in text
+        assert "Table I" in text and "Fig 9" in text
+        assert "```" in text
+
+    def test_unknown_experiment_rejected(self):
+        from repro.report.markdown import generate_report
+
+        with pytest.raises(KeyError):
+            generate_report(experiments=("fig99",))

@@ -1,0 +1,101 @@
+import pytest
+
+from repro.gpu import (
+    A100Config,
+    fits_on_gpu,
+    gpu_dense_mm_time,
+    gpu_gcn_breakdown,
+    gpu_spmm_time,
+    workload_footprint,
+)
+from repro.workloads.gcn_workload import workload_for
+
+
+@pytest.fixture
+def cfg():
+    return A100Config()
+
+
+class TestFootprint:
+    def test_components_positive(self):
+        fp = workload_footprint(workload_for("arxiv", 64))
+        assert fp.adjacency > 0 and fp.features > 0
+        assert fp.activations > 0 and fp.weights > 0
+        assert fp.total == (
+            fp.adjacency + fp.features + fp.activations + fp.weights
+        )
+
+    def test_all_ogb_graphs_fit_except_papers(self, cfg):
+        """Fig 4: 'All graphs except papers fit on a single-node GPU'."""
+        for name in ("ddi", "proteins", "arxiv", "collab", "ppa",
+                     "mag", "products", "citation2"):
+            assert fits_on_gpu(workload_for(name, 256), cfg), name
+        assert not fits_on_gpu(workload_for("papers", 8), cfg)
+
+    def test_footprint_grows_with_k(self):
+        small = workload_footprint(workload_for("products", 8)).total
+        large = workload_footprint(workload_for("products", 256)).total
+        assert large > small
+
+
+class TestKernels:
+    def test_l2_resident_spmm_fast(self, cfg):
+        """ddi's feature matrix fits the 40 MB L2 — the Fig 9 reason the
+        GPU wins SpMM on small graphs with good locality."""
+        small = gpu_spmm_time(4_267, 1_339_156, 64, cfg)
+        assert small.bound == "l2"
+
+    def test_big_graph_hbm_bound(self, cfg):
+        big = gpu_spmm_time(2_449_029, 64_308_169, 256, cfg)
+        assert big.bound == "hbm"
+
+    def test_locality_scales_spmm_bandwidth(self, cfg):
+        lo = gpu_spmm_time(2_449_029, 64_308_169, 256, cfg, locality=0.05)
+        hi = gpu_spmm_time(2_449_029, 64_308_169, 256, cfg, locality=0.8)
+        assert hi.time_ns < lo.time_ns
+
+    def test_dense_roofline(self, cfg):
+        est = gpu_dense_mm_time(1_000_000, 256, 256, cfg)
+        assert est.bound == "compute"
+        assert est.gflops <= cfg.peak_fp32_gflops
+
+    def test_dense_rejects_bad_dims(self, cfg):
+        with pytest.raises(ValueError):
+            gpu_dense_mm_time(0, 1, 1, cfg)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            A100Config(memory_gb=0)
+        with pytest.raises(ValueError):
+            A100Config().spmm_bandwidth(1.5)
+
+
+class TestFig4Shapes:
+    def test_offload_dominates_fitting_graphs_small_k(self, cfg):
+        """'the clear performance bottleneck for GPU was the offload
+        time' for non-sampled workloads."""
+        for name in ("arxiv", "collab", "products"):
+            b = gpu_gcn_breakdown(workload_for(name, 8), cfg)
+            assert b.fraction("offload") > 0.45, name
+            assert b.sampling == 0.0
+
+    def test_kernel_share_grows_with_k(self, cfg):
+        """Offloaded volume is fixed; hidden-layer compute is not."""
+        small = gpu_gcn_breakdown(workload_for("products", 8), cfg)
+        large = gpu_gcn_breakdown(workload_for("products", 256), cfg)
+        assert large.fraction("offload") < small.fraction("offload")
+        assert large.fraction("dense") > small.fraction("dense")
+
+    def test_papers_sampling_dominated(self, cfg):
+        """'more than 75% of the execution time was spent sampling on
+        CPU', and sampling+offload >99%."""
+        b = gpu_gcn_breakdown(workload_for("papers", 64), cfg)
+        assert b.fraction("sampling") > 0.6
+        assert b.fraction("sampling") + b.fraction("offload") > 0.95
+
+    def test_locality_defaults_from_dataset(self, cfg):
+        auto = gpu_gcn_breakdown(workload_for("power-16", 64), cfg)
+        manual = gpu_gcn_breakdown(
+            workload_for("power-16", 64), cfg, locality=0.05
+        )
+        assert auto.total == manual.total

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.gpu.config import A100Config
+from repro.gpu.sampling import (
+    SamplingProfile,
+    measure_receptive_expansion,
+    sampled_run_cost,
+)
+from repro.graphs.rmat import RMATParams, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def adj():
+    return rmat_graph(RMATParams(scale=11, edge_factor=16), seed=6,
+                      symmetric=True)
+
+
+class TestExpansionMeasurement:
+    def test_fractions_bounded(self, adj):
+        profile = measure_receptive_expansion(adj, 32, 2, n_probes=3)
+        assert 0 < profile.mean_frontier_fraction <= 1
+        assert profile.mean_edges_fraction > 0
+
+    def test_deeper_models_expand_more(self, adj):
+        shallow = measure_receptive_expansion(adj, 32, 1, n_probes=3)
+        deep = measure_receptive_expansion(adj, 32, 3, n_probes=3)
+        assert deep.mean_frontier_fraction > shallow.mean_frontier_fraction
+
+    def test_neighborhood_explosion(self, adj):
+        """Full-neighborhood sampling on a power-law graph explodes: a
+        tiny batch's 3-hop field covers most of the graph — the
+        structural reason `papers` is hopeless on GPU."""
+        profile = measure_receptive_expansion(adj, 16, 3, n_probes=3)
+        assert profile.mean_frontier_fraction > 0.5
+
+    def test_bigger_batches_bigger_fields(self, adj):
+        small = measure_receptive_expansion(adj, 4, 2, n_probes=3)
+        large = measure_receptive_expansion(adj, 128, 2, n_probes=3)
+        assert (large.mean_frontier_fraction
+                >= small.mean_frontier_fraction)
+
+    def test_validation(self, adj):
+        with pytest.raises(ValueError):
+            measure_receptive_expansion(adj, 0, 2)
+        with pytest.raises(ValueError):
+            measure_receptive_expansion(adj, 4, 2, n_probes=0)
+
+
+class TestSampledRunCost:
+    def test_batch_count(self):
+        profile = SamplingProfile(
+            batch_size=1000, n_layers=3,
+            mean_frontier_fraction=0.5, mean_edges_fraction=0.4,
+        )
+        estimate = sampled_run_cost(10_500, 1_000_000, 64, profile,
+                                    A100Config())
+        assert estimate.n_batches == 11
+
+    def test_explosion_makes_host_cost_superlinear(self):
+        """If every batch touches 80% of the edges, total host work is
+        ~0.8 * n_batches * |E| * K — far beyond one full-graph pass."""
+        config = A100Config()
+        exploded = SamplingProfile(1000, 3, 0.9, 0.8)
+        contained = SamplingProfile(1000, 3, 0.05, 0.01)
+        big = sampled_run_cost(1_000_000, 50_000_000, 64, exploded, config)
+        small = sampled_run_cost(1_000_000, 50_000_000, 64, contained,
+                                 config)
+        assert big.host_ns > 20 * small.host_ns
+
+    def test_sampling_slower_than_offload(self):
+        """Host gather is the slower of the two stages (Fig 4: sampling
+        > offload for `papers`)."""
+        profile = SamplingProfile(1000, 3, 0.5, 0.3)
+        estimate = sampled_run_cost(10**6, 10**7, 64, profile, A100Config())
+        assert estimate.sampling_ns > estimate.offload_ns
+
+    def test_validation(self):
+        profile = SamplingProfile(10, 2, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            sampled_run_cost(100, 1000, 0, profile, A100Config())

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.graphs.datasets import (
+    OGB_TABLE_I,
+    get_dataset,
+    list_datasets,
+    power_graph_spec,
+)
+
+
+class TestTableI:
+    def test_nine_datasets(self):
+        assert len(OGB_TABLE_I) == 9
+
+    def test_exact_paper_counts(self):
+        """Spot-check Table I values verbatim from the paper."""
+        products = get_dataset("products")
+        assert products.n_vertices == 2_449_029
+        assert products.n_edges == 61_859_140
+        papers = get_dataset("papers")
+        assert papers.n_vertices == 111_059_956
+        assert papers.n_edges == 1_615_685_872
+        ddi = get_dataset("ddi")
+        assert ddi.n_vertices == 4_267
+        assert ddi.n_edges == 1_334_889
+
+    def test_presentation_order(self):
+        assert list_datasets() == [
+            "ddi", "proteins", "arxiv", "collab", "ppa",
+            "mag", "products", "citation2", "papers",
+        ]
+
+    def test_density_definition(self):
+        spec = get_dataset("arxiv")
+        assert spec.density == pytest.approx(
+            spec.n_edges / spec.n_vertices**2
+        )
+
+    def test_ddi_is_densest(self):
+        """ddi is tiny but extremely dense — the paper calls it out."""
+        densities = {s.name: s.density for s in OGB_TABLE_I}
+        assert max(densities, key=densities.get) == "ddi"
+
+    def test_tasks_are_valid(self):
+        assert {s.task for s in OGB_TABLE_I} == {"node", "link"}
+
+
+class TestLookup:
+    def test_power_names(self):
+        spec = get_dataset("power-16")
+        assert spec.n_vertices == 1 << 16
+        assert spec.n_edges == 16 * (1 << 16)
+
+    def test_power_22(self):
+        assert get_dataset("power-22").n_vertices == 1 << 22
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("reddit")
+
+    def test_bad_power_suffix(self):
+        with pytest.raises(KeyError):
+            get_dataset("power-xl")
+
+    def test_list_includes_power(self):
+        names = list_datasets(include_power=True)
+        assert "power-16" in names and "power-22" in names
+
+
+class TestMaterialize:
+    def test_full_size_small_graph(self):
+        g = get_dataset("ddi").materialize(seed=0)
+        assert g.shape == (4_267, 4_267)
+        # Coalescing trims duplicates; structure should stay dense-ish.
+        assert g.nnz > 0.3 * 1_334_889
+
+    def test_downscaled(self):
+        spec = get_dataset("products")
+        g = spec.materialize(max_vertices=5000, seed=0)
+        assert g.shape == (5000, 5000)
+        # Average degree approximately preserved (within coalescing loss).
+        assert g.nnz / 5000 > 0.4 * spec.avg_degree
+
+    def test_downscale_ignored_when_bigger(self):
+        spec = get_dataset("ddi")
+        g = spec.materialize(max_vertices=10_000_000, seed=0)
+        assert g.shape == (4_267, 4_267)
+
+    def test_deterministic(self):
+        spec = power_graph_spec(8)
+        g1 = spec.materialize(seed=9)
+        g2 = spec.materialize(seed=9)
+        assert g1.nnz == g2.nnz

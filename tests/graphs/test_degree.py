@@ -1,0 +1,101 @@
+import numpy as np
+
+from repro.graphs.degree import degree_stats, gini_coefficient, reuse_distance_proxy
+from repro.graphs.rmat import GRAPH500, UNIFORM, RMATParams, rmat_graph
+from repro.sparse.csr import CSRMatrix
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == 0.0
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_empty_is_zero(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        g = gini_coefficient(rng.exponential(size=500))
+        assert 0.0 <= g <= 1.0
+
+
+class TestDegreeStats:
+    def test_basic_counts(self, tiny_csr):
+        s = degree_stats(tiny_csr)
+        assert s.n_vertices == 4
+        assert s.n_edges == 5
+        assert s.mean == 5 / 4
+        assert s.maximum == 2
+
+    def test_skewed_rmat_more_skewed_than_uniform(self):
+        skew = degree_stats(rmat_graph(RMATParams(10, 16, GRAPH500), seed=0))
+        flat = degree_stats(rmat_graph(RMATParams(10, 16, UNIFORM), seed=0))
+        assert skew.gini > flat.gini
+        assert skew.top1pct_share > flat.top1pct_share
+
+    def test_empty_graph(self):
+        g = CSRMatrix([0, 0], [], [], (1, 1))
+        s = degree_stats(g)
+        assert s.n_edges == 0
+        assert s.top1pct_share == 0.0
+
+
+class TestReuseProxy:
+    def test_empty_graph_zero(self):
+        g = CSRMatrix([0, 0], [], [], (1, 1))
+        assert reuse_distance_proxy(g) == 0.0
+
+    def test_full_reuse_when_single_target(self):
+        # Every edge points at vertex 0: all reads after the first hit.
+        g = CSRMatrix([0, 3, 6], [0, 0, 0, 0, 0, 0], np.ones(6), (2, 6))
+        assert reuse_distance_proxy(g, window=10) == 5 / 6
+
+    def test_no_reuse_distinct_targets(self):
+        g = CSRMatrix([0, 3], [0, 1, 2], np.ones(3), (1, 3))
+        assert reuse_distance_proxy(g, window=10) == 0.0
+
+    def test_bounded_zero_one(self, small_rmat):
+        p = reuse_distance_proxy(small_rmat, window=64)
+        assert 0.0 <= p <= 1.0
+
+    def test_larger_window_never_lowers_reuse(self, small_rmat):
+        small = reuse_distance_proxy(small_rmat, window=16)
+        large = reuse_distance_proxy(small_rmat, window=4096)
+        assert large >= small
+
+
+class TestWindowSpan:
+    def test_ordering_sensitivity(self):
+        """RCM confines windows to a narrow id band; a random shuffle
+        touches the whole range — the metric reordering exists to move."""
+        from repro.graphs.degree import window_span_fraction
+        from repro.graphs.rmat import RMATParams, rmat_graph
+        from repro.sparse.reorder import (
+            apply_permutation,
+            random_order,
+            rcm_order,
+        )
+
+        adj = rmat_graph(RMATParams(scale=13, edge_factor=8), seed=0)
+        shuffled = apply_permutation(adj, random_order(adj, seed=1))
+        ordered = apply_permutation(shuffled, rcm_order(shuffled))
+        span_shuffled = window_span_fraction(shuffled, window=2048)
+        span_ordered = window_span_fraction(ordered, window=2048)
+        assert span_ordered < 0.7 * span_shuffled
+
+    def test_bounded(self, small_rmat):
+        from repro.graphs.degree import window_span_fraction
+
+        assert 0.0 <= window_span_fraction(small_rmat, window=128) <= 1.0
+
+    def test_empty_graph(self):
+        from repro.graphs.degree import window_span_fraction
+        from repro.sparse.csr import CSRMatrix
+
+        empty = CSRMatrix([0, 0], [], [], (1, 1))
+        assert window_span_fraction(empty) == 0.0

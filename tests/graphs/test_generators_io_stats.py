@@ -1,0 +1,183 @@
+import numpy as np
+import pytest
+
+from repro.graphs.degree import degree_stats
+from repro.graphs.generators import (
+    barabasi_albert,
+    community_features,
+    erdos_renyi,
+    stochastic_block_model,
+)
+from repro.graphs.io import (
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+from repro.graphs.stats import (
+    clustering_coefficient,
+    connected_components,
+    largest_component_fraction,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+class TestErdosRenyi:
+    def test_size_and_symmetry(self):
+        g = erdos_renyi(500, avg_degree=8, seed=1)
+        assert g.shape == (500, 500)
+        dense = g.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_near_uniform_degrees(self):
+        g = erdos_renyi(2000, avg_degree=16, seed=2)
+        stats = degree_stats(g)
+        assert stats.gini < 0.25  # uniform-ish
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 4)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 0)
+
+
+class TestBarabasiAlbert:
+    def test_heavy_tail(self):
+        ba = barabasi_albert(2000, attach=4, seed=3)
+        er = erdos_renyi(2000, avg_degree=4, seed=3)
+        assert degree_stats(ba).gini > degree_stats(er).gini
+        assert degree_stats(ba).maximum > degree_stats(er).maximum
+
+    def test_connected(self):
+        g = barabasi_albert(300, attach=2, seed=4)
+        assert largest_component_fraction(g) == 1.0
+
+    def test_symmetric(self):
+        g = barabasi_albert(100, attach=3, seed=5)
+        dense = g.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(1, attach=2)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, attach=0)
+
+
+class TestSBM:
+    def test_returns_labels(self):
+        adj, labels = stochastic_block_model(400, 4, avg_degree=10, seed=6)
+        assert adj.shape == (400, 400)
+        assert labels.shape == (400,)
+        assert set(labels) <= set(range(4))
+
+    def test_intra_block_edges_dominate(self):
+        adj, labels = stochastic_block_model(
+            600, 3, avg_degree=12, p_in=0.9, seed=7
+        )
+        rows = np.repeat(np.arange(600), adj.row_degrees())
+        same = labels[rows] == labels[adj.indices]
+        assert same.mean() > 0.7
+
+    def test_p_in_zero_mixes(self):
+        adj, labels = stochastic_block_model(
+            600, 3, avg_degree=12, p_in=0.0, seed=8
+        )
+        rows = np.repeat(np.arange(600), adj.row_degrees())
+        same = labels[rows] == labels[adj.indices]
+        assert same.mean() < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model(10, 0, 4)
+        with pytest.raises(ValueError):
+            stochastic_block_model(10, 3, 4, p_in=2.0)
+
+    def test_community_features_correlate(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        x = community_features(labels, 8, noise=0.1, seed=0)
+        mean0, mean1 = x[:50].mean(axis=0), x[50:].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) > 1.0
+
+    def test_community_features_validation(self):
+        with pytest.raises(ValueError):
+            community_features(np.zeros(5, dtype=np.int64), 0)
+
+
+class TestIO:
+    def test_npz_round_trip(self, small_rmat, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_rmat, path)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.indptr, small_rmat.indptr)
+        np.testing.assert_array_equal(loaded.indices, small_rmat.indices)
+        np.testing.assert_allclose(loaded.data, small_rmat.data)
+
+    def test_npz_rejects_foreign_archives(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+    def test_edge_list_round_trip(self, tiny_csr, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_csr, path, weights=True)
+        loaded = load_edge_list(path)
+        np.testing.assert_allclose(loaded.to_dense(), tiny_csr.to_dense())
+
+    def test_edge_list_unweighted(self, tiny_csr, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_csr, path, weights=False)
+        loaded = load_edge_list(path)
+        assert loaded.nnz == tiny_csr.nnz
+        assert np.all(loaded.data == 1.0)
+
+    def test_edge_list_header_preserves_shape(self, tmp_path):
+        adj = CSRMatrix.from_edges([0], [1], shape=(10, 10))
+        path = tmp_path / "g.txt"
+        save_edge_list(adj, path)
+        assert load_edge_list(path).shape == (10, 10)
+
+    def test_edge_list_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestStats:
+    def test_components_two_islands(self):
+        adj = CSRMatrix.from_edges([0, 1, 2, 3], [1, 0, 3, 2], shape=(4, 4))
+        labels, n = connected_components(adj)
+        assert n == 2
+        assert labels[0] == labels[1] != labels[2]
+
+    def test_isolated_vertices_are_components(self):
+        adj = CSRMatrix([0, 0, 0, 0], [], [], (3, 3))
+        _labels, n = connected_components(adj)
+        assert n == 3
+
+    def test_directed_edges_treated_undirected(self):
+        adj = CSRMatrix.from_edges([0], [1], shape=(2, 2))
+        _labels, n = connected_components(adj)
+        assert n == 1
+
+    def test_triangle_clustering_is_one(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        src, dst = zip(*edges)
+        adj = CSRMatrix.from_edges(src, dst, shape=(3, 3))
+        assert clustering_coefficient(adj) == pytest.approx(1.0)
+
+    def test_star_clustering_is_zero(self):
+        adj = CSRMatrix.from_edges([0, 0, 0], [1, 2, 3], shape=(4, 4))
+        assert clustering_coefficient(adj) == 0.0
+
+    def test_sbm_more_clustered_than_er(self):
+        sbm, _ = stochastic_block_model(300, 6, avg_degree=12, seed=1)
+        er = erdos_renyi(300, avg_degree=12, seed=1)
+        assert (clustering_coefficient(sbm, sample=60)
+                > clustering_coefficient(er, sample=60))
+
+    def test_sampled_clustering_bounded(self, small_rmat):
+        c = clustering_coefficient(small_rmat, sample=50)
+        assert 0.0 <= c <= 1.0

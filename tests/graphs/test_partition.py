@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.graphs.partition import (
+    block_vertex_partition,
+    evaluate_partition,
+)
+from repro.graphs.rmat import RMATParams, rmat_graph
+
+
+class TestBlockPartition:
+    def test_covers_all_vertices(self):
+        part = block_vertex_partition(100, 7)
+        assert part.shape == (100,)
+        assert set(part) == set(range(7))
+
+    def test_contiguous(self):
+        part = block_vertex_partition(10, 3)
+        assert np.all(np.diff(part) >= 0)
+
+    def test_single_part(self):
+        assert np.all(block_vertex_partition(5, 1) == 0)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            block_vertex_partition(5, 0)
+
+
+class TestEvaluate:
+    def test_single_partition_has_no_cut(self, small_rmat):
+        part = np.zeros(small_rmat.n_rows, dtype=np.int64)
+        report = evaluate_partition(small_rmat, part)
+        assert report.edge_cut == 0
+        assert report.replication_factor == 1.0
+
+    def test_cut_grows_with_parts(self, small_rmat):
+        cuts = []
+        for p in (2, 4, 8):
+            part = block_vertex_partition(small_rmat.n_rows, p)
+            cuts.append(evaluate_partition(small_rmat, part).edge_cut)
+        assert cuts[0] <= cuts[1] <= cuts[2]
+
+    def test_cut_bounded_by_edges(self, small_rmat):
+        part = block_vertex_partition(small_rmat.n_rows, 8)
+        report = evaluate_partition(small_rmat, part)
+        assert 0 < report.edge_cut <= small_rmat.nnz
+
+    def test_balance_at_least_one(self, small_rmat):
+        part = block_vertex_partition(small_rmat.n_rows, 4)
+        assert evaluate_partition(small_rmat, part).balance >= 1.0
+
+    def test_rejects_wrong_length(self, small_rmat):
+        with pytest.raises(ValueError):
+            evaluate_partition(small_rmat, np.zeros(3, dtype=np.int64))

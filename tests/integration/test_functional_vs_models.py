@@ -1,0 +1,130 @@
+"""Cross-layer integration: functional kernels vs timing models.
+
+The timing models and the functional layer must agree on the *work*
+(bytes, FLOPs) even though only the models predict time; and the DES
+must agree with the analytical model wherever the analytical model's
+assumptions hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gcn import GCNConfig, GCNModel
+from repro.core.inference import profile_inference
+from repro.cpu.config import XeonConfig
+from repro.cpu.spmm import CPU_ELEMENT_BYTES, spmm_time
+from repro.graphs.datasets import get_dataset
+from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
+from repro.piuma.analytical import element_bytes
+from repro.sparse.normalize import gcn_normalize
+from repro.sparse.spmm import spmm_traffic
+
+
+@pytest.fixture(scope="module")
+def arxiv_small():
+    return get_dataset("arxiv").materialize(max_vertices=4096, seed=11)
+
+
+class TestWorkAgreement:
+    def test_functional_flops_match_traffic_model(self, arxiv_small):
+        """The instrumented inference reports exactly the Eq. 4 FLOPs
+        the timing models charge."""
+        adj = gcn_normalize(arxiv_small)
+        model = GCNModel(
+            adj, GCNConfig(in_dim=16, hidden_dim=32, out_dim=8),
+            normalized=True,
+        )
+        profile = profile_inference(model, model.random_features())
+        for layer_profile, layer in zip(profile.layers, model.layers):
+            expected = spmm_traffic(adj.n_rows, adj.nnz, layer.in_dim)
+            assert layer_profile.spmm_traffic == expected
+
+    def test_cpu_and_piuma_models_price_identical_traffic(self):
+        """Same |V|,|E|,K must mean identical raw byte counts across
+        the platform models (they differ only in *rates*)."""
+        v, e, k = 10_000, 160_000, 64
+        cpu_traffic = spmm_traffic(v, e, k, CPU_ELEMENT_BYTES)
+        piuma_traffic = spmm_traffic(v, e, k, element_bytes(PIUMAConfig()))
+        assert cpu_traffic == piuma_traffic
+
+    def test_des_bytes_match_traffic_model(self, arxiv_small):
+        """The DES window moves (approximately) the bytes Eq. 1-3
+        prescribe, pro-rated to the window size."""
+        cfg = PIUMAConfig(n_cores=2)
+        result = simulate_spmm(arxiv_small, 64, cfg, window_edges=8192)
+        moved = sum(s.bytes for s in result.tag_stats.values())
+        expected = spmm_traffic(
+            arxiv_small.n_rows, arxiv_small.nnz, 64, element_bytes(cfg)
+        )
+        scale = result.window_edges / result.total_edges
+        # Window covers a fraction of edges but few whole rows (writes
+        # are per-row) -> agreement within 35%.
+        assert moved == pytest.approx(expected.total_bytes * scale, rel=0.35)
+
+
+class TestModelConsistency:
+    def test_des_never_beats_analytical_roof_meaningfully(self, arxiv_small):
+        """Eq. 5 is a bandwidth roof; the DES may sit at it, not above
+        it (beyond window-measurement noise)."""
+        for cores in (1, 4):
+            cfg = PIUMAConfig(n_cores=cores)
+            des = simulate_spmm(arxiv_small, 64, cfg)
+            roof = spmm_model(arxiv_small.n_rows, arxiv_small.nnz, 64, cfg)
+            assert des.gflops <= roof.gflops * 1.1, cores
+
+    def test_cpu_model_bounded_by_compute_peak(self):
+        cfg = XeonConfig()
+        est = spmm_time(100_000, 10_000_000, 64, cfg)
+        assert est.gflops <= cfg.peak_gflops()
+
+    def test_more_bandwidth_never_slower_des(self, arxiv_small):
+        slow = simulate_spmm(
+            arxiv_small, 32, PIUMAConfig(dram_bandwidth_scale=0.5)
+        )
+        fast = simulate_spmm(
+            arxiv_small, 32, PIUMAConfig(dram_bandwidth_scale=2.0)
+        )
+        assert fast.gflops > slow.gflops
+
+    def test_more_latency_never_meaningfully_faster_des(self, arxiv_small):
+        base = simulate_spmm(
+            arxiv_small, 32, PIUMAConfig(dram_latency_ns=45.0)
+        )
+        worse = simulate_spmm(
+            arxiv_small, 32, PIUMAConfig(dram_latency_ns=720.0)
+        )
+        assert worse.gflops <= base.gflops * 1.25
+
+
+class TestEndToEndStory:
+    """The paper's narrative arc as one integration test each."""
+
+    def test_products_story(self):
+        """products: SpMM-bound on CPU, PIUMA relieves it, dense takes
+        over on PIUMA at high K, GPU competitive only at high K."""
+        from repro.core.speedup import compare_platforms
+        from repro.gpu.config import A100Config
+        from repro.workloads.gcn_workload import workload_for
+
+        configs = (XeonConfig(), A100Config(), PIUMAConfig.node())
+        low = compare_platforms(workload_for("products", 8), *configs)
+        high = compare_platforms(workload_for("products", 256), *configs)
+        assert low.breakdowns["cpu"].fraction("spmm") > 0.8
+        assert high.breakdowns["piuma"].fraction("dense") > 0.5
+        assert low.gcn_speedup("piuma") > high.gcn_speedup("piuma") > 1
+        assert low.gcn_speedup("gpu") < high.gcn_speedup("gpu")
+
+    def test_papers_story(self):
+        """papers: CPU slow, GPU catastrophic (sampling), PIUMA fine."""
+        from repro.core.speedup import compare_platforms
+        from repro.gpu.config import A100Config
+        from repro.workloads.gcn_workload import workload_for
+
+        c = compare_platforms(
+            workload_for("papers", 64),
+            XeonConfig(), A100Config(), PIUMAConfig.node(),
+        )
+        assert c.gcn_speedup("gpu") < 0.1
+        assert c.gcn_speedup("piuma") > 2.0
+        gpu = c.breakdowns["gpu"]
+        assert gpu.fraction("sampling") + gpu.fraction("offload") > 0.95

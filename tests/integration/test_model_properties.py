@@ -1,0 +1,84 @@
+"""Property-based sanity over the analytical platform models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.config import XeonConfig
+from repro.cpu.densemm import dense_mm_time as cpu_dense
+from repro.cpu.spmm import spmm_time
+from repro.gpu.config import A100Config
+from repro.gpu.kernels import spmm_time as gpu_spmm
+from repro.piuma.analytical import spmm_model
+from repro.piuma.config import PIUMAConfig
+
+sizes = st.tuples(
+    st.integers(10, 10**7),          # vertices
+    st.integers(10, 10**8),          # edges
+    st.sampled_from([1, 8, 64, 256]),  # K
+)
+
+
+@given(sizes)
+@settings(max_examples=60, deadline=None)
+def test_cpu_spmm_time_positive_and_finite(size):
+    v, e, k = size
+    est = spmm_time(v, e, k, XeonConfig())
+    assert est.time_ns > 0
+    assert est.gflops > 0
+    assert 0 <= est.hit_rate <= 0.98
+
+
+@given(sizes, st.integers(1, 160))
+@settings(max_examples=60, deadline=None)
+def test_cpu_spmm_monotone_in_problem_size(size, cores):
+    v, e, k = size
+    cfg = XeonConfig()
+    small = spmm_time(v, e, k, cfg, n_cores=cores).time_ns
+    bigger = spmm_time(v, 2 * e, k, cfg, n_cores=cores).time_ns
+    assert bigger > small
+
+
+@given(sizes)
+@settings(max_examples=60, deadline=None)
+def test_piuma_model_scales_inversely_with_bandwidth(size):
+    v, e, k = size
+    one = spmm_model(v, e, k, PIUMAConfig(n_cores=1))
+    four = spmm_model(v, e, k, PIUMAConfig(n_cores=4))
+    assert four.time_ns == pytest.approx(one.time_ns / 4)
+
+
+@given(sizes, st.floats(0.0, 0.99))
+@settings(max_examples=60, deadline=None)
+def test_gpu_spmm_locality_never_hurts(size, locality):
+    v, e, k = size
+    cfg = A100Config()
+    base = gpu_spmm(v, e, k, cfg, locality=0.0).time_ns
+    better = gpu_spmm(v, e, k, cfg, locality=locality).time_ns
+    assert better <= base + 1e-9
+
+
+@given(
+    st.integers(10, 10**7),
+    st.sampled_from([1, 8, 64, 256]),
+    st.sampled_from([2, 48, 256]),
+)
+@settings(max_examples=60, deadline=None)
+def test_cpu_dense_bounded_by_rooflines(v, in_dim, out_dim):
+    cfg = XeonConfig()
+    est = cpu_dense(v, in_dim, out_dim, cfg)
+    assert est.gflops <= cfg.peak_gflops() + 1e-9
+    assert est.time_ns > 0
+
+
+@given(sizes)
+@settings(max_examples=40, deadline=None)
+def test_breakdown_fractions_always_normalize(size):
+    from repro.core.gcn import LayerShape
+    from repro.cpu.gcn import layer_breakdown
+
+    v, e, k = size
+    shape = LayerShape(n_vertices=v, n_edges=e, in_dim=k, out_dim=48)
+    b = layer_breakdown(shape, XeonConfig())
+    total = sum(b.fraction(c) for c in ("spmm", "dense", "glue"))
+    assert total == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.graphs.datasets import get_dataset
+from repro.piuma.config import PIUMAConfig
+from repro.validation import (
+    calibrate_spmm_efficiency,
+    check_conservation,
+    check_monotonicity,
+    run_all_checks,
+)
+from repro.validation.verify import check_determinism
+
+
+@pytest.fixture(scope="module")
+def reference_graph():
+    return get_dataset("products").materialize(max_vertices=8192, seed=7)
+
+
+class TestCalibration:
+    def test_small_grid(self, reference_graph):
+        result = calibrate_spmm_efficiency(
+            reference_graph, core_counts=(1, 2), embedding_dims=(8, 64)
+        )
+        assert len(result.points) == 4
+        assert 0.5 < result.mean_efficiency <= 1.1
+        assert result.min_efficiency <= result.max_efficiency
+
+    def test_recommended_clamped(self, reference_graph):
+        result = calibrate_spmm_efficiency(
+            reference_graph, core_counts=(1,), embedding_dims=(256,)
+        )
+        assert result.recommended <= 1.0
+
+    def test_matches_paper_band(self, reference_graph):
+        """Calibration should land near the paper's 'within 10-20%' /
+        'up to 88% of theoretical peak'."""
+        result = calibrate_spmm_efficiency(
+            reference_graph, core_counts=(2, 8), embedding_dims=(64, 256)
+        )
+        assert result.recommended > 0.8
+
+    def test_table_rows_render(self, reference_graph):
+        from repro.report.tables import format_table
+
+        result = calibrate_spmm_efficiency(
+            reference_graph, core_counts=(1,), embedding_dims=(8,)
+        )
+        text = format_table(
+            ["cores", "K", "DES", "model", "eff"], result.table_rows()
+        )
+        assert "cores" in text
+
+    def test_empty_grid_rejected(self, reference_graph):
+        with pytest.raises(ValueError):
+            calibrate_spmm_efficiency(
+                reference_graph, core_counts=(), embedding_dims=()
+            )
+
+
+class TestInvariants:
+    def test_conservation_passes(self, reference_graph):
+        report = check_conservation(reference_graph)
+        assert report.passed, report.detail
+
+    def test_monotonicity_passes(self, reference_graph):
+        report = check_monotonicity(reference_graph)
+        assert report.passed, report.detail
+
+    def test_determinism_passes(self, reference_graph):
+        report = check_determinism(reference_graph)
+        assert report.passed, report.detail
+
+    def test_run_all(self, reference_graph):
+        reports = run_all_checks(reference_graph, embedding_dim=32)
+        assert len(reports) == 3
+        assert all(r.passed for r in reports), [
+            (r.name, r.detail) for r in reports
+        ]
+
+    def test_reports_carry_detail(self, reference_graph):
+        report = check_monotonicity(
+            reference_graph, config=PIUMAConfig(n_cores=1)
+        )
+        assert "GFLOP/s" in report.detail or not report.passed

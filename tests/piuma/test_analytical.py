@@ -1,0 +1,101 @@
+import pytest
+
+from repro.piuma.analytical import element_bytes, spmm_model
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.densemm import dense_mm_time, peak_mac_gflops
+from repro.piuma.gcn import gcn_breakdown, layer_breakdown
+from repro.workloads.gcn_workload import workload_for
+
+
+class TestAnalyticalModel:
+    def test_element_sizes_from_config(self):
+        cfg = PIUMAConfig()
+        sizes = element_bytes(cfg)
+        assert sizes == {"row": 4, "col": 4, "nnz": 4, "feature": 4}
+
+    def test_equation5_hand_computed(self):
+        cfg = PIUMAConfig(n_cores=1)  # 25.6 GB/s
+        m = spmm_model(10, 30, 8, cfg)
+        reads = (11 * 4 + 30 * 8) + 8 * 30 * 4
+        writes = 8 * 10 * 4
+        assert m.time_ns == pytest.approx(
+            reads / 25.6 + writes / 25.6
+        )
+        assert m.traffic.flops == 2 * 30 * 8
+
+    def test_bandwidth_overrides(self):
+        cfg = PIUMAConfig(n_cores=1)
+        fast = spmm_model(100, 1000, 64, cfg, read_bandwidth=1000.0,
+                          write_bandwidth=1000.0)
+        slow = spmm_model(100, 1000, 64, cfg)
+        assert fast.time_ns < slow.time_ns
+
+    def test_gflops_scale_with_cores(self):
+        one = spmm_model(1000, 16000, 256, PIUMAConfig(n_cores=1))
+        eight = spmm_model(1000, 16000, 256, PIUMAConfig(n_cores=8))
+        assert eight.gflops == pytest.approx(8 * one.gflops)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            spmm_model(10, 10, 8, PIUMAConfig(), read_bandwidth=-1.0)
+
+
+class TestDenseMM:
+    def test_peak_scales_with_pipelines(self):
+        assert peak_mac_gflops(PIUMAConfig(n_cores=8)) == pytest.approx(
+            8 * 4 * 2.0 * 2.0
+        )
+
+    def test_compute_bound_for_large_k(self):
+        est = dense_mm_time(10_000, 256, 256, PIUMAConfig())
+        assert est.bound == "compute"
+
+    def test_bandwidth_bound_for_tiny_k(self):
+        est = dense_mm_time(100_000, 1, 1, PIUMAConfig())
+        assert est.bound == "bandwidth"
+
+    def test_flop_count(self):
+        est = dense_mm_time(10, 4, 6, PIUMAConfig())
+        assert est.flops == 2 * 10 * 4 * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dense_mm_time(0, 4, 4, PIUMAConfig())
+        with pytest.raises(ValueError):
+            dense_mm_time(4, 4, 4, PIUMAConfig(), efficiency=0.0)
+
+
+class TestPIUMAGCN:
+    def test_breakdown_positive(self):
+        w = workload_for("arxiv", hidden_dim=64)
+        b = gcn_breakdown(w, PIUMAConfig.node())
+        assert b.spmm > 0 and b.dense > 0 and b.glue > 0
+        assert b.offload == 0 and b.sampling == 0
+
+    def test_dense_share_grows_with_embedding(self):
+        """Fig 10: larger K shifts PIUMA time toward Dense MM."""
+        node = PIUMAConfig.node()
+        small = gcn_breakdown(workload_for("products", 8), node)
+        large = gcn_breakdown(workload_for("products", 256), node)
+        assert large.fraction("dense") > small.fraction("dense")
+
+    def test_large_k_dense_dominated(self):
+        """Paper: arxiv/collab/mag/citation2/papers are >75% Dense MM at
+        K=256 on PIUMA."""
+        node = PIUMAConfig.node()
+        for name in ("arxiv", "collab", "mag", "citation2"):
+            b = gcn_breakdown(workload_for(name, 256), node)
+            assert b.fraction("dense") > 0.6, name
+
+    def test_spmm_efficiency_validated(self):
+        w = workload_for("arxiv", 64)
+        shape = w.layer_shapes()[0]
+        with pytest.raises(ValueError):
+            layer_breakdown(shape, PIUMAConfig(), spmm_efficiency=1.5)
+
+    def test_lower_efficiency_is_slower(self):
+        w = workload_for("arxiv", 64)
+        node = PIUMAConfig.node()
+        fast = gcn_breakdown(w, node, spmm_efficiency=0.9)
+        slow = gcn_breakdown(w, node, spmm_efficiency=0.5)
+        assert slow.spmm > fast.spmm

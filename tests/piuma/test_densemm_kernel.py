@@ -1,0 +1,72 @@
+import pytest
+
+from repro.core.gcn import GCNConfig
+from repro.graphs.rmat import RMATParams, rmat_graph
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.densemm import dense_mm_time, peak_mac_gflops
+from repro.piuma.densemm_kernel import simulate_dense_mm
+from repro.piuma.gcn_sim import simulate_gcn, simulate_gcn_layer
+
+
+@pytest.fixture(scope="module")
+def die():
+    return PIUMAConfig(n_cores=8)
+
+
+class TestDenseKernel:
+    def test_large_gemm_near_scalar_peak(self, die):
+        """Square updates saturate the scalar pipelines (the ref [21]
+        observation the paper's Dense MM numbers come from)."""
+        result = simulate_dense_mm(50_000, 128, 128, die)
+        peak = peak_mac_gflops(die)
+        assert 0.6 * peak < result.gflops <= peak
+        assert result.pipeline_utilization > 0.9
+
+    def test_skinny_gemm_stream_bound(self, die):
+        """Tiny inner dims leave the pipelines idle; DMA streams bind."""
+        result = simulate_dense_mm(200_000, 2, 2, die)
+        assert result.pipeline_utilization < 0.3
+        assert result.gflops < 0.6 * peak_mac_gflops(die)
+
+    def test_des_within_band_of_analytical(self, die):
+        """The analytical roofline's efficiency factor (0.65) should be
+        conservative relative to the DES measurement."""
+        des = simulate_dense_mm(50_000, 128, 128, die)
+        model = dense_mm_time(50_000, 128, 128, die)
+        assert 0.8 <= des.gflops / model.gflops <= 1.6
+
+    def test_projection_scales(self, die):
+        small = simulate_dense_mm(10_000, 64, 64, die)
+        large = simulate_dense_mm(1_000_000, 64, 64, die)
+        assert large.projected_time_ns > 50 * small.projected_time_ns
+
+    def test_validation(self, die):
+        with pytest.raises(ValueError):
+            simulate_dense_mm(0, 4, 4, die)
+
+
+class TestGCNSim:
+    @pytest.fixture(scope="class")
+    def adj(self):
+        return rmat_graph(RMATParams(scale=12, edge_factor=16), seed=3)
+
+    def test_layer_breakdown_positive(self, adj, die):
+        b = simulate_gcn_layer(adj, 64, 64, die)
+        assert b.spmm > 0 and b.dense > 0 and b.glue > 0
+
+    def test_dense_share_grows_with_k(self, adj, die):
+        """Fig 10 validated against simulation, not just models."""
+        small = simulate_gcn(
+            adj, GCNConfig(in_dim=8, hidden_dim=8, out_dim=8), die
+        )
+        large = simulate_gcn(
+            adj, GCNConfig(in_dim=256, hidden_dim=256, out_dim=256), die
+        )
+        assert large.fraction("dense") > small.fraction("dense")
+
+    def test_three_layers_accumulate(self, adj, die):
+        one = simulate_gcn_layer(adj, 32, 32, die)
+        three = simulate_gcn(
+            adj, GCNConfig(in_dim=32, hidden_dim=32, out_dim=32), die
+        )
+        assert three.total == pytest.approx(3 * one.total, rel=0.25)

@@ -1,0 +1,80 @@
+"""Edge cases across the simulator and models."""
+
+import numpy as np
+import pytest
+
+from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
+from repro.sparse.csr import CSRMatrix
+
+
+def path_graph(n):
+    """A simple chain 0 -> 1 -> ... -> n-1."""
+    src = list(range(n - 1))
+    dst = list(range(1, n))
+    return CSRMatrix.from_edges(src, dst, shape=(n, n))
+
+
+class TestTinyInputs:
+    def test_single_edge_graph(self):
+        adj = CSRMatrix.from_edges([0], [1], shape=(2, 2))
+        result = simulate_spmm(adj, 8, PIUMAConfig(n_cores=1))
+        assert result.window_edges == 1
+        assert result.projected_time_ns > 0
+
+    def test_k_equals_one(self):
+        adj = path_graph(64)
+        result = simulate_spmm(adj, 1, PIUMAConfig(n_cores=1))
+        assert result.gflops > 0
+
+    def test_single_thread_machine(self):
+        cfg = PIUMAConfig(n_cores=1, mtps_per_core=1, threads_per_mtp=1)
+        adj = path_graph(128)
+        result = simulate_spmm(adj, 8, cfg)
+        assert result.window_edges == adj.nnz
+
+    def test_more_threads_than_edges(self):
+        cfg = PIUMAConfig(n_cores=8)  # 512 threads
+        adj = path_graph(32)  # 31 edges
+        result = simulate_spmm(adj, 8, cfg)
+        assert result.window_edges == adj.nnz
+
+    def test_window_larger_than_graph(self):
+        adj = path_graph(64)
+        result = simulate_spmm(
+            adj, 8, PIUMAConfig(n_cores=1), window_edges=10**6
+        )
+        assert result.window_edges == adj.nnz
+
+    def test_vertex_kernel_on_path(self):
+        adj = path_graph(256)
+        result = simulate_spmm(adj, 8, PIUMAConfig(n_cores=2), "vertex")
+        assert result.gflops > 0
+
+    def test_dense_rows_graph(self):
+        """One vertex with every edge (a pure star)."""
+        n = 512
+        adj = CSRMatrix.from_edges(
+            [0] * (n - 1), list(range(1, n)), shape=(n, n)
+        )
+        for kernel in ("dma", "loop", "vertex"):
+            result = simulate_spmm(adj, 16, PIUMAConfig(n_cores=2), kernel)
+            assert np.isfinite(result.gflops), kernel
+
+
+class TestModelEdgeCases:
+    def test_model_k_one(self):
+        m = spmm_model(100, 200, 1, PIUMAConfig(n_cores=1))
+        assert m.time_ns > 0
+
+    def test_model_self_consistency_across_k(self):
+        cfg = PIUMAConfig(n_cores=1)
+        times = [spmm_model(1000, 8000, k, cfg).time_ns for k in (1, 8, 64)]
+        assert times[0] < times[1] < times[2]
+
+    def test_launch_overhead_floor(self):
+        """Tiny kernels are launch-dominated on PIUMA (the small-graph
+        weakness the paper's GPU comparison exploits for ddi)."""
+        adj = path_graph(16)
+        cfg = PIUMAConfig(n_cores=1)
+        result = simulate_spmm(adj, 8, cfg)
+        assert result.projected_time_ns >= cfg.launch_overhead_ns

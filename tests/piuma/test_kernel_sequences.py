@@ -1,0 +1,143 @@
+"""White-box tests of the kernel thread generators.
+
+The DES results depend on the exact op sequences the kernels emit; these
+tests pin them down on a hand-built graph so kernel refactors cannot
+silently change the modeled hardware behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.kernels import ThreadWork
+from repro.piuma.ops import (
+    AtomicUpdate,
+    Compute,
+    DMAOp,
+    Load,
+    PhaseMarker,
+    SequentialAccess,
+)
+from repro.piuma.spmm_dma import dma_thread
+from repro.piuma.spmm_loop import loop_unrolled_thread
+from repro.piuma.spmm_vertex import vertex_parallel_thread
+
+
+def make_work(cols, rows, start_edge=0):
+    return ThreadWork(
+        core=0,
+        mtp=0,
+        cols=np.asarray(cols, dtype=np.int64),
+        rows=np.asarray(rows, dtype=np.int64),
+        start_edge=start_edge,
+    )
+
+
+@pytest.fixture
+def config():
+    return PIUMAConfig(n_cores=2)
+
+
+def ops_of(generator):
+    return list(generator)
+
+
+class TestDMAKernelSequence:
+    def test_two_rows_three_edges(self, config):
+        """Rows [5, 5, 9]: one NNZ group load, per edge init+read, one
+        atomic write at the row boundary plus one final."""
+        work = make_work(cols=[1, 2, 3], rows=[5, 5, 9])
+        ops = ops_of(dma_thread(work, 16, config))
+        kinds = [type(op).__name__ for op in ops]
+        assert kinds[0] == "SequentialAccess"  # binary search
+        assert kinds[1] == "PhaseMarker"
+        loads = [op for op in ops if isinstance(op, Load)]
+        assert len(loads) == 1  # 3 edges fit one group of 8
+        assert loads[0].tag == "nnz"
+        assert loads[0].nbytes == 3 * 8  # 3 edges x (col + value)
+        reads = [op for op in ops
+                 if isinstance(op, DMAOp) and op.kind == "read"]
+        assert len(reads) == 3
+        assert all(op.nbytes == 16 * 4 for op in reads)
+        atomics = [op for op in ops if isinstance(op, AtomicUpdate)]
+        assert len(atomics) == 2  # row 5 flushed at boundary, row 9 at end
+
+    def test_group_boundary(self, config):
+        """Nine edges need two NNZ group loads (group size 8)."""
+        work = make_work(cols=list(range(9)), rows=[0] * 9)
+        ops = ops_of(dma_thread(work, 8, config))
+        loads = [op for op in ops if isinstance(op, Load)]
+        assert len(loads) == 2
+        assert loads[0].nbytes == 8 * 8
+        assert loads[1].nbytes == 1 * 8
+
+    def test_empty_work(self, config):
+        work = make_work(cols=[], rows=[])
+        ops = ops_of(dma_thread(work, 8, config))
+        # Binary search + marker only; nothing else.
+        assert len(ops) == 2
+
+
+class TestLoopKernelSequence:
+    def test_feature_rounds_scale_with_k(self, config):
+        work = make_work(cols=[1], rows=[0])
+        for k, expected_rounds in ((8, 1), (64, 8), (256, 32)):
+            ops = ops_of(loop_unrolled_thread(work, k, config))
+            feature = [op for op in ops
+                       if isinstance(op, SequentialAccess)
+                       and op.tag == "feature"]
+            assert len(feature) == 1
+            assert feature[0].n_rounds == expected_rounds, k
+
+    def test_small_k_single_partial_round(self, config):
+        work = make_work(cols=[1], rows=[0])
+        ops = ops_of(loop_unrolled_thread(work, 4, config))
+        feature = next(op for op in ops
+                       if isinstance(op, SequentialAccess)
+                       and op.tag == "feature")
+        assert feature.n_rounds == 1
+        assert feature.bytes_per_round == 4 * 4
+
+    def test_write_back_is_atomic(self, config):
+        work = make_work(cols=[1, 2], rows=[0, 3])
+        ops = ops_of(loop_unrolled_thread(work, 8, config))
+        atomics = [op for op in ops if isinstance(op, AtomicUpdate)]
+        assert len(atomics) == 2
+        assert all(op.tag == "atomic_write" for op in atomics)
+
+
+class TestVertexKernelSequence:
+    def test_no_binary_search_no_atomics(self, config):
+        work = make_work(cols=[1, 2, 3], rows=[5, 5, 9])
+        ops = ops_of(vertex_parallel_thread(work, 8, config))
+        assert isinstance(ops[0], PhaseMarker)
+        assert not any(isinstance(op, AtomicUpdate) for op in ops)
+        assert not any(
+            isinstance(op, SequentialAccess) for op in ops
+        )
+        writes = [op for op in ops
+                  if isinstance(op, DMAOp) and op.kind == "write"]
+        assert len(writes) == 2  # plain DMA writes, one per owned row
+
+    def test_reads_match_edges(self, config):
+        work = make_work(cols=[4, 5, 6, 7], rows=[0, 0, 1, 1])
+        ops = ops_of(vertex_parallel_thread(work, 32, config))
+        reads = [op for op in ops
+                 if isinstance(op, DMAOp) and op.kind == "read"]
+        assert len(reads) == 4
+        assert all(op.nbytes == 32 * 4 for op in reads)
+
+
+class TestByteAccounting:
+    @pytest.mark.parametrize("factory", [dma_thread, vertex_parallel_thread])
+    def test_read_bytes_equal_model(self, config, factory):
+        """Every kernel's per-edge DMA read volume equals Eq.2 exactly."""
+        k = 64
+        edges = 20
+        work = make_work(cols=list(range(edges)), rows=[0] * edges)
+        ops = ops_of(factory(work, k, config))
+        read_bytes = sum(
+            op.nbytes for op in ops
+            if isinstance(op, DMAOp) and op.kind == "read"
+        )
+        assert read_bytes == k * edges * config.feature_bytes

@@ -1,0 +1,147 @@
+import pytest
+
+from repro.piuma.resources import DRAMSlice, FluidResource, Timeline
+
+
+class TestFluidResource:
+    def test_service_time(self):
+        r = FluidResource(rate=2.0)
+        start, end = r.reserve(0.0, 10.0)
+        assert start == 0.0
+        assert end == 5.0
+
+    def test_fifo_queueing(self):
+        r = FluidResource(rate=1.0)
+        r.reserve(0.0, 10.0)
+        start, end = r.reserve(3.0, 5.0)
+        assert start == 10.0
+        assert end == 15.0
+
+    def test_idle_gap_before_late_arrival(self):
+        r = FluidResource(rate=1.0)
+        r.reserve(0.0, 2.0)
+        start, _ = r.reserve(100.0, 1.0)
+        assert start == 100.0
+
+    def test_extra_time(self):
+        r = FluidResource(rate=1.0)
+        _, end = r.reserve(0.0, 4.0, extra_time=2.0)
+        assert end == 6.0
+
+    def test_utilization(self):
+        r = FluidResource(rate=1.0)
+        r.reserve(0.0, 5.0)
+        assert r.utilization(10.0) == 0.5
+        assert r.utilization(0.0) == 0.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            FluidResource(rate=0.0)
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ValueError):
+            FluidResource(rate=1.0).reserve(0.0, -1.0)
+
+    def test_stats_accumulate(self):
+        r = FluidResource(rate=2.0)
+        r.reserve(0.0, 4.0)
+        r.reserve(0.0, 4.0)
+        assert r.units_served == 8.0
+        assert r.requests == 2
+
+
+class TestTimeline:
+    def test_empty_allocation_starts_at_arrival(self):
+        t = Timeline()
+        assert t.allocate(5.0, 3.0) == (5.0, 8.0)
+
+    def test_backfills_gap_before_future_block(self):
+        """The property FluidResource lacks: an early request fits into
+        the idle gap before a future-stamped reservation."""
+        t = Timeline()
+        t.allocate(100.0, 10.0)
+        start, end = t.allocate(0.0, 5.0)
+        assert (start, end) == (0.0, 5.0)
+
+    def test_queues_when_gap_too_small(self):
+        t = Timeline()
+        t.allocate(0.0, 10.0)
+        start, _ = t.allocate(2.0, 5.0)
+        assert start == 10.0
+
+    def test_skips_too_small_gap(self):
+        t = Timeline()
+        t.allocate(0.0, 4.0)
+        t.allocate(6.0, 4.0)  # gap [4, 6) of width 2
+        start, _ = t.allocate(0.0, 3.0)
+        assert start == 10.0
+
+    def test_uses_exact_fit_gap(self):
+        t = Timeline()
+        t.allocate(0.0, 4.0)
+        t.allocate(6.0, 4.0)
+        start, end = t.allocate(0.0, 2.0)
+        assert (start, end) == (4.0, 6.0)
+
+    def test_merging_keeps_structure_small(self):
+        t = Timeline()
+        for i in range(100):
+            t.allocate(0.0, 1.0)
+        assert len(t._intervals) == 1
+        assert t.busy_time == pytest.approx(100.0)
+
+    def test_busy_time_counts_all(self):
+        t = Timeline()
+        t.allocate(0.0, 3.0)
+        t.allocate(10.0, 2.0)
+        assert t.busy_time == pytest.approx(5.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Timeline().allocate(0.0, -1.0)
+
+
+class TestDRAMSlice:
+    def test_completion_includes_latency(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=2.0, latency_ns=45.0)
+        assert s.request(0.0, 10.0) == pytest.approx(50.0)
+
+    def test_saturation_queueing(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        first = s.request(0.0, 100.0)
+        second = s.request(0.0, 100.0)
+        assert first == pytest.approx(100.0)
+        assert second == pytest.approx(200.0)
+
+    def test_priority_jumps_bulk_queue(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=10.0)
+        s.request(0.0, 1000.0)  # bulk backlog until t=1000
+        done = s.request(0.0, 8.0, priority=True)
+        assert done == pytest.approx(8.0 + 10.0)
+
+    def test_priority_still_consumes_capacity(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        s.request(0.0, 8.0, priority=True)
+        # Bulk arriving now must queue behind the stolen bandwidth.
+        assert s.request(0.0, 4.0) >= 8.0
+        assert s.busy_time == pytest.approx(12.0)
+
+    def test_priority_requests_serialize_among_themselves(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        a = s.request(0.0, 5.0, priority=True)
+        b = s.request(0.0, 5.0, priority=True)
+        assert b == pytest.approx(a + 5.0)
+
+    def test_bytes_served(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        s.request(0.0, 7.0)
+        s.request(0.0, 3.0, priority=True)
+        assert s.bytes_served == 10.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DRAMSlice(0.0, 10.0)
+        with pytest.raises(ValueError):
+            DRAMSlice(1.0, -1.0)
+        with pytest.raises(ValueError):
+            DRAMSlice(1.0, 0.0).request(0.0, -5.0)

@@ -1,0 +1,114 @@
+"""Vertex-parallel kernel and the remote-atomics engine (Section IV-B).
+
+The paper weighs three trade-offs between the parallelization
+strategies: binary search (edge-parallel only), atomic write-backs
+(edge-parallel only) and load imbalance (vertex-parallel only), and
+concludes edge-parallel wins on PIUMA because the atomics are nearly
+free while imbalance is not.
+"""
+
+import pytest
+
+from repro.graphs.rmat import GRAPH500, UNIFORM, RMATParams, rmat_graph
+from repro.piuma import PIUMAConfig, simulate_spmm
+from repro.piuma.kernels import auto_window
+from repro.piuma.spmm_vertex import split_work_vertex
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return rmat_graph(RMATParams(scale=13, edge_factor=16, abcd=GRAPH500),
+                      seed=1)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return rmat_graph(RMATParams(scale=13, edge_factor=16, abcd=UNIFORM),
+                      seed=1)
+
+
+class TestVertexSplit:
+    def test_row_ranges_disjoint_and_ordered(self, skewed):
+        cfg = PIUMAConfig(n_cores=2)
+        work = split_work_vertex(skewed, cfg, auto_window(cfg, skewed.nnz))
+        previous_end = -1
+        for w in work:
+            assert w.rows[0] > previous_end
+            previous_end = int(w.rows[-1])
+
+    def test_window_proportional_to_ownership(self, skewed):
+        """Hub-owning threads simulate proportionally more edges —
+        that's what exposes the imbalance in a down-scaled window."""
+        cfg = PIUMAConfig(n_cores=2)
+        window = auto_window(cfg, skewed.nnz)
+        work = split_work_vertex(skewed, cfg, window)
+        sizes = [len(w.cols) for w in work]
+        assert max(sizes) > 5 * (sum(sizes) / len(sizes))
+
+    def test_total_close_to_window(self, skewed):
+        cfg = PIUMAConfig(n_cores=2)
+        window = auto_window(cfg, skewed.nnz)
+        work = split_work_vertex(skewed, cfg, window)
+        total = sum(len(w.cols) for w in work)
+        assert total == pytest.approx(window, rel=0.1)
+
+    def test_full_window_takes_everything(self, skewed):
+        cfg = PIUMAConfig(n_cores=1)
+        work = split_work_vertex(skewed, cfg, skewed.nnz)
+        assert sum(len(w.cols) for w in work) == skewed.nnz
+
+
+class TestKernelTradeoffs:
+    def test_vertex_kernel_has_no_atomics_or_search(self, skewed):
+        result = simulate_spmm(skewed, 32, PIUMAConfig(n_cores=2), "vertex")
+        assert "atomic_write" not in result.tag_stats
+        assert "binary_search" not in result.tag_stats
+        assert "dma_write" in result.tag_stats
+
+    def test_edge_kernel_pays_atomics_and_search(self, skewed):
+        result = simulate_spmm(skewed, 32, PIUMAConfig(n_cores=2), "dma")
+        assert result.tag_stats["atomic_write"].count > 0
+        assert result.tag_stats["binary_search"].count > 0
+
+    def test_imbalance_hurts_vertex_parallel_at_scale(self, skewed):
+        """The paper's reason to go edge-parallel: hub threads become
+        the critical path once bandwidth no longer hides them."""
+        cfg = PIUMAConfig(n_cores=16)
+        edge = simulate_spmm(skewed, 64, cfg, "dma").gflops
+        vertex = simulate_spmm(skewed, 64, cfg, "vertex").gflops
+        assert edge > 1.5 * vertex
+
+    def test_uniform_graph_no_imbalance_penalty(self, uniform):
+        """On uniform-degree graphs the two divisions are equivalent
+        (vertex-parallel even saves the atomics)."""
+        cfg = PIUMAConfig(n_cores=16)
+        edge = simulate_spmm(uniform, 64, cfg, "dma").gflops
+        vertex = simulate_spmm(uniform, 64, cfg, "vertex").gflops
+        assert vertex > 0.8 * edge
+
+    def test_unknown_kernel_rejected(self, uniform):
+        with pytest.raises(ValueError):
+            simulate_spmm(uniform, 8, PIUMAConfig(n_cores=1), "warp")
+
+
+class TestAtomicEngine:
+    def test_atomics_charge_rmw_traffic(self, skewed):
+        """An atomic update reads and writes the row: 2x bytes."""
+        result = simulate_spmm(skewed, 32, PIUMAConfig(n_cores=2), "dma")
+        stats = result.tag_stats["atomic_write"]
+        rows_written = stats.count
+        assert stats.bytes == pytest.approx(
+            2 * rows_written * 32 * 4, rel=0.01
+        )
+
+    def test_cheap_atomics_keep_edge_parallel_fast(self, skewed):
+        """PIUMA's selling point: expensive atomics would sink the
+        edge-parallel kernel; the near-memory units keep it fast."""
+        cfg = PIUMAConfig(n_cores=8)
+        fast = simulate_spmm(skewed, 64, cfg, "dma").gflops
+        costly = simulate_spmm(
+            skewed, 64, cfg.with_(atomic_overhead_ns=500.0,
+                                  atomic_rate_gbps=0.5),
+            "dma",
+        ).gflops
+        assert fast > 1.5 * costly

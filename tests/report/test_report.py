@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.core.breakdown import ExecutionBreakdown
+from repro.report.figures import (
+    breakdown_chart,
+    contour_map,
+    series_chart,
+    stacked_bar,
+)
+from repro.report.tables import format_number, format_table, format_time_ns
+
+
+class TestTables:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out
+
+    def test_format_number(self):
+        assert format_number(1234567) == "1,234,567"
+        assert format_number(3.14159, digits=1) == "3.1"
+
+    def test_format_time(self):
+        assert format_time_ns(2.5e9) == "2.50 s"
+        assert format_time_ns(3.2e6) == "3.20 ms"
+        assert format_time_ns(4.5e3) == "4.50 us"
+        assert format_time_ns(12) == "12 ns"
+
+
+class TestStackedBar:
+    def test_width_respected(self):
+        bar = stacked_bar(ExecutionBreakdown(spmm=1, dense=1), width=40)
+        assert len(bar) == 42  # plus two pipes
+
+    def test_dominant_category_dominates(self):
+        bar = stacked_bar(ExecutionBreakdown(spmm=9, dense=1), width=50)
+        assert bar.count("#") > 40
+
+    def test_empty_breakdown(self):
+        bar = stacked_bar(ExecutionBreakdown(), width=20)
+        assert bar == "|" + " " * 20 + "|"
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            stacked_bar(ExecutionBreakdown(spmm=1), width=4)
+
+
+class TestCharts:
+    def test_breakdown_chart_includes_legend(self):
+        chart = breakdown_chart(
+            [("arxiv", ExecutionBreakdown(spmm=1, dense=1))]
+        )
+        assert "#=spmm" in chart
+        assert "arxiv" in chart
+
+    def test_series_chart_rows(self):
+        chart = series_chart(
+            [1, 2, 4], [("dma", [1.0, 2.0, 4.0]), ("loop", [1.0, 1.5, 2.0])],
+            x_label="cores",
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 4
+        assert "cores" in lines[0] and "dma" in lines[0]
+
+    def test_contour_map_renders(self):
+        grid = np.array([[0.2, 0.5], [0.7, 0.9]])
+        out = contour_map(grid, [1e3, 1e6], [1e-5, 1e-3])
+        assert "levels:" in out
+        assert "#" in out  # the 0.9 cell
+
+    def test_contour_map_rejects_many_levels(self):
+        grid = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            contour_map(grid, [1], [1], levels=(0.1, 0.2, 0.3, 0.4))

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.cpu.config import XeonConfig
+from repro.gpu.config import A100Config
+from repro.piuma.config import PIUMAConfig
+from repro.report.roofline import (
+    KernelPoint,
+    Roofline,
+    cpu_roofline,
+    gpu_roofline,
+    piuma_roofline,
+    render_roofline,
+    spmm_kernel_point,
+)
+
+
+class TestRoofline:
+    def test_ridge(self):
+        r = Roofline("m", peak_gflops=1000.0, bandwidth_gbps=100.0)
+        assert r.ridge_intensity == 10.0
+
+    def test_attainable_below_ridge_is_bandwidth(self):
+        r = Roofline("m", 1000.0, 100.0)
+        assert r.attainable(2.0) == 200.0
+        assert r.bound(2.0) == "memory"
+
+    def test_attainable_above_ridge_is_peak(self):
+        r = Roofline("m", 1000.0, 100.0)
+        assert r.attainable(50.0) == 1000.0
+        assert r.bound(50.0) == "compute"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline("m", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Roofline("m", 1.0, 1.0).attainable(0.0)
+
+
+class TestPlatformRooflines:
+    def test_spmm_memory_bound_everywhere(self):
+        """The paper's premise: SpMM sits below every ridge."""
+        point = spmm_kernel_point(
+            2_449_029, 64_308_169, 256, achieved_gflops=100.0,
+            element_bytes={"row": 4, "col": 4, "nnz": 4, "feature": 4},
+        )
+        for roofline in (
+            cpu_roofline(XeonConfig()),
+            gpu_roofline(A100Config()),
+            piuma_roofline(PIUMAConfig.node()),
+        ):
+            assert roofline.bound(point.intensity) == "memory", roofline.name
+
+    def test_piuma_ridge_far_left_of_cpu(self):
+        """No SIMD: PIUMA turns compute-bound at a much lower intensity
+        than the Xeon — why Dense MM hurts it (Fig 10)."""
+        piuma = piuma_roofline(PIUMAConfig.node())
+        cpu = cpu_roofline(XeonConfig())
+        assert piuma.ridge_intensity < cpu.ridge_intensity
+
+    def test_dense_mm_compute_bound_on_cpu(self):
+        # GEMM at K=256: AI ~ K/2 per streamed byte >> ridge.
+        cpu = cpu_roofline(XeonConfig())
+        gemm_intensity = 2 * 256 * 256 / ((256 + 256) * 4)
+        assert cpu.bound(gemm_intensity) == "compute"
+
+    def test_kernel_efficiency(self):
+        r = Roofline("m", 1000.0, 100.0)
+        k = KernelPoint("spmm", intensity=1.0, achieved_gflops=80.0)
+        assert k.efficiency_on(r) == pytest.approx(0.8)
+
+
+class TestRendering:
+    def test_render_contains_all_kernels(self):
+        r = Roofline("m", 1000.0, 100.0)
+        kernels = [
+            KernelPoint("spmm", 0.5, 40.0),
+            KernelPoint("gemm", 64.0, 900.0),
+        ]
+        text = render_roofline(r, kernels)
+        assert "spmm" in text and "gemm" in text
+        assert "ridge" in text
+        assert "memory" in text and "compute" in text

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_infers_shape(self):
+        m = COOMatrix([0, 2], [1, 3])
+        assert m.shape == (3, 4)
+
+    def test_explicit_shape(self):
+        m = COOMatrix([0], [0], shape=(5, 6))
+        assert m.shape == (5, 6)
+
+    def test_default_values_are_ones(self):
+        m = COOMatrix([0, 1], [1, 0])
+        assert np.all(m.vals == 1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            COOMatrix([0, 1], [0])
+
+    def test_rejects_vals_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            COOMatrix([0, 1], [0, 1], vals=[1.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="exceed"):
+            COOMatrix([5], [0], shape=(3, 3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            COOMatrix([-1], [0], shape=(3, 3))
+
+    def test_empty(self):
+        m = COOMatrix([], [], shape=(3, 3))
+        assert m.nnz == 0
+        assert np.all(m.to_dense() == 0)
+
+
+class TestCoalesce:
+    def test_sums_duplicates(self):
+        m = COOMatrix([0, 0, 1], [1, 1, 0], vals=[2.0, 3.0, 1.0], shape=(2, 2))
+        c = m.coalesce()
+        assert c.nnz == 2
+        dense = c.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 1.0
+
+    def test_row_major_order(self):
+        m = COOMatrix([1, 0, 1], [0, 1, 1], shape=(2, 2))
+        c = m.coalesce()
+        assert list(c.rows) == [0, 1, 1]
+        assert list(c.cols) == [1, 0, 1]
+
+    def test_preserves_dense_equivalent(self, rng):
+        rows = rng.integers(0, 10, 50)
+        cols = rng.integers(0, 10, 50)
+        vals = rng.normal(size=50)
+        m = COOMatrix(rows, cols, vals, shape=(10, 10))
+        np.testing.assert_allclose(m.coalesce().to_dense(), m.to_dense())
+
+
+class TestTranspose:
+    def test_transpose_swaps(self):
+        m = COOMatrix([0], [2], vals=[7.0], shape=(2, 3))
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert t.to_dense()[2, 0] == 7.0
+
+
+class TestToCSR:
+    def test_round_trip_dense(self, rng):
+        rows = rng.integers(0, 8, 30)
+        cols = rng.integers(0, 8, 30)
+        vals = rng.normal(size=30)
+        m = COOMatrix(rows, cols, vals, shape=(8, 8))
+        np.testing.assert_allclose(m.to_csr().to_dense(), m.to_dense())
+
+    def test_empty_rows_have_zero_width(self):
+        m = COOMatrix([0, 3], [1, 2], shape=(4, 4))
+        csr = m.to_csr()
+        assert list(csr.row_degrees()) == [1, 0, 0, 1]

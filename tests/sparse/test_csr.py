@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.csr import CSRMatrix
+
+
+def random_csr(rng, n_rows=12, n_cols=9, nnz=40):
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    vals = rng.normal(size=nnz)
+    return CSRMatrix.from_edges(rows, cols, vals, shape=(n_rows, n_cols))
+
+
+class TestValidation:
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix([0, 2, 1, 2], [0, 1], [1.0, 1.0], (3, 3))
+
+    def test_rejects_indptr_not_starting_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRMatrix([1, 1, 1, 2], [0], [1.0], (3, 3))
+
+    def test_rejects_indptr_data_mismatch(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix([0, 1, 1, 1], [0, 1], [1.0, 1.0], (3, 3))
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ValueError, match="column index"):
+            CSRMatrix([0, 1], [5], [1.0], (1, 3))
+
+
+class TestBasics:
+    def test_identity(self):
+        eye = CSRMatrix.identity(4)
+        np.testing.assert_allclose(eye.to_dense(), np.eye(4))
+
+    def test_nnz_and_density(self, tiny_csr):
+        assert tiny_csr.nnz == 5
+        assert tiny_csr.density == 5 / 16
+
+    def test_row_degrees(self, tiny_csr):
+        assert list(tiny_csr.row_degrees()) == [1, 2, 0, 2]
+
+    def test_row_access(self, tiny_csr):
+        cols, vals = tiny_csr.row(3)
+        assert list(cols) == [0, 3]
+        assert list(vals) == [4.0, 5.0]
+
+    def test_to_dense(self, tiny_csr):
+        expected = np.array(
+            [[0, 2, 0, 0], [1, 0, 3, 0], [0, 0, 0, 0], [4, 0, 0, 5]],
+            dtype=float,
+        )
+        np.testing.assert_allclose(tiny_csr.to_dense(), expected)
+
+
+class TestTransforms:
+    def test_transpose_matches_scipy(self, rng):
+        m = random_csr(rng)
+        ours = m.transpose().to_dense()
+        theirs = sp.csr_matrix(m.to_dense()).T.toarray()
+        np.testing.assert_allclose(ours, theirs)
+
+    def test_coo_round_trip(self, rng):
+        m = random_csr(rng)
+        np.testing.assert_allclose(m.to_coo().to_csr().to_dense(), m.to_dense())
+
+    def test_scale_rows(self, tiny_csr):
+        scaled = tiny_csr.scale_rows([1.0, 2.0, 3.0, 0.5])
+        expected = np.diag([1.0, 2.0, 3.0, 0.5]) @ tiny_csr.to_dense()
+        np.testing.assert_allclose(scaled.to_dense(), expected)
+
+    def test_scale_cols(self, tiny_csr):
+        scaled = tiny_csr.scale_cols([1.0, 2.0, 3.0, 0.5])
+        expected = tiny_csr.to_dense() @ np.diag([1.0, 2.0, 3.0, 0.5])
+        np.testing.assert_allclose(scaled.to_dense(), expected)
+
+    def test_scale_rows_rejects_bad_length(self, tiny_csr):
+        with pytest.raises(ValueError):
+            tiny_csr.scale_rows([1.0])
+
+
+class TestProducts:
+    def test_matvec_matches_dense(self, rng):
+        m = random_csr(rng)
+        x = rng.normal(size=m.n_cols)
+        np.testing.assert_allclose(m.matvec(x), m.to_dense() @ x)
+
+    def test_matvec_rejects_wrong_length(self, tiny_csr):
+        with pytest.raises(ValueError):
+            tiny_csr.matvec(np.ones(3))
+
+    def test_matmat_matches_scipy(self, rng):
+        m = random_csr(rng)
+        h = rng.normal(size=(m.n_cols, 5))
+        theirs = sp.csr_matrix(m.to_dense()) @ h
+        np.testing.assert_allclose(m.matmat(h), theirs)

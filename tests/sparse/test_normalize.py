@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.normalize import add_self_loops, gcn_normalize, row_normalize
+
+
+def dense_gcn_norm(a, self_loops=True):
+    """Oracle: dense D^-1/2 (A+I) D^-1/2."""
+    if self_loops:
+        a = a + np.eye(a.shape[0])
+    d = a.sum(axis=1)
+    inv_sqrt = np.where(d > 0, 1.0 / np.sqrt(np.where(d > 0, d, 1)), 0.0)
+    return inv_sqrt[:, None] * a * inv_sqrt[None, :]
+
+
+class TestSelfLoops:
+    def test_adds_diagonal(self, tiny_csr):
+        looped = add_self_loops(tiny_csr)
+        dense = looped.to_dense()
+        np.testing.assert_allclose(np.diag(dense), [1.0, 1.0, 1.0, 6.0])
+
+    def test_existing_loop_summed(self):
+        m = CSRMatrix([0, 1], [0], [2.0], (1, 1))
+        assert add_self_loops(m).to_dense()[0, 0] == 3.0
+
+    def test_rejects_rectangular(self):
+        m = CSRMatrix([0, 1], [0], [1.0], (1, 3))
+        with pytest.raises(ValueError):
+            add_self_loops(m)
+
+
+class TestGCNNormalize:
+    def test_matches_dense_oracle(self, small_rmat):
+        ours = gcn_normalize(small_rmat).to_dense()
+        oracle = dense_gcn_norm(small_rmat.to_dense())
+        np.testing.assert_allclose(ours, oracle, atol=1e-12)
+
+    def test_without_self_loops(self, small_rmat):
+        ours = gcn_normalize(small_rmat, self_loops=False).to_dense()
+        oracle = dense_gcn_norm(small_rmat.to_dense(), self_loops=False)
+        np.testing.assert_allclose(ours, oracle, atol=1e-12)
+
+    def test_isolated_vertices_stay_finite(self):
+        # Vertex 2 has no edges at all.
+        m = CSRMatrix([0, 1, 2, 2], [1, 0], [1.0, 1.0], (3, 3))
+        norm = gcn_normalize(m, self_loops=False)
+        assert np.all(np.isfinite(norm.to_dense()))
+
+    def test_symmetric_input_stays_symmetric(self, small_rmat):
+        dense = gcn_normalize(small_rmat).to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+
+    def test_spectral_radius_bounded_by_one(self, small_rmat):
+        """D^-1/2 (A+I) D^-1/2 has spectral radius <= 1 for non-negative
+        weights (similar to the row-stochastic D^-1 (A+I))."""
+        dense = gcn_normalize(small_rmat).to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_rejects_rectangular(self):
+        m = CSRMatrix([0, 1], [0], [1.0], (1, 3))
+        with pytest.raises(ValueError):
+            gcn_normalize(m)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, small_rmat):
+        norm = row_normalize(small_rmat)
+        sums = norm.to_dense().sum(axis=1)
+        nonzero = small_rmat.row_degrees() > 0
+        np.testing.assert_allclose(sums[nonzero], 1.0)
+        np.testing.assert_allclose(sums[~nonzero], 0.0)

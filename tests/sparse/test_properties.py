@@ -1,0 +1,97 @@
+"""Property-based tests on the sparse substrate (hypothesis)."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.normalize import gcn_normalize
+from repro.sparse.spmm import spmm, spmm_edge_parallel, spmm_vertex_parallel
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12, max_nnz=60):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        arrays(np.int64, nnz, elements=st.integers(0, n_rows - 1))
+    )
+    cols = draw(
+        arrays(np.int64, nnz, elements=st.integers(0, n_cols - 1))
+    )
+    vals = draw(
+        arrays(
+            np.float64,
+            nnz,
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    return COOMatrix(rows, cols, vals, (n_rows, n_cols))
+
+
+@st.composite
+def square_coo(draw, max_dim=10, max_nnz=50):
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(arrays(np.int64, nnz, elements=st.integers(0, n - 1)))
+    cols = draw(arrays(np.int64, nnz, elements=st.integers(0, n - 1)))
+    return COOMatrix(rows, cols, None, (n, n))
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_round_trip_preserves_dense(coo):
+    np.testing.assert_allclose(coo.to_csr().to_dense(), coo.to_dense(), atol=1e-9)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_double_transpose_is_identity(coo):
+    csr = coo.to_csr()
+    np.testing.assert_allclose(
+        csr.transpose().transpose().to_dense(), csr.to_dense()
+    )
+
+
+@given(coo_matrices(), st.integers(1, 6), st.integers(1, 9))
+@settings(max_examples=40, deadline=None)
+def test_parallel_spmm_agrees_with_reference(coo, k, threads):
+    csr = coo.to_csr()
+    rng = np.random.default_rng(0)
+    h = rng.normal(size=(csr.n_cols, k))
+    reference = spmm(csr, h)
+    vp = spmm_vertex_parallel(csr, h, threads)
+    ep = spmm_edge_parallel(csr, h, threads)
+    np.testing.assert_allclose(vp.output, reference, atol=1e-9)
+    np.testing.assert_allclose(ep.output, reference, atol=1e-9)
+
+
+@given(coo_matrices(), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_spmm_matches_scipy(coo, k):
+    csr = coo.to_csr()
+    rng = np.random.default_rng(1)
+    h = rng.normal(size=(csr.n_cols, k))
+    oracle = sp.csr_matrix(
+        (csr.data, csr.indices, csr.indptr), shape=csr.shape
+    ) @ h
+    np.testing.assert_allclose(spmm(csr, h), oracle, atol=1e-9)
+
+
+@given(square_coo())
+@settings(max_examples=60, deadline=None)
+def test_gcn_normalization_is_symmetric_and_bounded(coo):
+    sym = coo.to_csr()
+    # Symmetrize so the invariant applies.
+    dense = sym.to_dense()
+    dense = np.minimum(dense + dense.T, 1.0)
+    coo2 = COOMatrix(*np.nonzero(dense), dense[np.nonzero(dense)], dense.shape)
+    norm = gcn_normalize(coo2.to_csr()).to_dense()
+    np.testing.assert_allclose(norm, norm.T, atol=1e-9)
+    assert np.all(np.isfinite(norm))
+    # Spectral radius of D^-1/2 (A+I) D^-1/2 is at most 1.
+    eigenvalues = np.linalg.eigvalsh(norm)
+    assert eigenvalues.max() <= 1.0 + 1e-9

@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmm import (
+    partition_edges,
+    partition_rows,
+    spmm,
+    spmm_edge_parallel,
+    spmm_traffic,
+    spmm_vertex_parallel,
+)
+
+
+def scipy_spmm(adj, h):
+    return sp.csr_matrix(
+        (adj.data, adj.indices, adj.indptr), shape=adj.shape
+    ) @ h
+
+
+class TestReferenceSpMM:
+    def test_matches_scipy(self, small_rmat, rng):
+        h = rng.normal(size=(small_rmat.n_cols, 16))
+        np.testing.assert_allclose(
+            spmm(small_rmat, h), scipy_spmm(small_rmat, h)
+        )
+
+    def test_rejects_bad_shape(self, tiny_csr):
+        with pytest.raises(ValueError):
+            spmm(tiny_csr, np.ones((3, 2)))
+
+    def test_empty_rows_yield_zero(self, tiny_csr, rng):
+        h = rng.normal(size=(4, 3))
+        out = spmm(tiny_csr, h)
+        np.testing.assert_allclose(out[2], 0.0)
+
+
+class TestPartitioning:
+    def test_rows_cover_everything(self, small_rmat):
+        chunks = partition_rows(small_rmat, 7)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == small_rmat.n_rows
+        for (_, end), (start, _) in zip(chunks, chunks[1:]):
+            assert end == start
+
+    def test_edges_cover_everything(self, small_rmat):
+        chunks = partition_edges(small_rmat, 7)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == small_rmat.nnz
+
+    def test_edge_chunks_balanced(self, small_rmat):
+        chunks = partition_edges(small_rmat, 8)
+        sizes = [end - start for start, end, _ in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_first_row_owns_start_edge(self, small_rmat):
+        for start, _end, first_row in partition_edges(small_rmat, 5):
+            assert small_rmat.indptr[first_row] <= start
+            if first_row + 1 <= small_rmat.n_rows:
+                assert start < small_rmat.indptr[first_row + 1] or start == small_rmat.nnz
+
+    def test_rejects_zero_threads(self, small_rmat):
+        with pytest.raises(ValueError):
+            partition_rows(small_rmat, 0)
+        with pytest.raises(ValueError):
+            partition_edges(small_rmat, 0)
+
+
+class TestParallelVariants:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8, 16])
+    def test_vertex_parallel_correct(self, small_rmat, rng, threads):
+        h = rng.normal(size=(small_rmat.n_cols, 8))
+        result = spmm_vertex_parallel(small_rmat, h, threads)
+        np.testing.assert_allclose(result.output, spmm(small_rmat, h))
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8, 16])
+    def test_edge_parallel_correct(self, small_rmat, rng, threads):
+        h = rng.normal(size=(small_rmat.n_cols, 8))
+        result = spmm_edge_parallel(small_rmat, h, threads)
+        np.testing.assert_allclose(result.output, spmm(small_rmat, h))
+
+    def test_vertex_parallel_no_atomics(self, small_rmat, rng):
+        h = rng.normal(size=(small_rmat.n_cols, 4))
+        assert spmm_vertex_parallel(small_rmat, h, 8).atomic_writes == 0
+
+    def test_edge_parallel_needs_atomics_on_skewed_graph(self, small_rmat, rng):
+        h = rng.normal(size=(small_rmat.n_cols, 4))
+        result = spmm_edge_parallel(small_rmat, h, 16)
+        assert result.atomic_writes > 0
+        assert result.binary_searches == 16
+
+    def test_edge_parallel_better_balanced(self, small_rmat, rng):
+        """Algorithm 2's motivation: edge partition balances skewed graphs."""
+        h = rng.normal(size=(small_rmat.n_cols, 4))
+        vp = spmm_vertex_parallel(small_rmat, h, 16)
+        ep = spmm_edge_parallel(small_rmat, h, 16)
+        imbalance = lambda e: e.max() / max(e.mean(), 1e-12)
+        assert imbalance(ep.edges_per_thread) <= imbalance(vp.edges_per_thread)
+
+    def test_edge_counts_sum_to_nnz(self, small_rmat, rng):
+        h = rng.normal(size=(small_rmat.n_cols, 4))
+        for result in (
+            spmm_vertex_parallel(small_rmat, h, 5),
+            spmm_edge_parallel(small_rmat, h, 5),
+        ):
+            assert result.edges_per_thread.sum() == small_rmat.nnz
+
+
+class TestTrafficModel:
+    def test_equation_values(self):
+        """Equations 1-4 with 4-byte elements, hand-computed."""
+        t = spmm_traffic(
+            n_vertices=10,
+            n_edges=30,
+            embedding_dim=8,
+            element_bytes={"row": 4, "col": 4, "nnz": 4, "feature": 4},
+        )
+        assert t.csr_bytes == 11 * 4 + 30 * 8  # (|V|+1)*B_R + |E|*(B_C+B_N)
+        assert t.feature_bytes == 8 * 30 * 4  # K*|E|*B_F
+        assert t.write_bytes == 8 * 10 * 4  # K*|V|*B_F
+        assert t.flops == 2 * 30 * 8  # 2*|E|*K
+
+    def test_low_arithmetic_intensity(self):
+        """SpMM is bandwidth-bound: < 1 FLOP per byte for float32."""
+        t = spmm_traffic(
+            1000, 16000, 256,
+            element_bytes={"row": 4, "col": 4, "nnz": 4, "feature": 4},
+        )
+        assert t.arithmetic_intensity < 1.0
+
+    def test_totals_consistent(self):
+        t = spmm_traffic(100, 500, 16)
+        assert t.read_bytes == t.csr_bytes + t.feature_bytes
+        assert t.total_bytes == t.read_bytes + t.write_bytes
+
+    def test_traffic_matches_functional_flops(self, small_rmat, rng):
+        """The model's FLOP count equals the functional kernel's MACs."""
+        k = 8
+        t = spmm_traffic(small_rmat.n_rows, small_rmat.nnz, k)
+        # One multiply + one add per (edge, feature) pair.
+        assert t.flops == 2 * small_rmat.nnz * k

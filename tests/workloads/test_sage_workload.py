@@ -1,0 +1,37 @@
+import pytest
+
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
+from repro.workloads.gcn_workload import sage_workload_for, workload_for
+
+
+class TestSAGEWorkload:
+    def test_spmm_dims_match_gcn(self):
+        gcn = workload_for("arxiv", 64).layer_shapes()
+        sage = sage_workload_for("arxiv", 64).layer_shapes()
+        assert [s.in_dim for s in sage] == [s.in_dim for s in gcn]
+        assert [s.n_edges for s in sage] == [s.n_edges for s in gcn]
+
+    def test_dense_input_doubled(self):
+        shapes = sage_workload_for("arxiv", 64).layer_shapes()
+        for shape in shapes:
+            assert shape.update_in_dim == 2 * shape.in_dim
+
+    def test_gcn_update_defaults_to_in_dim(self):
+        shapes = workload_for("arxiv", 64).layer_shapes()
+        for shape in shapes:
+            assert shape.update_in_dim == shape.in_dim
+
+    def test_sage_worsens_piuma_dense_bottleneck(self):
+        """Section VI quantified: the concatenated update makes SAGE
+        strictly more dense-bound than GCN on PIUMA."""
+        node = PIUMAConfig.node()
+        gcn = piuma_gcn_breakdown(workload_for("products", 128), node)
+        sage = piuma_gcn_breakdown(sage_workload_for("products", 128), node)
+        assert sage.fraction("dense") > gcn.fraction("dense")
+        assert sage.spmm == pytest.approx(gcn.spmm)
+        assert sage.dense == pytest.approx(2 * gcn.dense, rel=0.05)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            sage_workload_for("reddit", 8)

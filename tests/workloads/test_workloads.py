@@ -1,0 +1,69 @@
+import pytest
+
+from repro.workloads.gcn_workload import GCNWorkload, workload_for
+from repro.workloads.sweeps import (
+    BANDWIDTH_SWEEP,
+    CORE_SWEEP,
+    EMBEDDING_SWEEP,
+    LATENCY_SWEEP_NS,
+    THREADS_PER_MTP_SWEEP,
+    geometric_sweep,
+)
+
+
+class TestWorkloadFor:
+    def test_uses_dataset_feature_dim(self):
+        w = workload_for("arxiv", hidden_dim=64)
+        assert w.config.in_dim == 128
+        assert w.config.hidden_dim == 64
+        assert w.config.n_layers == 3
+
+    def test_layer_shapes_use_normalized_edges(self):
+        w = workload_for("arxiv", hidden_dim=64)
+        shapes = w.layer_shapes()
+        assert all(
+            s.n_edges == w.dataset.n_edges + w.dataset.n_vertices
+            for s in shapes
+        )
+
+    def test_full_scale_sizes(self):
+        w = workload_for("papers", hidden_dim=256)
+        assert w.n_vertices == 111_059_956
+
+    def test_power_dataset(self):
+        w = workload_for("power-16", hidden_dim=8)
+        assert w.n_vertices == 65536
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            workload_for("nonexistent", hidden_dim=8)
+
+
+class TestSweeps:
+    def test_embedding_sweep_is_paper_grid(self):
+        assert EMBEDDING_SWEEP == (8, 16, 32, 64, 128, 256)
+
+    def test_latency_sweep_matches_fig7(self):
+        assert LATENCY_SWEEP_NS[0] == 45
+        assert LATENCY_SWEEP_NS[-1] == 720
+
+    def test_threads_sweep(self):
+        assert THREADS_PER_MTP_SWEEP == (1, 2, 4, 8, 16)
+
+    def test_geometric_inclusive(self):
+        assert geometric_sweep(8, 256) == (8, 16, 32, 64, 128, 256)
+
+    def test_geometric_custom_factor(self):
+        assert geometric_sweep(1, 27, factor=3) == (1, 3, 9, 27)
+
+    def test_geometric_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0, 10)
+        with pytest.raises(ValueError):
+            geometric_sweep(10, 5)
+        with pytest.raises(ValueError):
+            geometric_sweep(1, 10, factor=1)
+
+    def test_core_and_bandwidth_grids(self):
+        assert CORE_SWEEP[-1] == 32
+        assert 1.0 in BANDWIDTH_SWEEP
