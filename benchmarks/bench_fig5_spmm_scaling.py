@@ -2,31 +2,42 @@
 
 Simulates both kernels on the down-scaled `products` graph for 1-32
 cores at K=256, normalized to single-core DMA performance exactly as
-the paper plots it.
+the paper plots it.  The grid runs through the cached, process-parallel
+sweep runner (``repro.runtime``): records carry the matching Equation 5
+model numbers, so no extra model evaluation is needed here.
 """
 
-from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
+from conftest import products_task
+
 from repro.report.figures import series_chart
 
 CORES = (1, 2, 4, 8, 16, 32)
 K = 256
+KERNELS = ("dma", "loop")
 
 
-def test_fig5_strong_scaling(benchmark, emit, products_graph):
-    def run():
-        rows = {}
-        for cores in CORES:
-            cfg = PIUMAConfig(n_cores=cores)
-            rows[cores] = {
-                "model": spmm_model(
-                    products_graph.n_rows, products_graph.nnz, K, cfg
-                ).gflops,
-                "dma": simulate_spmm(products_graph, K, cfg, "dma").gflops,
-                "loop": simulate_spmm(products_graph, K, cfg, "loop").gflops,
-            }
-        return rows
+def test_fig5_strong_scaling(benchmark, emit, sweep_runner):
+    tasks = [
+        products_task(K, kernel=kernel, n_cores=cores)
+        for cores in CORES for kernel in KERNELS
+    ]
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(
+        lambda: sweep_runner(tasks), rounds=1, iterations=1
+    )
+
+    by_point = {
+        (dict(task.overrides)["n_cores"], task.kernel): record
+        for task, record in zip(report.tasks, report.records)
+    }
+    rows = {
+        cores: {
+            "model": by_point[(cores, "dma")]["model_gflops"],
+            "dma": by_point[(cores, "dma")]["gflops"],
+            "loop": by_point[(cores, "loop")]["gflops"],
+        }
+        for cores in CORES
+    }
 
     base = rows[1]["dma"]
     chart = series_chart(

@@ -1,7 +1,13 @@
 """Fig 6: DRAM bandwidth (top) and latency (bottom) sensitivity of the
-DMA SpMM kernel for 2/4/8-core PIUMA systems at K in {8, 256}."""
+DMA SpMM kernel for 2/4/8-core PIUMA systems at K in {8, 256}.
 
-from repro.piuma import PIUMAConfig, simulate_spmm
+Both grids run through the cached, process-parallel sweep runner: a
+warm rerun is served entirely from ``benchmarks/out/.cache`` (set
+``REPRO_SWEEP_CACHE=0`` to force re-simulation).
+"""
+
+from conftest import products_task
+
 from repro.report.figures import series_chart
 from repro.workloads.sweeps import BANDWIDTH_SWEEP, LATENCY_SWEEP_NS
 
@@ -9,22 +15,28 @@ CORES = (2, 4, 8)
 DIMS = (8, 256)
 
 
-def test_fig6_bandwidth_sweep(benchmark, emit, products_graph):
-    def run():
-        series = {}
-        for cores in CORES:
-            for k in DIMS:
-                series[(cores, k)] = [
-                    simulate_spmm(
-                        products_graph, k,
-                        PIUMAConfig(n_cores=cores, dram_bandwidth_scale=s),
-                        "dma",
-                    ).gflops
-                    for s in BANDWIDTH_SWEEP
-                ]
-        return series
+def _series(report, axis_length):
+    """Group flat in-order records into per-(cores, K) value lists."""
+    values = [record["gflops"] for record in report.records]
+    series = {}
+    index = 0
+    for cores in CORES:
+        for k in DIMS:
+            series[(cores, k)] = values[index:index + axis_length]
+            index += axis_length
+    return series
 
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def test_fig6_bandwidth_sweep(benchmark, emit, sweep_runner):
+    tasks = [
+        products_task(k, n_cores=cores, dram_bandwidth_scale=scale)
+        for cores in CORES for k in DIMS for scale in BANDWIDTH_SWEEP
+    ]
+
+    report = benchmark.pedantic(
+        lambda: sweep_runner(tasks), rounds=1, iterations=1
+    )
+    series = _series(report, len(BANDWIDTH_SWEEP))
 
     nominal = BANDWIDTH_SWEEP.index(1.0)
     chart = series_chart(
@@ -44,22 +56,16 @@ def test_fig6_bandwidth_sweep(benchmark, emit, products_graph):
         assert ratio > 1.6, (key, ratio)
 
 
-def test_fig6_latency_sweep(benchmark, emit, products_graph):
-    def run():
-        series = {}
-        for cores in CORES:
-            for k in DIMS:
-                series[(cores, k)] = [
-                    simulate_spmm(
-                        products_graph, k,
-                        PIUMAConfig(n_cores=cores, dram_latency_ns=lat),
-                        "dma",
-                    ).gflops
-                    for lat in LATENCY_SWEEP_NS
-                ]
-        return series
+def test_fig6_latency_sweep(benchmark, emit, sweep_runner):
+    tasks = [
+        products_task(k, n_cores=cores, dram_latency_ns=float(latency))
+        for cores in CORES for k in DIMS for latency in LATENCY_SWEEP_NS
+    ]
 
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(
+        lambda: sweep_runner(tasks), rounds=1, iterations=1
+    )
+    series = _series(report, len(LATENCY_SWEEP_NS))
 
     chart = series_chart(
         LATENCY_SWEEP_NS,

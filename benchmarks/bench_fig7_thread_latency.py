@@ -3,36 +3,40 @@
 Sweeps the DRAM latency from 45 to 720 ns and threads per MTP from 1 to
 16 for the DMA kernel; with one thread the latency insensitivity is
 lost for small embedding dimensions, with 16 threads even extreme
-latencies are tolerated.
+latencies are tolerated.  The 50-point grid runs through the cached,
+process-parallel sweep runner.
 """
 
-from repro.piuma import PIUMAConfig, simulate_spmm
+from conftest import products_task
+
 from repro.report.figures import series_chart
 from repro.workloads.sweeps import LATENCY_SWEEP_NS, THREADS_PER_MTP_SWEEP
 
 DIMS = (8, 256)
 
 
-def test_fig7_thread_latency_tolerance(benchmark, emit, products_graph):
-    def run():
-        series = {}
-        for k in DIMS:
-            for tpm in THREADS_PER_MTP_SWEEP:
-                series[(k, tpm)] = [
-                    simulate_spmm(
-                        products_graph, k,
-                        PIUMAConfig(
-                            n_cores=8,
-                            threads_per_mtp=tpm,
-                            dram_latency_ns=lat,
-                        ),
-                        "dma",
-                    ).gflops
-                    for lat in LATENCY_SWEEP_NS
-                ]
-        return series
+def test_fig7_thread_latency_tolerance(benchmark, emit, sweep_runner):
+    tasks = [
+        products_task(
+            k, n_cores=8, threads_per_mtp=tpm,
+            dram_latency_ns=float(latency),
+        )
+        for k in DIMS
+        for tpm in THREADS_PER_MTP_SWEEP
+        for latency in LATENCY_SWEEP_NS
+    ]
 
-    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(
+        lambda: sweep_runner(tasks), rounds=1, iterations=1
+    )
+
+    values = [record["gflops"] for record in report.records]
+    series = {}
+    index = 0
+    for k in DIMS:
+        for tpm in THREADS_PER_MTP_SWEEP:
+            series[(k, tpm)] = values[index:index + len(LATENCY_SWEEP_NS)]
+            index += len(LATENCY_SWEEP_NS)
 
     sections = []
     for k in DIMS:

@@ -5,12 +5,18 @@ with its hyperthreading dip versus PIUMA's linear slice scaling).
 Middle: SpMM throughput strong scaling.  Right: execution-time
 composition of a 16-core PIUMA system across embedding dimensions
 (NNZ share collapses as K grows).
+
+The DES points (middle and right panels) run through the cached,
+process-parallel sweep runner; the analytical CPU curves are evaluated
+inline — they cost microseconds.
 """
+
+from conftest import products_task
 
 from repro.cpu.spmm import spmm_time
 from repro.cpu.stream import stream_bandwidth
 from repro.graphs.datasets import get_dataset
-from repro.piuma import PIUMAConfig, simulate_spmm
+from repro.piuma import PIUMAConfig
 from repro.report.figures import series_chart
 from repro.report.tables import format_table
 
@@ -46,14 +52,11 @@ def test_fig8_left_bandwidth(benchmark, emit, xeon):
     assert crossover <= 16
 
 
-def test_fig8_middle_strong_scaling(benchmark, emit, products_graph, xeon):
+def test_fig8_middle_strong_scaling(benchmark, emit, sweep_runner, xeon):
+    tasks = [products_task(256, n_cores=c) for c in PIUMA_CORES]
+
     def run():
-        piuma = [
-            simulate_spmm(
-                products_graph, 256, PIUMAConfig(n_cores=c), "dma"
-            ).gflops
-            for c in PIUMA_CORES
-        ]
+        piuma = [r["gflops"] for r in sweep_runner(tasks).records]
         cpu = [
             spmm_time(
                 PRODUCTS.n_vertices,
@@ -89,17 +92,19 @@ def test_fig8_middle_strong_scaling(benchmark, emit, products_graph, xeon):
     assert cpu[-1] / cpu[0] < 12
 
 
-def test_fig8_right_piuma_composition(benchmark, emit, products_graph):
+def test_fig8_right_piuma_composition(benchmark, emit, sweep_runner):
+    dims = (8, 64, 256)
+    tasks = [products_task(k, n_cores=16) for k in dims]
+
     def run():
+        report = sweep_runner(tasks)
         out = {}
-        for k in (8, 64, 256):
-            result = simulate_spmm(
-                products_graph, k, PIUMAConfig(n_cores=16), "dma"
-            )
-            total_bytes = sum(s.bytes for s in result.tag_stats.values())
+        for k, record in zip(dims, report.records):
+            tag_stats = record["tag_stats"]
+            total_bytes = sum(s["bytes"] for s in tag_stats.values())
             out[k] = {
-                tag: stats.bytes / total_bytes
-                for tag, stats in result.tag_stats.items()
+                tag: stats["bytes"] / total_bytes
+                for tag, stats in tag_stats.items()
             }
         return out
 
@@ -110,7 +115,7 @@ def test_fig8_right_piuma_composition(benchmark, emit, products_graph):
          f"{shares[k].get('nnz', 0):.3%}",
          f"{shares[k].get('dma_read', 0):.3%}",
          f"{shares[k].get('dma_write', 0):.3%}"]
-        for k in (8, 64, 256)
+        for k in dims
     ]
     emit(
         "fig8_right_composition",

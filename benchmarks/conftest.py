@@ -6,6 +6,7 @@ and writes it to ``benchmarks/out/<name>.txt`` so the artifacts survive
 the run.
 """
 
+import os
 import pathlib
 
 import pytest
@@ -14,8 +15,14 @@ from repro.cpu.config import XeonConfig
 from repro.gpu.config import A100Config
 from repro.graphs.datasets import get_dataset
 from repro.piuma.config import PIUMAConfig
+from repro.runtime import ResultCache, run_sweep, spmm_task
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Down-scaling parameters of the shared ``products`` window — tasks
+#: built with :func:`products_task` reference exactly the graph the
+#: ``products_graph`` fixture materializes.
+PRODUCTS_WINDOW = {"max_vertices": 16384, "seed": 7}
 
 
 @pytest.fixture(scope="session")
@@ -44,6 +51,37 @@ def a100():
 @pytest.fixture(scope="session")
 def piuma_node():
     return PIUMAConfig.node()
+
+
+def products_task(embedding_dim, kernel="dma", **config_overrides):
+    """A sweep-runner task over the shared ``products`` window."""
+    return spmm_task(
+        "products", embedding_dim, kernel=kernel,
+        **PRODUCTS_WINDOW, **config_overrides,
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """Run task lists through the cached, process-parallel runner.
+
+    Knobs (environment):
+
+    * ``REPRO_SWEEP_CACHE=0`` — disable the on-disk result cache (a
+      warm rerun is otherwise >=5x faster than a cold one);
+    * ``REPRO_SWEEP_WORKERS=N`` — process-pool size (default
+      ``min(4, CPUs)``).
+    """
+    cache = ResultCache(
+        enabled=os.environ.get("REPRO_SWEEP_CACHE", "1") != "0"
+    )
+
+    def _run(tasks):
+        report = run_sweep(tasks, cache=cache)
+        print(f"\n[sweep] {report.summary()}")
+        return report
+
+    return _run
 
 
 @pytest.fixture(scope="session")

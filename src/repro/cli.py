@@ -8,6 +8,8 @@ without writing any Python:
   platform (Figs 3/4/10, one row).
 * ``speedup``   — cross-platform speedups for one dataset (Fig 9 row).
 * ``simulate``  — run the PIUMA DES on a (down-scaled) dataset.
+* ``sweep``     — run a DES grid through the cached, process-parallel
+  sweep runner (``repro.runtime``).
 * ``advise``    — the Fig 2 contour as a decision rule.
 """
 
@@ -56,6 +58,37 @@ def _build_parser():
     simulate.add_argument("--threads-per-mtp", type=int, default=16)
     simulate.add_argument("--max-vertices", type=int, default=16384,
                           help="down-scale the graph to this many vertices")
+    simulate.add_argument("--no-cache", action="store_true",
+                          help="bypass the on-disk result cache")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a simulator grid through the cached parallel runner",
+    )
+    sweep.add_argument("--dataset", default="products")
+    sweep.add_argument("--kernel", choices=("dma", "loop", "vertex"),
+                       default="dma")
+    sweep.add_argument("--dims", type=int, nargs="+", default=None,
+                       help="embedding dims (default: the Fig 3 grid)")
+    sweep.add_argument("--cores", type=int, nargs="+", default=[8])
+    sweep.add_argument("--latency-ns", type=float, nargs="+",
+                       default=[45.0])
+    sweep.add_argument("--bandwidth-scale", type=float, nargs="+",
+                       default=[1.0])
+    sweep.add_argument("--threads-per-mtp", type=int, nargs="+",
+                       default=[16])
+    sweep.add_argument("--max-vertices", type=int, default=16384)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: min(4, CPUs), "
+                            "or $REPRO_SWEEP_WORKERS)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="invalidate (delete) all cached records first")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache location (default benchmarks/out/.cache "
+                            "or $REPRO_CACHE_DIR)")
 
     advise = sub.add_parser(
         "advise", help="predict the CPU SpMM share for a (|V|, density)"
@@ -74,6 +107,10 @@ def _build_parser():
                            default=[1, 2, 4, 8])
     calibrate.add_argument("--dims", type=int, nargs="+",
                            default=[8, 64, 256])
+    calibrate.add_argument("--workers", type=int, default=None,
+                           help="process-pool size for the grid")
+    calibrate.add_argument("--no-cache", action="store_true",
+                           help="bypass the on-disk result cache")
 
     validate = sub.add_parser(
         "validate", help="run the simulator invariant self-test"
@@ -176,29 +213,84 @@ def _cmd_speedup(args, out):
 
 
 def _cmd_simulate(args, out):
-    from repro.graphs.datasets import get_dataset
-    from repro.piuma import PIUMAConfig, simulate_spmm, spmm_model
     from repro.report.tables import format_time_ns
+    from repro.runtime import ResultCache, run_sweep, spmm_task
 
-    spec = get_dataset(args.dataset)
-    adj = spec.materialize(max_vertices=args.max_vertices, seed=0)
-    config = PIUMAConfig(
+    task = spmm_task(
+        args.dataset, args.hidden, kernel=args.kernel,
+        max_vertices=args.max_vertices,
         n_cores=args.cores,
         dram_latency_ns=args.latency_ns,
         dram_bandwidth_scale=args.bandwidth_scale,
         threads_per_mtp=args.threads_per_mtp,
     )
-    result = simulate_spmm(adj, args.hidden, config, kernel=args.kernel)
-    roof = spmm_model(adj.n_rows, adj.nnz, args.hidden, config)
-    out(f"graph: {adj.n_rows:,} vertices, {adj.nnz:,} edges "
-        f"(window {result.window_edges:,} edges)")
+    cache = ResultCache(enabled=not args.no_cache)
+    report = run_sweep([task], workers=1, cache=cache)
+    record = report.records[0]
+    out(f"graph: {record['n_vertices']:,} vertices, "
+        f"{record['n_edges']:,} edges "
+        f"(window {record['window_edges']:,} edges)")
     out(f"kernel {args.kernel}, {args.cores} cores, "
         f"{args.threads_per_mtp} threads/MTP, "
         f"{args.latency_ns:.0f} ns DRAM")
-    out(f"achieved {result.gflops:.1f} GFLOP/s "
-        f"({result.efficiency_vs(roof.gflops):.0%} of the Eq.5 model); "
-        f"memory utilization {result.memory_utilization:.0%}")
-    out(f"projected kernel time: {format_time_ns(result.projected_time_ns)}")
+    out(f"achieved {record['gflops']:.1f} GFLOP/s "
+        f"({record['efficiency']:.0%} of the Eq.5 model); "
+        f"memory utilization {record['memory_utilization']:.0%}")
+    out(f"projected kernel time: "
+        f"{format_time_ns(record['projected_time_ns'])}")
+    if report.cache_hits:
+        out("(served from the result cache; --no-cache to re-simulate)")
+    return 0
+
+
+def _cmd_sweep(args, out):
+    from repro.report.tables import format_table
+    from repro.runtime import ProgressTracker, ResultCache, run_sweep, spmm_task
+    from repro.workloads.sweeps import EMBEDDING_SWEEP, grid
+
+    dims = tuple(args.dims) if args.dims else EMBEDDING_SWEEP
+    points = grid(
+        n_cores=args.cores,
+        embedding_dim=dims,
+        dram_latency_ns=args.latency_ns,
+        dram_bandwidth_scale=args.bandwidth_scale,
+        threads_per_mtp=args.threads_per_mtp,
+    )
+    tasks = [
+        spmm_task(
+            args.dataset, point.pop("embedding_dim"), kernel=args.kernel,
+            max_vertices=args.max_vertices, seed=args.seed, **point,
+        )
+        for point in points
+    ]
+    cache = ResultCache(directory=args.cache_dir,
+                        enabled=not args.no_cache)
+    if args.clear_cache:
+        out(f"cleared {cache.clear()} cached record(s)")
+    progress = ProgressTracker(total=len(tasks), out=out)
+    report = run_sweep(tasks, workers=args.workers, cache=cache,
+                       progress=progress)
+    rows = [
+        [dict(task.overrides)["n_cores"],
+         task.embedding_dim,
+         f"{dict(task.overrides)['dram_latency_ns']:.0f}",
+         f"{dict(task.overrides)['dram_bandwidth_scale']:g}",
+         dict(task.overrides)["threads_per_mtp"],
+         f"{record['gflops']:.1f}",
+         f"{record['model_gflops']:.1f}",
+         f"{record['efficiency']:.2f}",
+         f"{record['memory_utilization']:.0%}"]
+        for task, record in zip(report.tasks, report.records)
+    ]
+    out(format_table(
+        ["cores", "K", "lat ns", "bw", "thr/MTP",
+         "DES GF", "model GF", "eff", "mem util"],
+        rows,
+        title=f"{args.dataset}/{args.kernel} sweep "
+              f"({args.max_vertices:,}-vertex window)",
+    ))
+    out(progress.summary())
+    out(f"cache: {cache.stats}")
     return 0
 
 
@@ -220,21 +312,23 @@ def _cmd_advise(args, out):
 
 
 def _cmd_calibrate(args, out):
-    from repro.graphs.datasets import get_dataset
     from repro.report.tables import format_table
-    from repro.validation import calibrate_spmm_efficiency
+    from repro.runtime import ResultCache, run_sweep
+    from repro.validation import calibration_from_records, calibration_tasks
 
-    adj = get_dataset(args.dataset).materialize(
-        max_vertices=args.max_vertices, seed=0
+    tasks = calibration_tasks(
+        args.dataset, core_counts=tuple(args.cores),
+        embedding_dims=tuple(args.dims), max_vertices=args.max_vertices,
     )
-    result = calibrate_spmm_efficiency(
-        adj, core_counts=tuple(args.cores), embedding_dims=tuple(args.dims)
-    )
+    cache = ResultCache(enabled=not args.no_cache)
+    report = run_sweep(tasks, workers=args.workers, cache=cache)
+    result = calibration_from_records(report.tasks, report.records)
+    n_vertices = report.records[0]["n_vertices"]
     out(format_table(
         ["cores", "K", "DES GF", "model GF", "efficiency"],
         result.table_rows(),
         title=f"DMA-kernel calibration on {args.dataset}/"
-              f"{adj.n_rows:,} vertices",
+              f"{n_vertices:,} vertices",
     ))
     out(f"mean {result.mean_efficiency:.2f}, "
         f"min {result.min_efficiency:.2f}; "
@@ -332,6 +426,7 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "speedup": _cmd_speedup,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "advise": _cmd_advise,
     "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,

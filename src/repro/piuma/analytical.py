@@ -56,13 +56,21 @@ def spmm_model(n_vertices, n_edges, embedding_dim, config,
         :class:`PIUMAConfig`; supplies element sizes and, by default,
         the aggregate DRAM bandwidth for both directions.
     read_bandwidth, write_bandwidth:
-        Override bandwidths in bytes/ns (GB/s).
+        Override bandwidths in bytes/ns (GB/s).  ``None`` (the default)
+        uses the config's aggregate bandwidth; an explicit non-positive
+        override raises instead of silently falling back.
     """
     traffic = spmm_traffic(
         n_vertices, n_edges, embedding_dim, element_bytes(config)
     )
-    bw_read = read_bandwidth or config.total_bandwidth_gbps
-    bw_write = write_bandwidth or config.total_bandwidth_gbps
+    bw_read = (
+        config.total_bandwidth_gbps if read_bandwidth is None
+        else read_bandwidth
+    )
+    bw_write = (
+        config.total_bandwidth_gbps if write_bandwidth is None
+        else write_bandwidth
+    )
     if bw_read <= 0 or bw_write <= 0:
         raise ValueError("bandwidths must be positive")
     time_ns = traffic.read_bytes / bw_read + traffic.write_bytes / bw_write

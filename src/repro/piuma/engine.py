@@ -247,6 +247,17 @@ class Simulator:
         values = [s.utilization(horizon) for s in self.slices]
         return sum(values) / len(values)
 
+    def priority_memory_utilization(self):
+        """Mean DRAM-slice demand-read (priority) busy fraction.
+
+        A sub-account of :meth:`memory_utilization`: priority service
+        also occupies the bulk timeline, so this reports how much of the
+        slice occupancy is pipeline demand reads rather than DMA bulk.
+        """
+        horizon = self.end_time or 1.0
+        values = [s.priority_utilization(horizon) for s in self.slices]
+        return sum(values) / len(values)
+
     def bytes_served(self):
         return sum(s.bytes_served for s in self.slices)
 

@@ -172,16 +172,34 @@ class DRAMSlice:
             start = max(now, self._priority_horizon)
             end = start + service
             self._priority_horizon = end
+            self._priority_busy += service
             return end + self.latency_ns
         _start, end = self._timeline.allocate(now, service)
         return end + self.latency_ns
 
     @property
     def busy_time(self):
+        """Total transfer occupancy (bulk and priority combined)."""
         return self._timeline.busy_time
+
+    @property
+    def priority_busy_time(self):
+        """Service time consumed by demand-read (priority) requests.
+
+        Priority service is *also* charged to the bulk timeline (it
+        steals capacity), so this is a sub-account of :attr:`busy_time`,
+        not an addition to it.
+        """
+        return self._priority_busy
 
     def utilization(self, horizon):
         """Fraction of ``[0, horizon]`` this slice was transferring."""
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time / horizon)
+
+    def priority_utilization(self, horizon):
+        """Fraction of ``[0, horizon]`` spent serving demand reads."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._priority_busy / horizon)

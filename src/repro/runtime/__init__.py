@@ -1,0 +1,48 @@
+"""Experiment-execution runtime: sweep runner, result cache, progress.
+
+The paper's figures are all sweeps over the (pure, deterministic)
+discrete-event simulator.  This package makes sweep execution a
+first-class subsystem:
+
+* :mod:`repro.runtime.runner` — fan independent sweep points across a
+  process pool with deterministic result ordering;
+* :mod:`repro.runtime.cache` — content-addressed on-disk JSON records
+  keyed by (config fields, dataset spec, kernel, point, code salt);
+* :mod:`repro.runtime.progress` — per-point wall-clock / simulated-ns /
+  cache-hit instrumentation.
+
+Benchmarks, the ``repro sweep``/``simulate``/``calibrate`` CLI
+commands, and future distributed backends all route through
+:func:`run_sweep`.
+"""
+
+from repro.runtime.cache import (
+    CODE_VERSION,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
+from repro.runtime.progress import PointMetrics, ProgressTracker
+from repro.runtime.runner import (
+    SpMMTask,
+    SweepReport,
+    default_workers,
+    run_sweep,
+    spmm_task,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "PointMetrics",
+    "ProgressTracker",
+    "ResultCache",
+    "SpMMTask",
+    "SweepReport",
+    "cache_key",
+    "default_cache_dir",
+    "default_workers",
+    "run_sweep",
+    "spmm_task",
+]

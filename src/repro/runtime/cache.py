@@ -1,0 +1,162 @@
+"""Content-addressed on-disk result cache for sweep points.
+
+Every sweep point the runner executes is described by a JSON-able
+payload: the *full* set of :class:`~repro.piuma.config.PIUMAConfig`
+dataclass fields (so a changed default invalidates old entries), the
+dataset spec with its down-scaling parameters, the kernel name, and the
+sweep point itself (embedding dim, window).  The cache key is the
+SHA-256 of that payload's canonical JSON plus a code-version salt —
+bump :data:`CODE_VERSION` whenever simulator semantics change and every
+stale record silently becomes a miss.
+
+Records are single JSON files under ``benchmarks/out/.cache/`` (or
+``$REPRO_CACHE_DIR``), written atomically, readable with any text tool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+#: Salt mixed into every cache key.  Bump when the simulator, kernels,
+#: or record schema change meaning: old entries then miss instead of
+#: serving stale numbers.
+CODE_VERSION = "runtime-v1"
+
+
+def default_cache_dir():
+    """Resolve the cache directory.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``benchmarks/out/.cache``
+    under the repository root (derived from the source tree layout),
+    falling back to the current working directory for installed use.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "out" / ".cache"
+    return pathlib.Path.cwd() / "benchmarks" / "out" / ".cache"
+
+
+def cache_key(payload, salt=CODE_VERSION):
+    """Stable content hash of a JSON-able payload.
+
+    Canonical form: sorted keys, no whitespace, so logically equal
+    payloads built in different orders hash identically.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(canon.encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self):
+        return (f"{self.hits} hit(s), {self.misses} miss(es) "
+                f"({self.hit_rate:.0%} hit rate)")
+
+
+class ResultCache:
+    """Content-addressed JSON record store.
+
+    Parameters
+    ----------
+    directory:
+        Where records live; default :func:`default_cache_dir`.
+    enabled:
+        ``False`` turns every lookup into a miss and every store into a
+        no-op (the ``--no-cache`` path) while keeping the call sites
+        unconditional.
+    salt:
+        Code-version salt mixed into keys; override in tests to prove
+        invalidation.
+    """
+
+    def __init__(self, directory=None, enabled=True, salt=CODE_VERSION):
+        self.directory = pathlib.Path(directory or default_cache_dir())
+        self.enabled = enabled
+        self.salt = salt
+        self.stats = CacheStats()
+
+    def _path(self, key):
+        return self.directory / f"{key}.json"
+
+    def key_for(self, payload):
+        """Key of a payload under this cache's salt."""
+        return cache_key(payload, salt=self.salt)
+
+    def get(self, key):
+        """Return the cached record for ``key`` or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses — the runner will
+        recompute and overwrite them.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            record = entry["record"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key, record, payload=None):
+        """Store ``record`` under ``key`` (atomic write-then-rename).
+
+        ``payload`` is stored alongside for debuggability — a cache file
+        is self-describing about which sweep point produced it.
+        """
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"salt": self.salt, "key": key, "payload": payload,
+                 "record": record}
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    def clear(self):
+        """Delete every cached record; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self):
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,93 @@
+"""Progress and metrics instrumentation for long sweeps.
+
+The runner reports every completed point here: the tracker accumulates
+per-point wall-clock, simulated nanoseconds, and cache-hit counters,
+and (optionally) emits one live line per point so a multi-minute sweep
+is observable rather than silent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PointMetrics:
+    """Measurements of one finished sweep point."""
+
+    label: str
+    wall_s: float
+    simulated_ns: float
+    cached: bool
+
+
+class ProgressTracker:
+    """Accumulates sweep metrics; optionally narrates each point.
+
+    Parameters
+    ----------
+    total:
+        Number of points in the sweep (for ``[i/total]`` prefixes).
+    out:
+        Callable for live per-point lines (e.g. ``print``); ``None``
+        keeps the tracker silent (library / benchmark use).
+    clock:
+        Injectable time source (tests).
+    """
+
+    def __init__(self, total, out=None, clock=time.perf_counter):
+        self.total = total
+        self.out = out
+        self._clock = clock
+        self._started = clock()
+        self.points = []
+
+    def point_done(self, label, wall_s, simulated_ns, cached):
+        """Record one finished point."""
+        metrics = PointMetrics(
+            label=label, wall_s=wall_s,
+            simulated_ns=simulated_ns, cached=cached,
+        )
+        self.points.append(metrics)
+        if self.out is not None:
+            source = "cache" if cached else f"{wall_s:.2f}s"
+            self.out(
+                f"[{len(self.points)}/{self.total}] {label}: "
+                f"sim {simulated_ns / 1e6:.3f} ms ({source})"
+            )
+        return metrics
+
+    @property
+    def done(self):
+        return len(self.points)
+
+    @property
+    def cache_hits(self):
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def computed(self):
+        return self.done - self.cache_hits
+
+    @property
+    def compute_wall_s(self):
+        """Wall-clock spent actually simulating (cache hits excluded)."""
+        return sum(p.wall_s for p in self.points if not p.cached)
+
+    @property
+    def simulated_ns(self):
+        return sum(p.simulated_ns for p in self.points)
+
+    @property
+    def elapsed_s(self):
+        return self._clock() - self._started
+
+    def summary(self):
+        """One-paragraph sweep summary for CLI / benchmark output."""
+        return (
+            f"{self.done}/{self.total} points in {self.elapsed_s:.2f}s "
+            f"wall ({self.cache_hits} cached, {self.computed} computed, "
+            f"{self.compute_wall_s:.2f}s simulating); "
+            f"total simulated time {self.simulated_ns / 1e6:.3f} ms"
+        )

@@ -1,0 +1,277 @@
+"""Process-parallel sweep runner over the discrete-event simulator.
+
+Every figure of the paper is a sweep: a grid of (config, dataset,
+kernel, embedding-dim) points, each an independent pure function of its
+inputs.  The runner exploits exactly that — points are described by
+picklable :class:`SpMMTask` records, fanned across a
+``ProcessPoolExecutor``, memoized through the content-addressed
+:mod:`repro.runtime.cache`, and returned **in submission order** no
+matter which worker finished first, so downstream charts and
+assertions never depend on scheduling.
+
+Workers materialize graphs themselves (memoized per process), so only
+small task descriptors and JSON records cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.progress import ProgressTracker
+
+#: Per-process memo of materialized graphs: tasks reference datasets by
+#: (name, max_vertices, seed), so a worker builds each graph once and
+#: reuses it for every point it executes.
+_GRAPH_MEMO = {}
+
+
+def _materialized(dataset, max_vertices, seed):
+    from repro.graphs.datasets import get_dataset
+
+    key = (dataset, max_vertices, seed)
+    if key not in _GRAPH_MEMO:
+        _GRAPH_MEMO[key] = get_dataset(dataset).materialize(
+            max_vertices=max_vertices, seed=seed
+        )
+    return _GRAPH_MEMO[key]
+
+
+@dataclass(frozen=True)
+class SpMMTask:
+    """One picklable sweep point: simulate one SpMM kernel invocation.
+
+    Attributes
+    ----------
+    dataset, max_vertices, seed:
+        Dataset spec reference and down-scaling parameters — the graph
+        is materialized (and memoized) inside the worker process.
+    embedding_dim, kernel, window_edges:
+        Kernel invocation parameters (see
+        :func:`repro.piuma.simulate_spmm`).
+    overrides:
+        Sorted ``(field, value)`` pairs applied on top of the default
+        :class:`~repro.piuma.config.PIUMAConfig` — a plain tuple so the
+        task stays hashable and canonically ordered.
+    """
+
+    dataset: str
+    embedding_dim: int
+    kernel: str = "dma"
+    max_vertices: int = 16384
+    seed: int = 0
+    window_edges: int = None
+    overrides: tuple = ()
+
+    def config(self):
+        from repro.piuma.config import PIUMAConfig
+
+        return PIUMAConfig(**dict(self.overrides))
+
+    def label(self):
+        knobs = " ".join(f"{k}={v}" for k, v in self.overrides)
+        return (f"{self.dataset}/{self.kernel} K={self.embedding_dim}"
+                + (f" {knobs}" if knobs else ""))
+
+    def key_payload(self):
+        """JSON-able identity of this point for the content cache.
+
+        Includes *every* config dataclass field (not just the swept
+        overrides) and the full dataset spec, so changing a default in
+        :class:`PIUMAConfig` or a Table-I count invalidates old records.
+        """
+        from repro.graphs.datasets import get_dataset
+
+        return {
+            "dataset": asdict(get_dataset(self.dataset)),
+            "max_vertices": self.max_vertices,
+            "seed": self.seed,
+            "config": asdict(self.config()),
+            "kernel": self.kernel,
+            "embedding_dim": self.embedding_dim,
+            "window_edges": self.window_edges,
+        }
+
+    def run(self):
+        """Execute the point; returns a plain-JSON record.
+
+        The record carries both the DES outcome and the matching
+        Equation 5 model numbers (cheap to compute, and every consumer
+        — calibration, Fig 5, the CLI — wants the ratio).
+        """
+        from repro.piuma import simulate_spmm, spmm_model
+
+        adj = _materialized(self.dataset, self.max_vertices, self.seed)
+        config = self.config()
+        result = simulate_spmm(
+            adj, self.embedding_dim, config, kernel=self.kernel,
+            window_edges=self.window_edges,
+        )
+        model = spmm_model(adj.n_rows, adj.nnz, self.embedding_dim, config)
+        return {
+            "n_vertices": int(adj.n_rows),
+            "n_edges": int(adj.nnz),
+            "embedding_dim": int(self.embedding_dim),
+            "kernel": self.kernel,
+            "gflops": float(result.gflops),
+            "projected_time_ns": float(result.projected_time_ns),
+            "sim_time_ns": float(result.sim_time_ns),
+            "window_edges": int(result.window_edges),
+            "total_edges": int(result.total_edges),
+            "memory_utilization": float(result.memory_utilization),
+            "achieved_bandwidth": float(result.achieved_bandwidth),
+            "model_gflops": float(model.gflops),
+            "model_time_ns": float(model.time_ns),
+            "efficiency": (float(result.gflops / model.gflops)
+                           if model.gflops > 0 else 0.0),
+            "tag_stats": {
+                tag: {"count": int(s.count), "bytes": float(s.bytes),
+                      "wait_ns": float(s.wait_ns)}
+                for tag, s in sorted(result.tag_stats.items())
+            },
+        }
+
+
+def _execute_task(task):
+    """Module-level trampoline so tasks pickle into worker processes."""
+    return task.run()
+
+
+def spmm_task(dataset, embedding_dim, kernel="dma", max_vertices=16384,
+              seed=0, window_edges=None, **config_overrides):
+    """Build an :class:`SpMMTask` from keyword config overrides.
+
+    ``spmm_task("products", 256, n_cores=8, dram_latency_ns=90)`` — the
+    overrides are canonically sorted so logically equal points always
+    produce the same task (and the same cache key).
+    """
+    return SpMMTask(
+        dataset=dataset,
+        embedding_dim=embedding_dim,
+        kernel=kernel,
+        max_vertices=max_vertices,
+        seed=seed,
+        window_edges=window_edges,
+        overrides=tuple(sorted(config_overrides.items())),
+    )
+
+
+def default_workers():
+    """Worker count: ``$REPRO_SWEEP_WORKERS`` or ``min(4, cpus)``."""
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`run_sweep` call.
+
+    ``records`` is ordered exactly like the submitted task list.
+    """
+
+    tasks: list
+    records: list
+    cache_hits: int
+    cache_misses: int
+    workers: int
+    wall_s: float
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self):
+        return len(self.records)
+
+    def summary(self):
+        return (f"{len(self.records)} point(s) in {self.wall_s:.2f}s "
+                f"({self.cache_hits} cached, {self.cache_misses} computed, "
+                f"{self.workers} worker(s))")
+
+
+def run_sweep(tasks, workers=None, cache=None, progress=None):
+    """Run every task; returns a :class:`SweepReport`.
+
+    Parameters
+    ----------
+    tasks:
+        Iterable of :class:`SpMMTask` (or any picklable object with
+        ``run()``, ``label()`` and ``key_payload()``).
+    workers:
+        Process count; ``None`` uses :func:`default_workers`, ``1``
+        (or a single miss) runs inline with no pool at all.
+    cache:
+        :class:`~repro.runtime.cache.ResultCache`; ``None`` disables
+        caching.  Hits are resolved in the parent before any process
+        spawns, so a fully warm sweep never forks.
+    progress:
+        :class:`~repro.runtime.progress.ProgressTracker`; ``None``
+        creates a silent one.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers()
+    if progress is None:
+        progress = ProgressTracker(total=len(tasks))
+    started = time.perf_counter()
+
+    records = [None] * len(tasks)
+    keys = [None] * len(tasks)
+    misses = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            keys[index] = cache.key_for(task.key_payload())
+            hit = cache.get(keys[index])
+            if hit is not None:
+                records[index] = hit
+                progress.point_done(
+                    task.label(), 0.0,
+                    hit.get("sim_time_ns", 0.0), cached=True,
+                )
+                continue
+        misses.append(index)
+
+    def _finish(index, record, wall_s):
+        records[index] = record
+        if cache is not None:
+            cache.put(keys[index], record,
+                      payload=tasks[index].key_payload())
+        progress.point_done(
+            tasks[index].label(), wall_s,
+            record.get("sim_time_ns", 0.0), cached=False,
+        )
+
+    if len(misses) <= 1 or workers <= 1:
+        for index in misses:
+            point_start = time.perf_counter()
+            record = _execute_task(tasks[index])
+            _finish(index, record, time.perf_counter() - point_start)
+        pool_workers = 1
+    else:
+        pool_workers = min(workers, len(misses))
+        submit_times = {}
+        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+            futures = {}
+            for index in misses:
+                future = pool.submit(_execute_task, tasks[index])
+                futures[future] = index
+                submit_times[index] = time.perf_counter()
+            for future in as_completed(futures):
+                index = futures[future]
+                _finish(
+                    index, future.result(),
+                    time.perf_counter() - submit_times[index],
+                )
+
+    return SweepReport(
+        tasks=tasks,
+        records=records,
+        cache_hits=len(tasks) - len(misses),
+        cache_misses=len(misses),
+        workers=pool_workers,
+        wall_s=time.perf_counter() - started,
+    )

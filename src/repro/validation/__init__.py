@@ -11,6 +11,8 @@ from repro.validation.calibrate import (
     CalibrationPoint,
     CalibrationResult,
     calibrate_spmm_efficiency,
+    calibration_from_records,
+    calibration_tasks,
 )
 from repro.validation.verify import (
     InvariantReport,
@@ -24,6 +26,8 @@ __all__ = [
     "CalibrationResult",
     "InvariantReport",
     "calibrate_spmm_efficiency",
+    "calibration_from_records",
+    "calibration_tasks",
     "check_conservation",
     "check_monotonicity",
     "run_all_checks",

@@ -62,6 +62,48 @@ class CalibrationResult:
         ]
 
 
+def calibration_tasks(dataset, core_counts=(1, 2, 4, 8),
+                      embedding_dims=(8, 64, 256), max_vertices=8192,
+                      seed=0, kernel="dma", **config_overrides):
+    """Build the calibration grid as runner tasks.
+
+    The runner-facing twin of :func:`calibrate_spmm_efficiency`: the
+    same (cores x K) grid expressed as picklable
+    :class:`repro.runtime.SpMMTask` points, so the CLI can fan it over
+    the process pool and memoize it through the result cache.
+    """
+    from repro.runtime import spmm_task
+
+    return [
+        spmm_task(
+            dataset, k, kernel=kernel, max_vertices=max_vertices,
+            seed=seed, n_cores=cores, **config_overrides,
+        )
+        for cores in core_counts
+        for k in embedding_dims
+    ]
+
+
+def calibration_from_records(tasks, records):
+    """Assemble a :class:`CalibrationResult` from sweep-runner records.
+
+    Records carry both the DES throughput and the matching Equation 5
+    model throughput, so no re-simulation is needed.
+    """
+    if not records:
+        raise ValueError("empty calibration grid")
+    points = tuple(
+        CalibrationPoint(
+            n_cores=dict(task.overrides)["n_cores"],
+            embedding_dim=task.embedding_dim,
+            des_gflops=record["gflops"],
+            model_gflops=record["model_gflops"],
+        )
+        for task, record in zip(tasks, records)
+    )
+    return CalibrationResult(points=points)
+
+
 def calibrate_spmm_efficiency(adj, core_counts=(1, 2, 4, 8),
                               embedding_dims=(8, 64, 256),
                               base_config=None, kernel="dma"):

@@ -8,6 +8,8 @@ DRAM latency from 45 to 720 ns (Fig 7), and relative DRAM bandwidth
 
 from __future__ import annotations
 
+import itertools
+
 #: Hidden embedding dimensions of Figs 3, 4, 9, 10.
 EMBEDDING_SWEEP = (8, 16, 32, 64, 128, 256)
 
@@ -22,6 +24,21 @@ BANDWIDTH_SWEEP = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 #: Threads-per-MTP grid of Fig 7.
 THREADS_PER_MTP_SWEEP = (1, 2, 4, 8, 16)
+
+
+def grid(**axes):
+    """Cartesian product of named sweep axes, as a list of dicts.
+
+    ``grid(n_cores=(2, 4), embedding_dim=(8, 256))`` yields the four
+    points ``{"n_cores": 2, "embedding_dim": 8}`` ... in row-major
+    (last-axis-fastest) order — the deterministic point ordering the
+    sweep runner preserves end to end.
+    """
+    names = list(axes)
+    values = [tuple(axes[name]) for name in names]
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*values)
+    ]
 
 
 def geometric_sweep(start, stop, factor=2):

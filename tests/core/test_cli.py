@@ -60,6 +60,42 @@ class TestSimulate:
         assert "vertex" in text
 
 
+class TestSweep:
+    def test_grid_runs_and_reports(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--dataset", "power-12", "--max-vertices", "2048",
+                "--cores", "1", "2", "--dims", "8", "--workers", "1"]
+        code, text = run_cli(argv)
+        assert code == 0
+        assert "DES GF" in text and "mem util" in text
+        assert "2/2 points" in text
+        assert "2 miss(es)" in text
+        # Warm rerun: every point served from the cache.
+        code, text = run_cli(argv)
+        assert code == 0
+        assert "2 hit(s)" in text
+
+    def test_no_cache_flag_bypasses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--dataset", "power-12", "--max-vertices", "1024",
+                "--dims", "8", "--cores", "1", "--workers", "1",
+                "--no-cache"]
+        for _ in range(2):
+            code, text = run_cli(argv)
+            assert code == 0
+            assert "0 hit(s)" in text
+
+    def test_clear_cache_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--dataset", "power-12", "--max-vertices", "1024",
+                "--dims", "8", "--cores", "1", "--workers", "1"]
+        run_cli(argv)
+        code, text = run_cli(argv + ["--clear-cache"])
+        assert code == 0
+        assert "cleared 1 cached record(s)" in text
+        assert "1 miss(es)" in text
+
+
 class TestAdvise:
     def test_dense_graph_accelerator_favored(self):
         code, text = run_cli(["advise", "1000000", "1e-4"])

@@ -86,6 +86,7 @@ class TestModelConsistency:
         )
         assert fast.gflops > slow.gflops
 
+    @pytest.mark.slow
     def test_more_latency_never_meaningfully_faster_des(self, arxiv_small):
         base = simulate_spmm(
             arxiv_small, 32, PIUMAConfig(dram_latency_ns=45.0)

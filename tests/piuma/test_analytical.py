@@ -39,6 +39,22 @@ class TestAnalyticalModel:
         with pytest.raises(ValueError):
             spmm_model(10, 10, 8, PIUMAConfig(), read_bandwidth=-1.0)
 
+    def test_zero_bandwidth_override_raises(self):
+        """Regression: falsy overrides used to silently fall back to
+        the config default via ``or`` instead of raising."""
+        with pytest.raises(ValueError):
+            spmm_model(10, 10, 8, PIUMAConfig(), read_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            spmm_model(10, 10, 8, PIUMAConfig(), write_bandwidth=0.0)
+
+    def test_small_override_is_honored_not_ignored(self):
+        """A tiny (near-falsy) override must slow the model down, not
+        be swallowed by the default-bandwidth fallback."""
+        cfg = PIUMAConfig(n_cores=1)
+        throttled = spmm_model(100, 1000, 64, cfg, read_bandwidth=1e-6)
+        nominal = spmm_model(100, 1000, 64, cfg)
+        assert throttled.time_ns > 1e5 * nominal.time_ns
+
 
 class TestDenseMM:
     def test_peak_scales_with_pipelines(self):

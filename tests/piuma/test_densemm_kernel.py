@@ -54,6 +54,7 @@ class TestGCNSim:
         b = simulate_gcn_layer(adj, 64, 64, die)
         assert b.spmm > 0 and b.dense > 0 and b.glue > 0
 
+    @pytest.mark.slow
     def test_dense_share_grows_with_k(self, adj, die):
         """Fig 10 validated against simulation, not just models."""
         small = simulate_gcn(
@@ -64,6 +65,7 @@ class TestGCNSim:
         )
         assert large.fraction("dense") > small.fraction("dense")
 
+    @pytest.mark.slow
     def test_three_layers_accumulate(self, adj, die):
         one = simulate_gcn_layer(adj, 32, 32, die)
         three = simulate_gcn(

@@ -39,6 +39,7 @@ class TestDynamicKernel:
         assert "queue_pop" in result.tag_stats
         assert result.tag_stats["queue_pop"].count > 0
 
+    @pytest.mark.slow
     def test_recovers_static_imbalance(self, skewed):
         """Section IV-B completed: dynamic scheduling buys back most of
         the hub imbalance that sinks static vertex-parallel at scale."""

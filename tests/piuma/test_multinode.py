@@ -41,6 +41,7 @@ class TestTopology:
         assert net.latency(0, 31) == cfg.inter_die_latency_ns
 
 
+@pytest.mark.slow
 class TestDGASScaling:
     def test_two_nodes_scale_bandwidth(self, adj):
         """2 nodes ~ 2x the aggregate SpMM throughput of 1 node."""

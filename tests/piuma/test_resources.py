@@ -1,4 +1,6 @@
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.piuma.resources import DRAMSlice, FluidResource, Timeline
 
@@ -100,6 +102,82 @@ class TestTimeline:
         with pytest.raises(ValueError):
             Timeline().allocate(0.0, -1.0)
 
+    def test_zero_duration_on_empty_timeline(self):
+        t = Timeline()
+        assert t.allocate(5.0, 0.0) == (5.0, 5.0)
+        assert t.busy_time == 0.0
+
+    def test_zero_duration_inside_busy_interval_defers_to_its_end(self):
+        t = Timeline()
+        t.allocate(0.0, 10.0)
+        assert t.allocate(3.0, 0.0) == (10.0, 10.0)
+        assert t.busy_time == pytest.approx(10.0)
+
+    def test_zero_duration_keeps_intervals_disjoint(self):
+        t = Timeline()
+        t.allocate(0.0, 4.0)
+        t.allocate(10.0, 4.0)
+        t.allocate(6.0, 0.0)  # zero-width marker in the gap
+        _assert_disjoint_sorted(t)
+
+    def test_future_then_earlier_lands_in_gap(self):
+        """A future-stamped descriptor must not block an
+        earlier-stamped request that fits in the idle gap before it."""
+        t = Timeline()
+        t.allocate(100.0, 10.0)
+        start, end = t.allocate(20.0, 30.0)
+        assert (start, end) == (20.0, 50.0)
+        # A gap-straddling request cannot overlap the future block:
+        # [95, 105) would collide with [100, 110), so it queues.
+        start, _ = t.allocate(95.0, 10.0)
+        assert start == 110.0
+        _assert_disjoint_sorted(t)
+
+    def test_exact_fit_gap_merges_with_future_block(self):
+        t = Timeline()
+        t.allocate(100.0, 10.0)
+        start, end = t.allocate(95.0, 5.0)
+        assert (start, end) == (95.0, 100.0)
+        assert t._intervals == [(95.0, 110.0)]
+
+    def test_merge_tolerance_collapses_adjacent_intervals(self):
+        """Gaps below the 1e-9 tolerance are absorbed, so float noise
+        cannot fragment the structure under saturation."""
+        t = Timeline()
+        t.allocate(0.0, 1.0)
+        t.allocate(1.0 + 5e-10, 1.0)  # sub-tolerance gap
+        assert len(t._intervals) == 1
+        t.allocate(2.0 + 1e-6, 1.0)   # above tolerance: stays separate
+        assert len(t._intervals) == 2
+        _assert_disjoint_sorted(t)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1000.0, allow_nan=False),  # arrival
+                st.floats(0.0, 50.0, allow_nan=False),    # duration (0 ok)
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_stay_disjoint_and_sorted(self, requests):
+        t = Timeline()
+        for arrival, duration in requests:
+            start, end = t.allocate(arrival, duration)
+            assert start >= arrival
+            assert end == pytest.approx(start + duration)
+            _assert_disjoint_sorted(t)
+
+
+def _assert_disjoint_sorted(timeline):
+    intervals = timeline._intervals
+    for start, end in intervals:
+        assert end >= start
+    for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 > e1, "intervals out of order or overlapping"
+
 
 class TestDRAMSlice:
     def test_completion_includes_latency(self):
@@ -145,3 +223,38 @@ class TestDRAMSlice:
             DRAMSlice(1.0, -1.0)
         with pytest.raises(ValueError):
             DRAMSlice(1.0, 0.0).request(0.0, -5.0)
+
+    def test_priority_busy_time_accumulates(self):
+        """Regression: ``_priority_busy`` was initialized but never
+        updated, leaving demand-read service unaccounted."""
+        s = DRAMSlice(bandwidth_bytes_per_ns=2.0, latency_ns=0.0)
+        s.request(0.0, 8.0, priority=True)
+        s.request(0.0, 6.0, priority=True)
+        assert s.priority_busy_time == pytest.approx(7.0)  # 4 + 3 ns
+
+    def test_bulk_only_leaves_priority_account_empty(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        s.request(0.0, 100.0)
+        assert s.priority_busy_time == 0.0
+        assert s.priority_utilization(100.0) == 0.0
+
+    def test_interleaved_priority_and_bulk_accounting(self):
+        """Pin busy_time/utilization when priority and bulk interleave:
+        priority service is charged to the shared timeline (capacity)
+        *and* sub-accounted in priority_busy_time."""
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        s.request(0.0, 10.0)                  # bulk [0, 10)
+        s.request(2.0, 4.0, priority=True)    # steals 4 ns of capacity
+        s.request(5.0, 6.0)                   # bulk, queued
+        assert s.busy_time == pytest.approx(20.0)
+        assert s.priority_busy_time == pytest.approx(4.0)
+        assert s.utilization(20.0) == pytest.approx(1.0)
+        assert s.priority_utilization(20.0) == pytest.approx(0.2)
+        # The sub-account never exceeds the total.
+        assert s.priority_busy_time <= s.busy_time + 1e-12
+
+    def test_priority_utilization_horizon_guard(self):
+        s = DRAMSlice(bandwidth_bytes_per_ns=1.0, latency_ns=0.0)
+        s.request(0.0, 5.0, priority=True)
+        assert s.priority_utilization(0.0) == 0.0
+        assert s.priority_utilization(2.0) == 1.0  # clamped

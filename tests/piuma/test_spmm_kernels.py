@@ -107,6 +107,7 @@ class TestPaperShapes:
     def test_loop_competitive_at_low_core_count(self, adj):
         assert efficiency(adj, 64, PIUMAConfig(n_cores=2), "loop") > 0.75
 
+    @pytest.mark.slow
     def test_loop_collapses_past_eight_cores(self, adj):
         """Fig 5: loop-unrolled under 40% of the model at high core
         counts while DMA stays close."""

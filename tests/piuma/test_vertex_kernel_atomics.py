@@ -70,6 +70,7 @@ class TestKernelTradeoffs:
         assert result.tag_stats["atomic_write"].count > 0
         assert result.tag_stats["binary_search"].count > 0
 
+    @pytest.mark.slow
     def test_imbalance_hurts_vertex_parallel_at_scale(self, skewed):
         """The paper's reason to go edge-parallel: hub threads become
         the critical path once bandwidth no longer hides them."""
@@ -78,6 +79,7 @@ class TestKernelTradeoffs:
         vertex = simulate_spmm(skewed, 64, cfg, "vertex").gflops
         assert edge > 1.5 * vertex
 
+    @pytest.mark.slow
     def test_uniform_graph_no_imbalance_penalty(self, uniform):
         """On uniform-degree graphs the two divisions are equivalent
         (vertex-parallel even saves the atomics)."""

@@ -1,0 +1,123 @@
+"""Result-cache correctness: keying, invalidation, robustness."""
+
+import json
+
+import pytest
+
+from repro.runtime import ResultCache, cache_key, spmm_task
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=tmp_path / "cache")
+
+
+TASK_KWARGS = dict(max_vertices=512, seed=3, window_edges=256, n_cores=2)
+
+
+class TestCacheKey:
+    def test_stable_across_dict_order(self):
+        a = cache_key({"x": 1, "y": 2})
+        b = cache_key({"y": 2, "x": 1})
+        assert a == b
+
+    def test_differs_by_payload(self):
+        assert cache_key({"x": 1}) != cache_key({"x": 2})
+
+    def test_differs_by_salt(self):
+        payload = {"x": 1}
+        assert cache_key(payload, salt="v1") != cache_key(payload, salt="v2")
+
+    def test_task_payload_covers_all_config_fields(self):
+        """The key payload embeds every PIUMAConfig dataclass field,
+        so changing any one of them invalidates the entry."""
+        base = spmm_task("products", 8, **TASK_KWARGS)
+        payload = base.key_payload()
+        from dataclasses import fields
+
+        from repro.piuma.config import PIUMAConfig
+
+        assert set(payload["config"]) == {
+            f.name for f in fields(PIUMAConfig)
+        }
+
+    def test_any_config_field_change_invalidates(self):
+        base = spmm_task("products", 8, **TASK_KWARGS)
+        for change in (
+            {"n_cores": 4},
+            {"dram_latency_ns": 90.0},
+            {"dram_bandwidth_scale": 2.0},
+            {"threads_per_mtp": 8},
+            {"feature_bytes": 8},
+        ):
+            kwargs = dict(TASK_KWARGS)
+            kwargs.update(change)
+            other = spmm_task("products", 8, **kwargs)
+            assert (cache_key(base.key_payload())
+                    != cache_key(other.key_payload())), change
+
+    def test_sweep_point_and_dataset_change_invalidates(self):
+        base = spmm_task("products", 8, **TASK_KWARGS)
+        for other in (
+            spmm_task("products", 16, **TASK_KWARGS),
+            spmm_task("power-12", 8, **TASK_KWARGS),
+            spmm_task("products", 8, kernel="loop", **TASK_KWARGS),
+            spmm_task("products", 8, **{**TASK_KWARGS, "seed": 4}),
+            spmm_task("products", 8, **{**TASK_KWARGS, "max_vertices": 1024}),
+            spmm_task("products", 8, **{**TASK_KWARGS, "window_edges": 512}),
+        ):
+            assert (cache_key(base.key_payload())
+                    != cache_key(other.key_payload()))
+
+
+class TestResultCache:
+    def test_roundtrip(self, cache):
+        cache.put("k1", {"gflops": 1.5}, payload={"p": 1})
+        assert cache.get("k1") == {"gflops": 1.5}
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_miss_counts(self, cache):
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_disabled_cache_never_hits_or_writes(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, enabled=False)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("k", {"v": 1})
+        path = cache.directory / "k.json"
+        path.write_text("{not json")
+        assert cache.get("k") is None
+
+    def test_entry_missing_record_field_is_a_miss(self, cache):
+        cache.put("k", {"v": 1})
+        path = cache.directory / "k.json"
+        path.write_text(json.dumps({"salt": "x"}))
+        assert cache.get("k") is None
+
+    def test_clear_removes_everything(self, cache):
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_salt_scopes_keys(self, tmp_path):
+        """Bumping the code-version salt makes old entries invisible."""
+        old = ResultCache(directory=tmp_path, salt="v1")
+        new = ResultCache(directory=tmp_path, salt="v2")
+        payload = {"config": {"n_cores": 2}}
+        old.put(old.key_for(payload), {"gflops": 9.9})
+        assert new.get(new.key_for(payload)) is None
+
+    def test_entry_file_is_self_describing(self, cache):
+        cache.put("k", {"gflops": 2.0}, payload={"kernel": "dma"})
+        entry = json.loads((cache.directory / "k.json").read_text())
+        assert entry["payload"] == {"kernel": "dma"}
+        assert entry["record"] == {"gflops": 2.0}
+        assert entry["salt"] == cache.salt

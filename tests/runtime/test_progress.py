@@ -1,0 +1,56 @@
+"""ProgressTracker metrics accounting."""
+
+from repro.runtime import ProgressTracker
+
+
+def fake_clock():
+    state = {"t": 0.0}
+
+    def advance(dt):
+        state["t"] += dt
+
+    def now():
+        return state["t"]
+
+    return now, advance
+
+
+class TestProgressTracker:
+    def test_counters_split_cached_and_computed(self):
+        tracker = ProgressTracker(total=3)
+        tracker.point_done("a", 1.5, 100.0, cached=False)
+        tracker.point_done("b", 0.0, 200.0, cached=True)
+        tracker.point_done("c", 2.5, 300.0, cached=False)
+        assert tracker.done == 3
+        assert tracker.cache_hits == 1
+        assert tracker.computed == 2
+        assert tracker.compute_wall_s == 4.0
+        assert tracker.simulated_ns == 600.0
+
+    def test_live_lines_distinguish_cache_hits(self):
+        lines = []
+        tracker = ProgressTracker(total=2, out=lines.append)
+        tracker.point_done("pt-a", 1.0, 1e6, cached=False)
+        tracker.point_done("pt-b", 0.0, 2e6, cached=True)
+        assert lines[0].startswith("[1/2] pt-a:")
+        assert "1.00s" in lines[0]
+        assert "(cache)" in lines[1]
+
+    def test_summary_reports_all_metrics(self):
+        now, advance = fake_clock()
+        tracker = ProgressTracker(total=2, clock=now)
+        tracker.point_done("a", 1.0, 5e5, cached=False)
+        tracker.point_done("b", 0.0, 5e5, cached=True)
+        advance(3.0)
+        summary = tracker.summary()
+        assert "2/2 points" in summary
+        assert "3.00s wall" in summary
+        assert "1 cached" in summary
+        assert "1 computed" in summary
+        assert "1.000 ms" in summary
+
+    def test_silent_without_out(self):
+        tracker = ProgressTracker(total=1, out=None)
+        metrics = tracker.point_done("a", 0.5, 10.0, cached=False)
+        assert metrics.label == "a"
+        assert metrics.wall_s == 0.5

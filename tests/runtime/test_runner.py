@@ -1,0 +1,169 @@
+"""Sweep-runner correctness: ordering, cache equivalence, parallelism.
+
+The load-bearing property: however a sweep executes — sequentially, in
+a process pool, cold, or from a warm cache — it returns records that
+are *byte-identical* (canonical JSON) to each other and to the direct,
+runner-free ``simulate_spmm`` path.
+"""
+
+import json
+
+import pytest
+
+from repro.graphs.datasets import get_dataset
+from repro.piuma import simulate_spmm
+from repro.runtime import (
+    ProgressTracker,
+    ResultCache,
+    run_sweep,
+    spmm_task,
+)
+
+WINDOW = dict(max_vertices=512, seed=0, window_edges=512)
+
+
+def small_tasks():
+    return [
+        spmm_task("products", k, **WINDOW, n_cores=cores)
+        for cores in (1, 2)
+        for k in (8, 16)
+    ]
+
+
+def canon(records):
+    return json.dumps(records, sort_keys=True)
+
+
+class TestOrderingAndEquivalence:
+    def test_records_follow_task_order(self):
+        tasks = small_tasks()
+        report = run_sweep(tasks, workers=1)
+        assert len(report.records) == len(tasks)
+        for task, record in zip(report.tasks, report.records):
+            assert record["embedding_dim"] == task.embedding_dim
+
+    def test_sequential_equals_direct_path(self):
+        task = spmm_task("products", 8, **WINDOW, n_cores=2)
+        record = run_sweep([task], workers=1).records[0]
+        adj = get_dataset("products").materialize(max_vertices=512, seed=0)
+        direct = simulate_spmm(adj, 8, task.config(), kernel="dma",
+                               window_edges=512)
+        assert record["gflops"] == direct.gflops
+        assert record["projected_time_ns"] == direct.projected_time_ns
+        assert record["window_edges"] == direct.window_edges
+
+    def test_parallel_equals_sequential(self):
+        """Process-pool execution must not change a single byte of the
+        results, only the wall-clock."""
+        tasks = small_tasks()
+        sequential = run_sweep(tasks, workers=1)
+        parallel = run_sweep(tasks, workers=4)
+        assert parallel.workers >= 2
+        assert canon(parallel.records) == canon(sequential.records)
+
+    def test_warm_cache_equals_cold(self, tmp_path):
+        tasks = small_tasks()
+        cache = ResultCache(directory=tmp_path)
+        cold = run_sweep(tasks, workers=1, cache=cache)
+        warm = run_sweep(tasks, workers=1, cache=cache)
+        assert cold.cache_misses == len(tasks) and cold.cache_hits == 0
+        assert warm.cache_hits == len(tasks) and warm.cache_misses == 0
+        assert canon(warm.records) == canon(cold.records)
+
+    def test_changed_point_misses_warm_cache(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        run_sweep(small_tasks(), workers=1, cache=cache)
+        changed = [
+            spmm_task("products", k, **WINDOW, n_cores=cores,
+                      dram_latency_ns=90.0)
+            for cores in (1, 2)
+            for k in (8, 16)
+        ]
+        report = run_sweep(changed, workers=1, cache=cache)
+        assert report.cache_hits == 0
+
+    def test_salt_bump_invalidates_whole_sweep(self, tmp_path):
+        tasks = small_tasks()
+        run_sweep(tasks, workers=1,
+                  cache=ResultCache(directory=tmp_path, salt="v1"))
+        report = run_sweep(tasks, workers=1,
+                           cache=ResultCache(directory=tmp_path, salt="v2"))
+        assert report.cache_hits == 0
+
+    def test_partial_warm_sweep_mixes_hits_and_misses(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        tasks = small_tasks()
+        run_sweep(tasks[:2], workers=1, cache=cache)
+        report = run_sweep(tasks, workers=1, cache=cache)
+        assert report.cache_hits == 2
+        assert report.cache_misses == len(tasks) - 2
+        # And the mixed run still matches an all-cold baseline.
+        baseline = run_sweep(tasks, workers=1)
+        assert canon(report.records) == canon(baseline.records)
+
+
+class TestInstrumentation:
+    def test_progress_tracker_sees_every_point(self, tmp_path):
+        tasks = small_tasks()
+        cache = ResultCache(directory=tmp_path)
+        run_sweep(tasks, workers=1, cache=cache)
+        lines = []
+        progress = ProgressTracker(total=len(tasks), out=lines.append)
+        report = run_sweep(tasks, workers=1, cache=cache,
+                           progress=progress)
+        assert progress.done == len(tasks)
+        assert progress.cache_hits == len(tasks)
+        assert len(lines) == len(tasks)
+        assert all("cache" in line for line in lines)
+        assert "4/4" in progress.summary()
+        assert report.summary().startswith("4 point(s)")
+
+    def test_record_schema(self):
+        record = run_sweep(
+            [spmm_task("products", 8, **WINDOW, n_cores=1)], workers=1
+        ).records[0]
+        for field in (
+            "gflops", "projected_time_ns", "sim_time_ns",
+            "memory_utilization", "achieved_bandwidth", "model_gflops",
+            "model_time_ns", "efficiency", "tag_stats", "n_vertices",
+            "n_edges", "window_edges", "total_edges",
+        ):
+            assert field in record, field
+        # JSON-serializable end to end (no numpy scalars leaking out).
+        json.dumps(record)
+        for stats in record["tag_stats"].values():
+            assert set(stats) == {"count", "bytes", "wait_ns"}
+
+    def test_task_label_names_the_point(self):
+        task = spmm_task("products", 64, **WINDOW, n_cores=4)
+        label = task.label()
+        assert "products" in label and "K=64" in label
+        assert "n_cores=4" in label
+
+
+class TestValidationIntegration:
+    def test_calibration_via_runner_matches_inline_path(self):
+        """The runner-backed calibrate CLI path must reproduce the
+        original in-process calibration numbers exactly."""
+        from repro.validation import (
+            calibrate_spmm_efficiency,
+            calibration_from_records,
+            calibration_tasks,
+        )
+
+        adj = get_dataset("power-12").materialize(max_vertices=2048, seed=0)
+        inline = calibrate_spmm_efficiency(
+            adj, core_counts=(1, 2), embedding_dims=(8,)
+        )
+        tasks = calibration_tasks(
+            "power-12", core_counts=(1, 2), embedding_dims=(8,),
+            max_vertices=2048,
+        )
+        report = run_sweep(tasks, workers=1)
+        routed = calibration_from_records(report.tasks, report.records)
+        assert routed.mean_efficiency == pytest.approx(
+            inline.mean_efficiency
+        )
+        assert [p.des_gflops for p in routed.points] == [
+            p.des_gflops for p in inline.points
+        ]

@@ -1,0 +1,66 @@
+"""Acceptance demo: the cached, parallel runner is actually faster.
+
+Cold-vs-warm is asserted everywhere (cache hits skip simulation
+entirely, a >=5x win on any machine).  The process-pool speedup is only
+asserted on machines with >=4 CPUs — fork/IPC overhead on a single
+core would measure the pool, not the parallelism — but the byte-
+identity of parallel results is asserted unconditionally in
+``test_runner.py``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime import ResultCache, run_sweep, spmm_task
+
+pytestmark = pytest.mark.slow
+
+#: A sweep heavy enough that per-point DES time (~seconds total)
+#: dominates pool startup, but well under a minute sequentially.
+TASKS = [
+    spmm_task("products", k, max_vertices=4096, seed=1, n_cores=cores)
+    for cores in (2, 4)
+    for k in (32, 64, 128)
+]
+
+
+def test_warm_cache_rerun_is_5x_faster(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+
+    start = time.perf_counter()
+    cold = run_sweep(TASKS, workers=1, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_sweep(TASKS, workers=1, cache=cache)
+    warm_s = time.perf_counter() - start
+
+    assert cold.cache_misses == len(TASKS)
+    assert warm.cache_hits == len(TASKS)
+    assert json.dumps(cold.records, sort_keys=True) == json.dumps(
+        warm.records, sort_keys=True
+    )
+    assert cold_s > 5 * warm_s, (cold_s, warm_s)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel wall-clock speedup needs >=4 CPUs",
+)
+def test_cold_parallel_beats_sequential():
+    start = time.perf_counter()
+    sequential = run_sweep(TASKS, workers=1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(TASKS, workers=4)
+    parallel_s = time.perf_counter() - start
+
+    assert parallel.workers == 4
+    assert json.dumps(sequential.records, sort_keys=True) == json.dumps(
+        parallel.records, sort_keys=True
+    )
+    assert parallel_s < sequential_s, (parallel_s, sequential_s)
