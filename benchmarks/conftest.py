@@ -70,14 +70,22 @@ def sweep_runner():
     * ``REPRO_SWEEP_CACHE=0`` — disable the on-disk result cache (a
       warm rerun is otherwise >=5x faster than a cold one);
     * ``REPRO_SWEEP_WORKERS=N`` — process-pool size (default
-      ``min(4, CPUs)``).
+      ``min(4, CPUs)``);
+    * ``REPRO_SWEEP_TIMEOUT_S=S`` — per-point wall-clock budget (a
+      hung point fails the bench fast instead of wedging CI);
+    * ``REPRO_SWEEP_RETRIES=N`` — retry attempts per failed point
+      (default 1: one respawn absorbs a transient worker death).
     """
     cache = ResultCache(
         enabled=os.environ.get("REPRO_SWEEP_CACHE", "1") != "0"
     )
+    timeout_env = os.environ.get("REPRO_SWEEP_TIMEOUT_S")
+    timeout = float(timeout_env) if timeout_env else None
+    retries = int(os.environ.get("REPRO_SWEEP_RETRIES", "1"))
 
     def _run(tasks):
-        report = run_sweep(tasks, cache=cache)
+        report = run_sweep(tasks, cache=cache, timeout=timeout,
+                           retries=retries)
         print(f"\n[sweep] {report.summary()}")
         return report
 

@@ -89,6 +89,21 @@ def _build_parser():
     sweep.add_argument("--cache-dir", default=None,
                        help="cache location (default benchmarks/out/.cache "
                             "or $REPRO_CACHE_DIR)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-point wall-clock budget in seconds; hung "
+                            "workers are killed and the point retried "
+                            "(needs >= 2 workers)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per point after a timeout, "
+                            "worker crash, or exception")
+    sweep.add_argument("--on-error", choices=("raise", "skip", "fallback"),
+                       default="raise",
+                       help="policy once retries are exhausted: abort the "
+                            "sweep, record a structured failure, or degrade "
+                            "the point to the Eq.5 analytical model")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep from its "
+                            "checkpoint manifest (under the cache dir)")
 
     advise = sub.add_parser(
         "advise", help="predict the CPU SpMM share for a (|V|, density)"
@@ -245,7 +260,13 @@ def _cmd_simulate(args, out):
 
 def _cmd_sweep(args, out):
     from repro.report.tables import format_table
-    from repro.runtime import ProgressTracker, ResultCache, run_sweep, spmm_task
+    from repro.runtime import (
+        ProgressTracker,
+        ResultCache,
+        SweepCheckpoint,
+        run_sweep,
+        spmm_task,
+    )
     from repro.workloads.sweeps import EMBEDDING_SWEEP, grid
 
     dims = tuple(args.dims) if args.dims else EMBEDDING_SWEEP
@@ -267,21 +288,28 @@ def _cmd_sweep(args, out):
                         enabled=not args.no_cache)
     if args.clear_cache:
         out(f"cleared {cache.clear()} cached record(s)")
+    checkpoint = SweepCheckpoint.for_tasks(tasks, directory=cache.directory)
     progress = ProgressTracker(total=len(tasks), out=out)
     report = run_sweep(tasks, workers=args.workers, cache=cache,
-                       progress=progress)
-    rows = [
-        [dict(task.overrides)["n_cores"],
-         task.embedding_dim,
-         f"{dict(task.overrides)['dram_latency_ns']:.0f}",
-         f"{dict(task.overrides)['dram_bandwidth_scale']:g}",
-         dict(task.overrides)["threads_per_mtp"],
-         f"{record['gflops']:.1f}",
-         f"{record['model_gflops']:.1f}",
-         f"{record['efficiency']:.2f}",
-         f"{record['memory_utilization']:.0%}"]
-        for task, record in zip(report.tasks, report.records)
-    ]
+                       progress=progress, timeout=args.timeout,
+                       retries=args.retries, on_error=args.on_error,
+                       checkpoint=checkpoint, resume=args.resume)
+    rows = []
+    for task, record in zip(report.tasks, report.records):
+        over = dict(task.overrides)
+        row = [over["n_cores"], task.embedding_dim,
+               f"{over['dram_latency_ns']:.0f}",
+               f"{over['dram_bandwidth_scale']:g}",
+               over["threads_per_mtp"]]
+        if record.get("source") == "failed":
+            row += [f"failed:{record['error']['kind']}", "-", "-", "-"]
+        else:
+            mark = "*" if record.get("source") == "model_fallback" else ""
+            row += [f"{record['gflops']:.1f}{mark}",
+                    f"{record['model_gflops']:.1f}",
+                    f"{record['efficiency']:.2f}",
+                    f"{record['memory_utilization']:.0%}"]
+        rows.append(row)
     out(format_table(
         ["cores", "K", "lat ns", "bw", "thr/MTP",
          "DES GF", "model GF", "eff", "mem util"],
@@ -289,8 +317,22 @@ def _cmd_sweep(args, out):
         title=f"{args.dataset}/{args.kernel} sweep "
               f"({args.max_vertices:,}-vertex window)",
     ))
+    if report.resumed:
+        out(f"resumed {report.resumed} point(s) from "
+            f"{checkpoint.path.name}")
+    if report.failures:
+        out(f"{len(report.failures)} point(s) degraded "
+            "(* = Eq.5 model fallback):")
+        for entry in report.failures:
+            out(f"  - {entry['label']}: {entry['kind']} after "
+                f"{entry['attempts']} attempt(s) — {entry['message']}")
     out(progress.summary())
     out(f"cache: {cache.stats}")
+    # The sweep ran to completion (possibly degraded): its manifest has
+    # served its purpose.  Failed points are deliberately not recorded
+    # in it, so a later --resume rerun would retry exactly those.
+    if not report.failures:
+        checkpoint.discard()
     return 0
 
 
@@ -438,9 +480,17 @@ _COMMANDS = {
 
 def main(argv=None, out=print):
     """CLI entry point; returns a process exit code."""
+    from repro.runtime.errors import TaskError
+
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
+    except TaskError as error:
+        out(f"error: {error.kind}: {error}")
+        out("hint: completed points are checkpointed — rerun with "
+            "--resume to continue, or --on-error skip|fallback to "
+            "finish despite failures")
+        return 3
     except (KeyError, ValueError) as error:
         out(f"error: {error}")
         return 2

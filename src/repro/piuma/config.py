@@ -90,6 +90,19 @@ class PIUMAConfig:
     # STP-side kernel launch / teardown overhead.
     launch_overhead_ns: float = 2000.0
 
+    # Simulation watchdogs: hard ceilings on the DES event loop so a
+    # buggy kernel generator or pathological sweep point raises
+    # ``SimulationDiverged`` instead of hanging a worker forever.  A
+    # value of 0 disables the corresponding guard.
+    #: Max events (heap pops) per kernel invocation; normal windows
+    #: stay well under a few million.
+    max_events: int = 50_000_000
+    #: Max simulated nanoseconds before the run counts as diverged.
+    max_sim_ns: float = 0.0
+    #: Max consecutive events with no simulated-time progress (zero-cost
+    #: op loops) before the run counts as stalled.
+    stall_events: int = 2_000_000
+
     def __post_init__(self):
         if self.n_cores < 1:
             raise ValueError("n_cores must be positive")
@@ -99,6 +112,8 @@ class PIUMAConfig:
             raise ValueError("bandwidth must be positive")
         if self.dram_latency_ns < 0:
             raise ValueError("latency must be non-negative")
+        if self.max_events < 0 or self.max_sim_ns < 0 or self.stall_events < 0:
+            raise ValueError("watchdog ceilings must be non-negative")
 
     # -- derived quantities -------------------------------------------------
 

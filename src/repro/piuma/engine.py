@@ -30,6 +30,7 @@ from repro.piuma.ops import (
     Store,
 )
 from repro.piuma.resources import DRAMSlice, FluidResource
+from repro.runtime.errors import SimulationDiverged
 
 
 @dataclass
@@ -223,10 +224,43 @@ class Simulator:
         The returned time includes the STP launch overhead and the
         implicit global barrier (latest completion of any asynchronous
         op), matching how the paper measures kernel time.
+
+        Watchdogs: the config's ``max_events`` / ``max_sim_ns`` /
+        ``stall_events`` ceilings bound the loop, raising
+        :class:`~repro.runtime.errors.SimulationDiverged` instead of
+        spinning forever on a buggy kernel or pathological point.
         """
+        cfg = self.config
         latest = 0.0
+        events = 0
+        stalled = 0
+        last_now = -1.0
         while self._heap:
             now, _seq, idx, value = heapq.heappop(self._heap)
+            events += 1
+            if cfg.max_events and events > cfg.max_events:
+                raise SimulationDiverged(
+                    f"event ceiling exceeded after {events - 1:,} events "
+                    f"at {now:.0f} simulated ns",
+                    cause="max_events",
+                )
+            if cfg.max_sim_ns and now > cfg.max_sim_ns:
+                raise SimulationDiverged(
+                    f"simulated-time ceiling exceeded "
+                    f"({now:.0f} ns > {cfg.max_sim_ns:.0f} ns)",
+                    cause="max_sim_ns",
+                )
+            if now == last_now:
+                stalled += 1
+                if cfg.stall_events and stalled > cfg.stall_events:
+                    raise SimulationDiverged(
+                        f"no simulated-time progress over {stalled:,} "
+                        f"consecutive events at {now:.0f} ns",
+                        cause="stall",
+                    )
+            else:
+                stalled = 0
+                last_now = now
             generator, core, mtp = self._threads[idx]
             try:
                 op = generator.send(value)

@@ -1,15 +1,22 @@
-"""Experiment-execution runtime: sweep runner, result cache, progress.
+"""Experiment-execution runtime: sweep runner, cache, resilience.
 
 The paper's figures are all sweeps over the (pure, deterministic)
 discrete-event simulator.  This package makes sweep execution a
 first-class subsystem:
 
 * :mod:`repro.runtime.runner` — fan independent sweep points across a
-  process pool with deterministic result ordering;
+  process pool with deterministic result ordering, per-task timeouts,
+  bounded retries, pool respawn, and skip/fallback error policies;
 * :mod:`repro.runtime.cache` — content-addressed on-disk JSON records
   keyed by (config fields, dataset spec, kernel, point, code salt);
+* :mod:`repro.runtime.checkpoint` — append-only sweep manifests for
+  crash-safe resume of interrupted campaigns;
+* :mod:`repro.runtime.errors` — the failure taxonomy (timeouts, worker
+  crashes, diverged simulations) with picklable structured payloads;
 * :mod:`repro.runtime.progress` — per-point wall-clock / simulated-ns /
-  cache-hit instrumentation.
+  cache-hit / degradation instrumentation;
+* :mod:`repro.runtime.faults` — deterministic fault injection for
+  testing every failure path.
 
 Benchmarks, the ``repro sweep``/``simulate``/``calibrate`` CLI
 commands, and future distributed backends all route through
@@ -23,8 +30,19 @@ from repro.runtime.cache import (
     cache_key,
     default_cache_dir,
 )
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.errors import (
+    SimulationDiverged,
+    TaskError,
+    TaskTimeout,
+    WorkerCrash,
+    failure_record,
+    wrap_failure,
+)
+from repro.runtime.faults import FaultyTask
 from repro.runtime.progress import PointMetrics, ProgressTracker
 from repro.runtime.runner import (
+    ON_ERROR_POLICIES,
     SpMMTask,
     SweepReport,
     default_workers,
@@ -35,14 +53,23 @@ from repro.runtime.runner import (
 __all__ = [
     "CODE_VERSION",
     "CacheStats",
+    "FaultyTask",
+    "ON_ERROR_POLICIES",
     "PointMetrics",
     "ProgressTracker",
     "ResultCache",
+    "SimulationDiverged",
     "SpMMTask",
+    "SweepCheckpoint",
     "SweepReport",
+    "TaskError",
+    "TaskTimeout",
+    "WorkerCrash",
     "cache_key",
     "default_cache_dir",
     "default_workers",
+    "failure_record",
     "run_sweep",
     "spmm_task",
+    "wrap_failure",
 ]

@@ -24,7 +24,9 @@ from dataclasses import dataclass
 #: Salt mixed into every cache key.  Bump when the simulator, kernels,
 #: or record schema change meaning: old entries then miss instead of
 #: serving stale numbers.
-CODE_VERSION = "runtime-v1"
+#: v2: records carry a ``"source"`` provenance field and configs grew
+#: watchdog ceilings.
+CODE_VERSION = "runtime-v2"
 
 
 def default_cache_dir():

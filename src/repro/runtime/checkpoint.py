@@ -1,0 +1,107 @@
+"""Sweep checkpoint manifests: incremental flush, crash-safe resume.
+
+The content cache already memoizes individual points, but it can be
+disabled, relocated, or cleared — and a characterization campaign wants
+an explicit record of *this sweep's* progress that survives a killed
+parent process.  A :class:`SweepCheckpoint` is an append-only JSONL
+manifest under the cache directory: the runner flushes every
+successfully simulated record as one fsync'd line, so after a SIGKILL
+the next ``repro sweep --resume`` reloads the manifest and recomputes
+only the unfinished points.
+
+Lines are keyed by the same content hash the cache uses, so a manifest
+never resurrects records for a point whose config changed.  A torn
+final line (the writer died mid-append) parses as garbage and is
+skipped — resume degrades to recomputing that one point.  Failed and
+``model_fallback`` records are deliberately *not* flushed: a resumed
+sweep should retry them against a healthy system rather than trust a
+degraded result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.runtime.cache import cache_key, default_cache_dir
+
+#: Salt for the manifest filename hash — bump if the manifest layout
+#: changes incompatibly.
+MANIFEST_VERSION = "sweep-manifest-v1"
+
+
+class SweepCheckpoint:
+    """Append-only progress manifest of one sweep.
+
+    Parameters
+    ----------
+    path:
+        Manifest file location; use :meth:`for_tasks` to derive a
+        content-addressed path so the same task list always maps to the
+        same manifest.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+
+    @classmethod
+    def for_tasks(cls, tasks, directory=None):
+        """Manifest for a task list, keyed by the tasks' identities.
+
+        The filename hashes every task's ``key_payload()``, so re-running
+        the same grid resolves to the same manifest while any change to
+        the grid (or to a config default) starts a fresh one.
+        """
+        directory = pathlib.Path(directory or default_cache_dir())
+        ident = cache_key(
+            [task.key_payload() for task in tasks], salt=MANIFEST_VERSION
+        )[:16]
+        return cls(directory / f"sweep-{ident}.manifest.jsonl")
+
+    def exists(self):
+        return self.path.is_file()
+
+    def load(self):
+        """Return ``{key: record}`` for every parseable manifest line.
+
+        Unreadable files and corrupt lines (torn tail after a kill) are
+        silently treated as absent — resume then recomputes those points.
+        """
+        records = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            try:
+                entry = json.loads(line)
+                records[entry["key"]] = entry["record"]
+            except (ValueError, KeyError, TypeError):
+                continue
+        return records
+
+    def flush(self, key, record):
+        """Append one completed record, durably (fsync per line).
+
+        Sweep points cost seconds of simulation each; one fsync per
+        point is noise next to that and makes the manifest survive a
+        SIGKILL'd parent.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "record": record}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def discard(self):
+        """Delete the manifest (sweep completed); returns True if removed."""
+        try:
+            self.path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def __len__(self):
+        return len(self.load())

@@ -1,0 +1,132 @@
+"""Error taxonomy of the sweep runtime.
+
+Long sweeps fail in qualitatively different ways — a worker process
+dies, a point exceeds its wall-clock budget, the kernel raises, or the
+discrete-event loop itself stops making progress — and the runner's
+retry/skip/fallback machinery needs to tell them apart.  Every failure
+is normalized into a :class:`TaskError` subtype carrying the task
+label, the attempt count, and a cause string, and each type knows
+whether retrying can possibly help (``retryable``): a crashed or hung
+worker might succeed on a fresh process, but a diverged simulation is
+deterministic and will diverge again.
+
+All types pickle cleanly (workers raise them across the process
+boundary) and serialize to plain-JSON payloads (failure records land in
+sweep reports, checkpoint manifests, and CLI output).
+"""
+
+from __future__ import annotations
+
+
+class TaskError(Exception):
+    """A sweep point failed.
+
+    Base of the taxonomy and the wrapper for generic exceptions raised
+    inside a task.  ``label``/``attempts``/``cause`` are filled in by
+    the runner via :meth:`with_context` once it knows which submission
+    and which retry produced the failure.
+    """
+
+    kind = "error"
+    retryable = True
+
+    def __init__(self, message="", label=None, attempts=0, cause=None):
+        super().__init__(message)
+        self.message = message
+        self.label = label
+        self.attempts = int(attempts)
+        self.cause = cause
+
+    def payload(self):
+        """Plain-JSON description for records, manifests, and the CLI."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "label": self.label,
+            "attempts": self.attempts,
+            "cause": self.cause,
+        }
+
+    def with_context(self, label=None, attempts=None):
+        """Copy of this error annotated with runner-side context."""
+        return type(self)(
+            self.message,
+            label=self.label if label is None else label,
+            attempts=self.attempts if attempts is None else attempts,
+            cause=self.cause,
+        )
+
+    def __reduce__(self):
+        # Multi-field exceptions need an explicit recipe: the default
+        # reduce replays __init__ with ``args`` only, dropping the
+        # structured fields on the worker->parent pickle hop.
+        return (
+            type(self),
+            (self.message, self.label, self.attempts, self.cause),
+        )
+
+    def __str__(self):
+        parts = [self.message or self.kind]
+        if self.label:
+            parts.append(f"[{self.label}]")
+        if self.attempts:
+            parts.append(f"(attempt {self.attempts})")
+        return " ".join(parts)
+
+
+class TaskTimeout(TaskError):
+    """A point exceeded its per-task wall-clock budget."""
+
+    kind = "timeout"
+    retryable = True
+
+
+class WorkerCrash(TaskError):
+    """The worker process executing a point died (``BrokenProcessPool``)."""
+
+    kind = "crash"
+    retryable = True
+
+
+class SimulationDiverged(TaskError):
+    """The DES event loop tripped a watchdog ceiling.
+
+    Raised by :meth:`repro.piuma.engine.Simulator.run` when the event
+    count, simulated time, or stall detector exceeds the
+    :class:`~repro.piuma.config.PIUMAConfig` ceilings.  Deterministic —
+    re-running the same point diverges identically — so never retried.
+    """
+
+    kind = "diverged"
+    retryable = False
+
+
+def wrap_failure(error, label, attempts):
+    """Normalize any exception into a context-annotated :class:`TaskError`.
+
+    Taxonomy members keep their type (and ``retryable`` semantics);
+    everything else becomes a generic retryable :class:`TaskError` with
+    the original ``repr`` as the cause.
+    """
+    if isinstance(error, TaskError):
+        return error.with_context(label=label, attempts=attempts)
+    return TaskError(
+        str(error) or type(error).__name__,
+        label=label,
+        attempts=attempts,
+        cause=repr(error),
+    )
+
+
+def failure_record(error):
+    """Structured stand-in record for a skipped point.
+
+    Keeps the sweep's submission-order invariant: the record slot is
+    filled, flagged ``"source": "failed"``, and carries the full error
+    payload instead of simulation numbers.
+    """
+    return {
+        "source": "failed",
+        "error": error.payload(),
+        "sim_time_ns": 0.0,
+    }

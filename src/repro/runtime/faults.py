@@ -1,0 +1,116 @@
+"""Deterministic fault injection for the sweep runner.
+
+Testing the resilience layer needs workers that fail *on demand and on
+schedule*: crash on the first attempt, succeed on the second; hang
+until killed; raise a divergence.  A :class:`FaultyTask` scripts that
+behavior as a per-attempt ``plan`` — and because attempts execute in
+separate worker processes, the attempt counter lives on disk (one
+marker file per attempt in a scratch directory), which also makes the
+schedule survive pool respawns and even a killed-and-resumed parent.
+
+The task implements the full runner protocol (``run`` / ``label`` /
+``key_payload`` / ``fallback_record``), so every ``run_sweep`` path —
+cache, checkpoint, retry, policy — can be exercised without touching
+the simulator.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+
+from repro.runtime.errors import SimulationDiverged
+
+#: Scripted per-attempt behaviors.
+BEHAVIORS = ("ok", "raise", "crash", "hang", "diverge")
+
+
+@dataclass(frozen=True)
+class FaultyTask:
+    """A picklable sweep task with a scripted failure plan.
+
+    Attributes
+    ----------
+    name:
+        Task identity (also the marker-file prefix; keep it unique per
+        scratch directory).
+    scratch:
+        Directory for cross-process attempt markers.
+    plan:
+        Behavior per attempt, one of :data:`BEHAVIORS`; the last entry
+        repeats for all further attempts.  ``("crash", "ok")`` crashes
+        the first attempt and succeeds on retry.
+    hang_s:
+        How long a ``"hang"`` attempt sleeps (default: effectively
+        forever, so only a timeout+kill ends it).
+    value:
+        Payload echoed into the success record.
+    """
+
+    name: str
+    scratch: str
+    plan: tuple = ("ok",)
+    hang_s: float = 3600.0
+    value: float = 1.0
+
+    def __post_init__(self):
+        for behavior in self.plan:
+            if behavior not in BEHAVIORS:
+                raise ValueError(f"unknown behavior {behavior!r}")
+        if not self.plan:
+            raise ValueError("plan must not be empty")
+
+    def label(self):
+        return f"fault:{self.name}"
+
+    def key_payload(self):
+        return {
+            "fault": self.name,
+            "plan": list(self.plan),
+            "value": self.value,
+        }
+
+    def attempts_made(self):
+        """How many attempts have started, across all processes."""
+        return len(list(pathlib.Path(self.scratch).glob(f"{self.name}.attempt*")))
+
+    def _record_attempt(self):
+        directory = pathlib.Path(self.scratch)
+        directory.mkdir(parents=True, exist_ok=True)
+        attempt = self.attempts_made() + 1
+        (directory / f"{self.name}.attempt{attempt}").touch()
+        return attempt
+
+    def run(self):
+        attempt = self._record_attempt()
+        behavior = self.plan[min(attempt - 1, len(self.plan) - 1)]
+        if behavior == "raise":
+            raise RuntimeError(f"injected exception (attempt {attempt})")
+        if behavior == "diverge":
+            raise SimulationDiverged(
+                f"injected divergence (attempt {attempt})", cause="injected"
+            )
+        if behavior == "crash":
+            # Hard worker death: skips all interpreter cleanup, so the
+            # parent sees BrokenProcessPool, exactly like a segfault.
+            os._exit(17)
+        if behavior == "hang":
+            time.sleep(self.hang_s)
+        return {
+            "source": "simulation",
+            "name": self.name,
+            "value": self.value,
+            "attempt": attempt,
+            "sim_time_ns": float(attempt),
+        }
+
+    def fallback_record(self, error=None):
+        return {
+            "source": "model_fallback",
+            "name": self.name,
+            "value": self.value,
+            "sim_time_ns": 0.0,
+            "error": None if error is None else error.payload(),
+        }

@@ -3,7 +3,9 @@
 The runner reports every completed point here: the tracker accumulates
 per-point wall-clock, simulated nanoseconds, and cache-hit counters,
 and (optionally) emits one live line per point so a multi-minute sweep
-is observable rather than silent.
+is observable rather than silent.  Degraded points (skipped failures,
+model fallbacks) are tagged with a ``status`` so the narration shows
+exactly which points the resilience layer absorbed.
 """
 
 from __future__ import annotations
@@ -20,6 +22,9 @@ class PointMetrics:
     wall_s: float
     simulated_ns: float
     cached: bool
+    #: ``None`` for a healthy simulated point; ``"failed"`` or
+    #: ``"model_fallback"`` for points resolved by an error policy.
+    status: str | None = None
 
 
 class ProgressTracker:
@@ -43,15 +48,17 @@ class ProgressTracker:
         self._started = clock()
         self.points = []
 
-    def point_done(self, label, wall_s, simulated_ns, cached):
+    def point_done(self, label, wall_s, simulated_ns, cached, status=None):
         """Record one finished point."""
         metrics = PointMetrics(
             label=label, wall_s=wall_s,
-            simulated_ns=simulated_ns, cached=cached,
+            simulated_ns=simulated_ns, cached=cached, status=status,
         )
         self.points.append(metrics)
         if self.out is not None:
             source = "cache" if cached else f"{wall_s:.2f}s"
+            if status is not None:
+                source += f", {status}"
             self.out(
                 f"[{len(self.points)}/{self.total}] {label}: "
                 f"sim {simulated_ns / 1e6:.3f} ms ({source})"
@@ -71,6 +78,11 @@ class ProgressTracker:
         return self.done - self.cache_hits
 
     @property
+    def degraded(self):
+        """Points resolved by an error policy instead of a simulation."""
+        return sum(1 for p in self.points if p.status is not None)
+
+    @property
     def compute_wall_s(self):
         """Wall-clock spent actually simulating (cache hits excluded)."""
         return sum(p.wall_s for p in self.points if not p.cached)
@@ -85,9 +97,12 @@ class ProgressTracker:
 
     def summary(self):
         """One-paragraph sweep summary for CLI / benchmark output."""
-        return (
+        text = (
             f"{self.done}/{self.total} points in {self.elapsed_s:.2f}s "
             f"wall ({self.cache_hits} cached, {self.computed} computed, "
             f"{self.compute_wall_s:.2f}s simulating); "
             f"total simulated time {self.simulated_ns / 1e6:.3f} ms"
         )
+        if self.degraded:
+            text += f"; {self.degraded} degraded/failed"
+        return text

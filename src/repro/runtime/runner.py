@@ -1,4 +1,4 @@
-"""Process-parallel sweep runner over the discrete-event simulator.
+"""Process-parallel, fault-tolerant sweep runner over the DES.
 
 Every figure of the paper is a sweep: a grid of (config, dataset,
 kernel, embedding-dim) points, each an independent pure function of its
@@ -9,19 +9,49 @@ picklable :class:`SpMMTask` records, fanned across a
 matter which worker finished first, so downstream charts and
 assertions never depend on scheduling.
 
+Failures are contained, not fatal (see :mod:`repro.runtime.errors`):
+
+* per-task wall-clock **timeouts** (hung workers are killed, the pool
+  respawned);
+* bounded **retries** with exponential backoff and deterministic
+  jitter;
+* automatic pool **respawn** on ``BrokenProcessPool``, re-submitting
+  only the unfinished points;
+* an ``on_error`` **policy** once retries are exhausted — ``"raise"``
+  (abort the sweep), ``"skip"`` (record a structured failure entry),
+  or ``"fallback"`` (degrade the point to the analytical Equation 5
+  model, flagged ``"source": "model_fallback"``);
+* incremental **checkpointing** through
+  :class:`~repro.runtime.checkpoint.SweepCheckpoint`, so a killed
+  sweep resumes from its partial results.
+
 Workers materialize graphs themselves (memoized per process), so only
 small task descriptors and JSON records cross the process boundary.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import cache_key
+from repro.runtime.errors import (
+    TaskTimeout,
+    WorkerCrash,
+    failure_record,
+    wrap_failure,
+)
 from repro.runtime.progress import ProgressTracker
+
+#: Valid ``on_error`` policies of :func:`run_sweep`.
+ON_ERROR_POLICIES = ("raise", "skip", "fallback")
 
 #: Per-process memo of materialized graphs: tasks reference datasets by
 #: (name, max_vertices, seed), so a worker builds each graph once and
@@ -51,11 +81,13 @@ class SpMMTask:
         is materialized (and memoized) inside the worker process.
     embedding_dim, kernel, window_edges:
         Kernel invocation parameters (see
-        :func:`repro.piuma.simulate_spmm`).
+        :func:`repro.piuma.simulate_spmm`); ``window_edges`` of ``None``
+        picks the automatic window.
     overrides:
         Sorted ``(field, value)`` pairs applied on top of the default
         :class:`~repro.piuma.config.PIUMAConfig` — a plain tuple so the
-        task stays hashable and canonically ordered.
+        task stays hashable and canonically ordered.  The pair shape is
+        enforced at construction.
     """
 
     dataset: str
@@ -63,8 +95,20 @@ class SpMMTask:
     kernel: str = "dma"
     max_vertices: int = 16384
     seed: int = 0
-    window_edges: int = None
-    overrides: tuple = ()
+    window_edges: int | None = None
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        for pair in self.overrides:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not isinstance(pair[0], str)
+            ):
+                raise TypeError(
+                    "overrides must be (field, value) pairs of PIUMAConfig "
+                    f"fields, got {pair!r}"
+                )
 
     def config(self):
         from repro.piuma.config import PIUMAConfig
@@ -132,7 +176,44 @@ class SpMMTask:
                       "wait_ns": float(s.wait_ns)}
                 for tag, s in sorted(result.tag_stats.items())
             },
+            "source": "simulation",
         }
+
+    def fallback_record(self, error=None):
+        """Analytical stand-in record for a point whose DES run failed.
+
+        Carries valid Equation 5 numbers under the same schema as
+        :meth:`run`, flagged ``"source": "model_fallback"`` (with the
+        triggering error payload) so calibration and figures can
+        distinguish degraded points from simulated ones.
+        """
+        from repro.piuma import spmm_model
+
+        adj = _materialized(self.dataset, self.max_vertices, self.seed)
+        model = spmm_model(
+            adj.n_rows, adj.nnz, self.embedding_dim, self.config()
+        )
+        record = {
+            "n_vertices": int(adj.n_rows),
+            "n_edges": int(adj.nnz),
+            "embedding_dim": int(self.embedding_dim),
+            "kernel": self.kernel,
+            "gflops": float(model.gflops),
+            "projected_time_ns": float(model.time_ns),
+            "sim_time_ns": 0.0,
+            "window_edges": 0,
+            "total_edges": int(adj.nnz),
+            "memory_utilization": 0.0,
+            "achieved_bandwidth": 0.0,
+            "model_gflops": float(model.gflops),
+            "model_time_ns": float(model.time_ns),
+            "efficiency": 1.0,
+            "tag_stats": {},
+            "source": "model_fallback",
+        }
+        if error is not None:
+            record["error"] = error.payload()
+        return record
 
 
 def _execute_task(task):
@@ -160,18 +241,43 @@ def spmm_task(dataset, embedding_dim, kernel="dma", max_vertices=16384,
 
 
 def default_workers():
-    """Worker count: ``$REPRO_SWEEP_WORKERS`` or ``min(4, cpus)``."""
+    """Worker count: ``$REPRO_SWEEP_WORKERS`` or ``min(4, cpus)``.
+
+    A non-integer environment value warns and falls back to the default
+    rather than crashing the sweep before it starts.
+    """
     env = os.environ.get("REPRO_SWEEP_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_SWEEP_WORKERS={env!r}; "
+                "using the default worker count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def _backoff_delay(attempt, backoff_s, backoff_cap_s, jitter, rng):
+    """Exponential backoff with multiplicative jitter for one retry."""
+    if backoff_s <= 0:
+        return 0.0
+    base = min(backoff_cap_s, backoff_s * (2 ** max(0, attempt - 1)))
+    if jitter > 0:
+        base += rng.uniform(0.0, jitter * base)
+    return base
 
 
 @dataclass
 class SweepReport:
     """Outcome of one :func:`run_sweep` call.
 
-    ``records`` is ordered exactly like the submitted task list.
+    ``records`` is ordered exactly like the submitted task list;
+    ``failures`` holds the error payloads of points that ended degraded
+    (``"skip"``/``"fallback"`` policies), and ``resumed`` counts points
+    restored from a checkpoint manifest.
     """
 
     tasks: list
@@ -180,6 +286,8 @@ class SweepReport:
     cache_misses: int
     workers: int
     wall_s: float
+    failures: list = field(default_factory=list)
+    resumed: int = 0
 
     def __iter__(self):
         return iter(self.records)
@@ -188,43 +296,114 @@ class SweepReport:
         return len(self.records)
 
     def summary(self):
-        return (f"{len(self.records)} point(s) in {self.wall_s:.2f}s "
+        text = (f"{len(self.records)} point(s) in {self.wall_s:.2f}s "
                 f"({self.cache_hits} cached, {self.cache_misses} computed, "
                 f"{self.workers} worker(s))")
+        if self.resumed:
+            text += f"; {self.resumed} resumed from checkpoint"
+        if self.failures:
+            text += f"; {len(self.failures)} degraded/failed"
+        return text
 
 
-def run_sweep(tasks, workers=None, cache=None, progress=None):
+def run_sweep(tasks, workers=None, cache=None, progress=None, *,
+              timeout=None, retries=0, backoff_s=0.25, backoff_cap_s=8.0,
+              jitter=0.25, on_error="raise", checkpoint=None, resume=False,
+              sleep=time.sleep):
     """Run every task; returns a :class:`SweepReport`.
 
     Parameters
     ----------
     tasks:
         Iterable of :class:`SpMMTask` (or any picklable object with
-        ``run()``, ``label()`` and ``key_payload()``).
+        ``run()``, ``label()`` and ``key_payload()``; an optional
+        ``fallback_record(error)`` enables the ``"fallback"`` policy).
     workers:
         Process count; ``None`` uses :func:`default_workers`, ``1``
-        (or a single miss) runs inline with no pool at all.
+        runs inline with no pool at all (timeouts then cannot be
+        enforced — there is no worker to kill).
     cache:
         :class:`~repro.runtime.cache.ResultCache`; ``None`` disables
         caching.  Hits are resolved in the parent before any process
-        spawns, so a fully warm sweep never forks.
+        spawns, so a fully warm sweep never forks.  A failing cache
+        write (full disk, read-only directory) warns and continues.
     progress:
         :class:`~repro.runtime.progress.ProgressTracker`; ``None``
         creates a silent one.
+    timeout:
+        Per-task wall-clock budget in seconds (measured from the
+        moment the point enters a worker; submission is windowed to the
+        pool width so queueing does not count).  On expiry the worker
+        processes are killed, the pool respawned, and the point charged
+        a :class:`TaskTimeout` attempt; in-flight innocents are
+        re-submitted without being charged.
+    retries:
+        Extra attempts per point after a retryable failure (timeout,
+        worker crash, generic exception).  ``SimulationDiverged`` is
+        deterministic and never retried.
+    backoff_s / backoff_cap_s / jitter:
+        Retry delay: ``min(cap, backoff * 2**(attempt-1))`` plus up to
+        ``jitter`` of itself (deterministic RNG).
+    on_error:
+        Policy once attempts are exhausted: ``"raise"`` aborts the
+        sweep with the structured error, ``"skip"`` stores a
+        ``"source": "failed"`` record, ``"fallback"`` degrades the
+        point to the task's analytical model record
+        (``"source": "model_fallback"``).
+    checkpoint:
+        :class:`~repro.runtime.checkpoint.SweepCheckpoint`; completed
+        records are flushed incrementally (failures and fallbacks are
+        not, so a resumed sweep retries them).
+    resume:
+        Load the checkpoint manifest first and skip the points it
+        already holds.
+    sleep:
+        Injectable delay function (tests).
     """
     tasks = list(tasks)
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
     if workers is None:
         workers = default_workers()
     if progress is None:
         progress = ProgressTracker(total=len(tasks))
+    rng = random.Random(1729)
     started = time.perf_counter()
 
-    records = [None] * len(tasks)
-    keys = [None] * len(tasks)
+    n_tasks = len(tasks)
+    records = [None] * n_tasks
+    keys = [None] * n_tasks
+    failures = []
+    resumed = 0
+    store_warned = [False]
+
+    if cache is not None or checkpoint is not None:
+        for index, task in enumerate(tasks):
+            payload = task.key_payload()
+            keys[index] = (cache.key_for(payload) if cache is not None
+                           else cache_key(payload))
+
+    if checkpoint is not None and resume:
+        prior = checkpoint.load()
+        for index, task in enumerate(tasks):
+            record = prior.get(keys[index])
+            if record is not None:
+                records[index] = record
+                resumed += 1
+                progress.point_done(
+                    task.label(), 0.0,
+                    record.get("sim_time_ns", 0.0), cached=True,
+                )
+
     misses = []
     for index, task in enumerate(tasks):
+        if records[index] is not None:
+            continue
         if cache is not None:
-            keys[index] = cache.key_for(task.key_payload())
             hit = cache.get(keys[index])
             if hit is not None:
                 records[index] = hit
@@ -234,44 +413,234 @@ def run_sweep(tasks, workers=None, cache=None, progress=None):
                 )
                 continue
         misses.append(index)
+    cache_hits = n_tasks - len(misses) - resumed
+
+    def _store(index, record):
+        # A sweep that already paid for the simulation must not die on
+        # a bookkeeping write: full disk or a read-only cache directory
+        # degrades to "uncached" with a warning.
+        if cache is not None:
+            try:
+                cache.put(keys[index], record,
+                          payload=tasks[index].key_payload())
+            except OSError as error:
+                if not store_warned[0]:
+                    store_warned[0] = True
+                    warnings.warn(
+                        f"result-cache write failed ({error}); "
+                        "continuing without persisting records",
+                        RuntimeWarning,
+                    )
+        if checkpoint is not None:
+            try:
+                checkpoint.flush(keys[index], record)
+            except OSError as error:
+                if not store_warned[0]:
+                    store_warned[0] = True
+                    warnings.warn(
+                        f"checkpoint write failed ({error}); "
+                        "continuing without persisting records",
+                        RuntimeWarning,
+                    )
 
     def _finish(index, record, wall_s):
         records[index] = record
-        if cache is not None:
-            cache.put(keys[index], record,
-                      payload=tasks[index].key_payload())
+        _store(index, record)
         progress.point_done(
             tasks[index].label(), wall_s,
             record.get("sim_time_ns", 0.0), cached=False,
         )
 
-    if len(misses) <= 1 or workers <= 1:
-        for index in misses:
-            point_start = time.perf_counter()
-            record = _execute_task(tasks[index])
-            _finish(index, record, time.perf_counter() - point_start)
+    def _resolve_failure(index, error, wall_s):
+        """Attempts exhausted (or unretryable error): apply on_error."""
+        if on_error == "raise":
+            raise error
+        failures.append(error.payload())
+        task = tasks[index]
+        maker = getattr(task, "fallback_record", None)
+        if on_error == "fallback" and maker is not None:
+            record = maker(error)
+        else:
+            record = failure_record(error)
+        # Degraded records keep the submission-order slot but are never
+        # cached or checkpointed: a later run should retry the point.
+        records[index] = record
+        progress.point_done(
+            task.label(), wall_s,
+            record.get("sim_time_ns", 0.0), cached=False,
+            status=record.get("source"),
+        )
+
+    if workers <= 1 or (len(misses) <= 1 and timeout is None):
         pool_workers = 1
+        for index in misses:
+            attempts = 0
+            while True:
+                attempts += 1
+                point_start = time.perf_counter()
+                try:
+                    record = _execute_task(tasks[index])
+                except Exception as raw:
+                    error = wrap_failure(raw, tasks[index].label(), attempts)
+                    wall_s = time.perf_counter() - point_start
+                    if error.retryable and attempts <= retries:
+                        sleep(_backoff_delay(attempts, backoff_s,
+                                             backoff_cap_s, jitter, rng))
+                        continue
+                    _resolve_failure(index, error, wall_s)
+                else:
+                    _finish(index, record,
+                            time.perf_counter() - point_start)
+                break
     else:
         pool_workers = min(workers, len(misses))
-        submit_times = {}
-        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-            futures = {}
-            for index in misses:
-                future = pool.submit(_execute_task, tasks[index])
-                futures[future] = index
-                submit_times[index] = time.perf_counter()
-            for future in as_completed(futures):
-                index = futures[future]
-                _finish(
-                    index, future.result(),
-                    time.perf_counter() - submit_times[index],
-                )
+        attempts = {index: 0 for index in misses}
+        queue = deque(misses)
+        retry_heap = []  # (ready_at, seq, index)
+        retry_seq = 0
+        inflight = {}  # future -> (index, started_at)
+        pool = None
+
+        def _shutdown_pool(kill):
+            nonlocal pool
+            if pool is None:
+                return
+            if kill:
+                # The only way to stop a hung (or wedged) worker: the
+                # executor API cannot cancel a running call.
+                processes = getattr(pool, "_processes", None) or {}
+                for process in list(processes.values()):
+                    try:
+                        process.kill()
+                    except Exception:
+                        pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def _schedule_retry(index):
+            nonlocal retry_seq
+            delay = _backoff_delay(attempts[index], backoff_s,
+                                   backoff_cap_s, jitter, rng)
+            heapq.heappush(
+                retry_heap,
+                (time.perf_counter() + delay, retry_seq, index),
+            )
+            retry_seq += 1
+
+        def _after_failure(index, error, wall_s):
+            attempts[index] = error.attempts
+            if error.retryable and attempts[index] <= retries:
+                _schedule_retry(index)
+            else:
+                _resolve_failure(index, error, wall_s)
+
+        try:
+            while queue or inflight or retry_heap:
+                now = time.perf_counter()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _ready, _seq, index = heapq.heappop(retry_heap)
+                    queue.append(index)
+                if queue and pool is None:
+                    pool = ProcessPoolExecutor(max_workers=pool_workers)
+                # Windowed submission: at most pool_workers points in
+                # flight, so a submitted point starts (nearly)
+                # immediately and its timeout measures execution, not
+                # queueing behind the rest of the grid.
+                while pool is not None and queue and len(inflight) < pool_workers:
+                    index = queue.popleft()
+                    try:
+                        future = pool.submit(_execute_task, tasks[index])
+                    except Exception:
+                        # Pool broke between completions; respawn on
+                        # the next iteration and try again.
+                        queue.appendleft(index)
+                        _shutdown_pool(kill=False)
+                        break
+                    inflight[future] = (index, time.perf_counter())
+                if not inflight:
+                    if retry_heap and not queue:
+                        sleep(max(0.0,
+                                  retry_heap[0][0] - time.perf_counter()))
+                    continue
+
+                wait_s = None
+                if timeout is not None:
+                    oldest = min(at for _i, at in inflight.values())
+                    wait_s = max(0.0, oldest + timeout - time.perf_counter())
+                done, _pending = wait(list(inflight), timeout=wait_s,
+                                      return_when=FIRST_COMPLETED)
+                now = time.perf_counter()
+                pool_broken = False
+                for future in done:
+                    index, started_at = inflight.pop(future)
+                    wall_s = now - started_at
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        _after_failure(index, WorkerCrash(
+                            "worker process died",
+                            label=tasks[index].label(),
+                            attempts=attempts[index] + 1,
+                            cause="BrokenProcessPool",
+                        ), wall_s)
+                    except Exception as raw:
+                        _after_failure(index, wrap_failure(
+                            raw, tasks[index].label(), attempts[index] + 1,
+                        ), wall_s)
+                    else:
+                        attempts[index] += 1
+                        _finish(index, record, wall_s)
+                if pool_broken:
+                    # Every sibling future died with the pool; the
+                    # culprit is indistinguishable, so each in-flight
+                    # point is charged a crash attempt (bounded by the
+                    # window) and the pool is respawned for the rest.
+                    for future, (index, started_at) in list(inflight.items()):
+                        _after_failure(index, WorkerCrash(
+                            "worker process died",
+                            label=tasks[index].label(),
+                            attempts=attempts[index] + 1,
+                            cause="BrokenProcessPool",
+                        ), now - started_at)
+                    inflight.clear()
+                    _shutdown_pool(kill=False)
+                    continue
+                if timeout is not None and inflight:
+                    now = time.perf_counter()
+                    expired = [
+                        (future, index, started_at)
+                        for future, (index, started_at) in inflight.items()
+                        if now - started_at >= timeout
+                    ]
+                    if expired:
+                        for future, index, started_at in expired:
+                            del inflight[future]
+                            _after_failure(index, TaskTimeout(
+                                f"no result after {timeout:.1f}s",
+                                label=tasks[index].label(),
+                                attempts=attempts[index] + 1,
+                                cause=f"timeout={timeout}",
+                            ), now - started_at)
+                        # Killing the hung worker kills the whole pool;
+                        # in-flight innocents are re-queued without
+                        # being charged an attempt.
+                        for future, (index, _at) in inflight.items():
+                            queue.append(index)
+                        inflight.clear()
+                        _shutdown_pool(kill=True)
+        finally:
+            # Abnormal exit (on_error="raise" mid-flight) may leave
+            # running workers; kill only then, else close gracefully.
+            _shutdown_pool(kill=bool(inflight))
 
     return SweepReport(
         tasks=tasks,
         records=records,
-        cache_hits=len(tasks) - len(misses),
+        cache_hits=cache_hits,
         cache_misses=len(misses),
         workers=pool_workers,
         wall_s=time.perf_counter() - started,
+        failures=failures,
+        resumed=resumed,
     )

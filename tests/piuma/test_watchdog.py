@@ -1,0 +1,77 @@
+"""Simulator watchdogs: divergence ceilings instead of infinite loops.
+
+A non-terminating simulation must raise ``SimulationDiverged`` within
+the configured ceiling — never hang a sweep worker forever.
+"""
+
+import pytest
+
+from repro.graphs.datasets import get_dataset
+from repro.piuma import PIUMAConfig, Simulator, simulate_spmm
+from repro.piuma.ops import Compute
+from repro.runtime.errors import SimulationDiverged
+
+
+@pytest.fixture(scope="module")
+def adj():
+    return get_dataset("products").materialize(max_vertices=512, seed=0)
+
+
+class TestCeilings:
+    def test_max_events_trips(self, adj):
+        config = PIUMAConfig(n_cores=1, max_events=64)
+        with pytest.raises(SimulationDiverged) as err:
+            simulate_spmm(adj, 8, config, window_edges=512)
+        assert err.value.cause == "max_events"
+
+    def test_max_sim_ns_trips(self, adj):
+        config = PIUMAConfig(n_cores=1, max_sim_ns=10.0)
+        with pytest.raises(SimulationDiverged) as err:
+            simulate_spmm(adj, 8, config, window_edges=512)
+        assert err.value.cause == "max_sim_ns"
+
+    def test_stall_detector_catches_zero_cost_loop(self):
+        # A thread yielding free ops never advances simulated time: the
+        # classic divergence no event/time ceiling short of infinity
+        # would catch quickly.
+        config = PIUMAConfig(n_cores=1, stall_events=200)
+        simulator = Simulator(config)
+
+        def spinner():
+            while True:
+                yield Compute(n_instrs=0, tag="spin")
+
+        simulator.spawn(spinner(), 0, 0)
+        with pytest.raises(SimulationDiverged) as err:
+            simulator.run()
+        assert err.value.cause == "stall"
+
+    def test_zero_disables_ceilings(self, adj):
+        config = PIUMAConfig(n_cores=1, max_events=0, max_sim_ns=0.0,
+                             stall_events=0)
+        result = simulate_spmm(adj, 8, config, window_edges=256)
+        assert result.sim_time_ns > 0
+
+    def test_defaults_do_not_fire_on_healthy_runs(self, adj):
+        result = simulate_spmm(adj, 8, PIUMAConfig(n_cores=1),
+                               window_edges=256)
+        assert result.sim_time_ns > 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["max_events", "stall_events"])
+    def test_negative_event_ceilings_rejected(self, field):
+        with pytest.raises(ValueError):
+            PIUMAConfig(**{field: -1})
+
+    def test_negative_time_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            PIUMAConfig(max_sim_ns=-5.0)
+
+    def test_divergence_is_structured(self, adj):
+        config = PIUMAConfig(n_cores=1, max_events=64)
+        with pytest.raises(SimulationDiverged) as err:
+            simulate_spmm(adj, 8, config, window_edges=512)
+        payload = err.value.payload()
+        assert payload["kind"] == "diverged"
+        assert payload["cause"] == "max_events"

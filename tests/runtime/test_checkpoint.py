@@ -1,0 +1,158 @@
+"""Checkpoint/resume: incremental flush, torn tails, killed parents.
+
+The manifest is the last line of defense for long campaigns: records
+flush as they complete, a SIGKILL'd parent leaves a readable manifest,
+and ``--resume`` recomputes only the unfinished points.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.runtime import FaultyTask, SweepCheckpoint, TaskError, run_sweep
+
+FAST = dict(backoff_s=0.0, jitter=0.0)
+
+
+def make_tasks(tmp_path, names, plans=None):
+    scratch = str(tmp_path / "scratch")
+    plans = plans or {}
+    return [
+        FaultyTask(name=name, scratch=scratch,
+                   plan=tuple(plans.get(name, ("ok",))))
+        for name in names
+    ]
+
+
+class TestManifest:
+    def test_flush_and_load_round_trip(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "m.jsonl")
+        ckpt.flush("k1", {"value": 1})
+        ckpt.flush("k2", {"value": 2})
+        assert ckpt.load() == {"k1": {"value": 1}, "k2": {"value": 2}}
+        assert len(ckpt) == 2
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "m.jsonl")
+        ckpt.flush("k1", {"value": 1})
+        with open(ckpt.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "rec')  # writer died mid-append
+        assert ckpt.load() == {"k1": {"value": 1}}
+
+    def test_missing_manifest_loads_empty(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "absent.jsonl")
+        assert ckpt.load() == {}
+        assert not ckpt.exists()
+
+    def test_for_tasks_is_content_addressed(self, tmp_path):
+        tasks = make_tasks(tmp_path, ["a", "b"])
+        again = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        assert SweepCheckpoint.for_tasks(
+            tasks, directory=tmp_path
+        ).path == again.path
+        other = SweepCheckpoint.for_tasks(tasks[:1], directory=tmp_path)
+        assert other.path != again.path
+
+    def test_discard_removes_manifest(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "m.jsonl")
+        ckpt.flush("k", {})
+        assert ckpt.discard()
+        assert not ckpt.exists()
+        assert not ckpt.discard()
+
+
+class TestResume:
+    def test_resume_skips_completed_points(self, tmp_path):
+        tasks = make_tasks(tmp_path, ["a", "b", "c", "d"])
+        ckpt = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        run_sweep(tasks[:2], workers=1, checkpoint=ckpt)
+        assert len(ckpt) == 2
+        report = run_sweep(tasks, workers=1, checkpoint=ckpt, resume=True)
+        assert report.resumed == 2
+        assert [r["name"] for r in report.records] == ["a", "b", "c", "d"]
+        # The resumed points never re-ran.
+        assert tasks[0].attempts_made() == 1
+        assert tasks[1].attempts_made() == 1
+
+    def test_abort_flushes_completed_then_resume_finishes(self, tmp_path):
+        # Inline order a, b, c: c raises and aborts the sweep; a and b
+        # are already durable in the manifest.
+        tasks = make_tasks(tmp_path, ["a", "b", "c"],
+                           plans={"c": ("raise", "ok")})
+        ckpt = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        with pytest.raises(TaskError):
+            run_sweep(tasks, workers=1, retries=0, checkpoint=ckpt, **FAST)
+        assert len(ckpt) == 2
+        report = run_sweep(tasks, workers=1, retries=0, checkpoint=ckpt,
+                           resume=True, **FAST)
+        assert report.resumed == 2
+        assert report.records[2]["attempt"] == 2
+
+    def test_without_resume_flag_manifest_is_ignored(self, tmp_path):
+        tasks = make_tasks(tmp_path, ["a", "b"])
+        ckpt = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        run_sweep(tasks, workers=1, checkpoint=ckpt)
+        report = run_sweep(tasks, workers=1, checkpoint=ckpt, resume=False)
+        assert report.resumed == 0
+        assert tasks[0].attempts_made() == 2
+
+
+class TestParentSigkill:
+    """Acceptance: SIGKILL the sweep parent, resume, recompute the rest."""
+
+    def test_sigkill_mid_sweep_then_resume(self, tmp_path):
+        scratch = str(tmp_path / "scratch")
+        manifest = str(tmp_path / "killed.manifest.jsonl")
+        names = ["a", "b", "hang"]
+        plans = {"hang": ("hang", "ok")}
+
+        script = textwrap.dedent(f"""
+            from repro.runtime import FaultyTask, SweepCheckpoint, run_sweep
+
+            tasks = [
+                FaultyTask(name=name, scratch={scratch!r},
+                           plan=tuple({plans!r}.get(name, ("ok",))))
+                for name in {names!r}
+            ]
+            run_sweep(tasks, workers=1,
+                      checkpoint=SweepCheckpoint({manifest!r}))
+        """)
+        import pathlib
+
+        src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        child = subprocess.Popen([sys.executable, "-c", script], env=env)
+        try:
+            ckpt = SweepCheckpoint(manifest)
+            deadline = time.time() + 60
+            while len(ckpt) < 2:  # a and b flushed, child hanging on c
+                assert time.time() < deadline, "child never checkpointed"
+                assert child.poll() is None, "child exited early"
+                time.sleep(0.1)
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+        tasks = [
+            FaultyTask(name=name, scratch=scratch,
+                       plan=tuple(plans.get(name, ("ok",))))
+            for name in names
+        ]
+        report = run_sweep(tasks, workers=1,
+                           checkpoint=SweepCheckpoint(manifest),
+                           resume=True)
+        assert report.resumed == 2
+        assert [r["name"] for r in report.records] == names
+        # Only the interrupted point re-ran (its "ok" second attempt).
+        assert report.records[2]["attempt"] == 2

@@ -1,0 +1,104 @@
+"""Error-taxonomy contract: structure, pickling, normalization.
+
+Workers raise these across the process boundary and the runner embeds
+their payloads in records and manifests, so the round-trip fidelity of
+every field is load-bearing.
+"""
+
+import pickle
+
+import pytest
+
+from repro.runtime.errors import (
+    SimulationDiverged,
+    TaskError,
+    TaskTimeout,
+    WorkerCrash,
+    failure_record,
+    wrap_failure,
+)
+
+ALL_TYPES = (TaskError, TaskTimeout, WorkerCrash, SimulationDiverged)
+
+
+class TestTaxonomy:
+    def test_all_types_are_task_errors(self):
+        for cls in ALL_TYPES:
+            assert issubclass(cls, TaskError)
+
+    def test_kinds_are_distinct(self):
+        kinds = {cls.kind for cls in ALL_TYPES}
+        assert kinds == {"error", "timeout", "crash", "diverged"}
+
+    def test_only_divergence_is_unretryable(self):
+        assert not SimulationDiverged.retryable
+        assert TaskError.retryable
+        assert TaskTimeout.retryable
+        assert WorkerCrash.retryable
+
+    def test_payload_structure(self):
+        error = TaskTimeout("no result after 5s", label="p/dma K=8",
+                            attempts=3, cause="timeout=5")
+        assert error.payload() == {
+            "kind": "timeout",
+            "message": "no result after 5s",
+            "label": "p/dma K=8",
+            "attempts": 3,
+            "cause": "timeout=5",
+        }
+
+    def test_str_names_label_and_attempt(self):
+        text = str(WorkerCrash("worker died", label="point-7", attempts=2))
+        assert "worker died" in text
+        assert "point-7" in text
+        assert "attempt 2" in text
+
+
+class TestPickling:
+    @pytest.mark.parametrize("cls", ALL_TYPES)
+    def test_round_trip_preserves_every_field(self, cls):
+        error = cls("boom", label="task-x", attempts=4, cause="why")
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is cls
+        assert clone.message == "boom"
+        assert clone.label == "task-x"
+        assert clone.attempts == 4
+        assert clone.cause == "why"
+        assert clone.payload() == error.payload()
+
+
+class TestWrapFailure:
+    def test_generic_exception_becomes_retryable_task_error(self):
+        wrapped = wrap_failure(ValueError("bad input"), "lbl", 2)
+        assert type(wrapped) is TaskError
+        assert wrapped.retryable
+        assert wrapped.label == "lbl"
+        assert wrapped.attempts == 2
+        assert "bad input" in wrapped.message
+        assert "ValueError" in wrapped.cause
+
+    def test_taxonomy_member_keeps_type_and_gains_context(self):
+        original = SimulationDiverged("event ceiling", cause="max_events")
+        wrapped = wrap_failure(original, "lbl", 1)
+        assert type(wrapped) is SimulationDiverged
+        assert not wrapped.retryable
+        assert wrapped.label == "lbl"
+        assert wrapped.attempts == 1
+        assert wrapped.cause == "max_events"
+
+    def test_message_less_exception_uses_type_name(self):
+        wrapped = wrap_failure(KeyError(), "lbl", 1)
+        assert wrapped.message == "KeyError"
+
+
+class TestFailureRecord:
+    def test_structured_and_json_able(self):
+        import json
+
+        record = failure_record(
+            WorkerCrash("died", label="p", attempts=2, cause="pool")
+        )
+        assert record["source"] == "failed"
+        assert record["error"]["kind"] == "crash"
+        assert record["sim_time_ns"] == 0.0
+        json.dumps(record)

@@ -1,0 +1,162 @@
+"""Fault-injection suite: every resilience path of ``run_sweep``.
+
+Uses :class:`repro.runtime.faults.FaultyTask` — workers that crash,
+hang, raise, or diverge on a deterministic per-attempt schedule — to
+prove the acceptance properties: injected crash/hang/exception each
+leave the sweep completing with submission-ordered records, fallback
+points carry Eq.5 provenance, and divergence is never retried.
+"""
+
+import pytest
+
+from repro.runtime import (
+    FaultyTask,
+    ResultCache,
+    TaskTimeout,
+    WorkerCrash,
+    run_sweep,
+    spmm_task,
+)
+
+#: No backoff: retries are immediate, keeping the suite fast while the
+#: schedule stays exact (attempt counters live on disk).
+FAST = dict(backoff_s=0.0, jitter=0.0)
+
+
+@pytest.fixture()
+def make_task(tmp_path):
+    scratch = str(tmp_path / "scratch")
+
+    def _make(name, plan=("ok",), **kwargs):
+        return FaultyTask(name=name, scratch=scratch, plan=tuple(plan),
+                          **kwargs)
+
+    return _make
+
+
+class TestCrashRespawn:
+    def test_crash_respawns_pool_and_completes_in_order(self, make_task):
+        tasks = [make_task("a", ("crash", "ok")),
+                 make_task("b"),
+                 make_task("c")]
+        report = run_sweep(tasks, workers=2, retries=2, **FAST)
+        assert [r["name"] for r in report.records] == ["a", "b", "c"]
+        assert all(r["source"] == "simulation" for r in report.records)
+        assert not report.failures
+
+    def test_crash_exhausted_raises_worker_crash(self, make_task):
+        tasks = [make_task("a", ("crash",)), make_task("b")]
+        with pytest.raises(WorkerCrash):
+            run_sweep(tasks, workers=2, retries=1, **FAST)
+
+
+class TestTimeouts:
+    def test_hang_times_out_then_retry_succeeds(self, make_task):
+        tasks = [make_task("h", ("hang", "ok"), hang_s=30.0),
+                 make_task("b")]
+        report = run_sweep(tasks, workers=2, timeout=1.5, retries=1, **FAST)
+        assert report.records[0]["name"] == "h"
+        assert report.records[0]["attempt"] == 2
+        assert report.records[1]["source"] == "simulation"
+
+    def test_hang_exhausted_raises_timeout(self, make_task):
+        tasks = [make_task("h", ("hang",), hang_s=30.0), make_task("b")]
+        with pytest.raises(TaskTimeout):
+            run_sweep(tasks, workers=2, timeout=1.0, retries=0, **FAST)
+
+
+class TestExceptionRetry:
+    def test_raise_then_retry_then_success_parallel(self, make_task):
+        tasks = [make_task("r", ("raise", "raise", "ok")), make_task("b")]
+        report = run_sweep(tasks, workers=2, retries=2, **FAST)
+        assert report.records[0]["attempt"] == 3
+        assert not report.failures
+
+    def test_raise_then_retry_then_success_inline(self, make_task):
+        report = run_sweep([make_task("r", ("raise", "ok"))],
+                           workers=1, retries=1, **FAST)
+        assert report.records[0]["attempt"] == 2
+
+    def test_default_policy_raises_with_context(self, make_task):
+        task = make_task("r", ("raise",))
+        with pytest.raises(Exception) as err:
+            run_sweep([task, make_task("b")], workers=2, retries=0, **FAST)
+        assert err.value.label == "fault:r"
+        assert err.value.attempts == 1
+
+
+class TestPolicies:
+    def test_skip_keeps_order_and_records_structured_failure(self, make_task):
+        tasks = [make_task("a"), make_task("bad", ("raise",)),
+                 make_task("c")]
+        report = run_sweep(tasks, workers=2, retries=0, on_error="skip",
+                           **FAST)
+        assert report.records[0]["name"] == "a"
+        failed = report.records[1]
+        assert failed["source"] == "failed"
+        assert failed["error"]["kind"] == "error"
+        assert failed["error"]["label"] == "fault:bad"
+        assert failed["error"]["attempts"] == 1
+        assert report.records[2]["name"] == "c"
+        assert len(report.failures) == 1
+        assert "degraded" in report.summary()
+
+    def test_fallback_uses_task_fallback_record(self, make_task):
+        tasks = [make_task("bad", ("raise",)), make_task("b")]
+        report = run_sweep(tasks, workers=2, retries=0,
+                           on_error="fallback", **FAST)
+        assert report.records[0]["source"] == "model_fallback"
+        assert report.records[0]["error"]["kind"] == "error"
+        assert report.records[1]["source"] == "simulation"
+
+    def test_divergence_is_never_retried(self, make_task):
+        task = make_task("d", ("diverge", "ok"))
+        report = run_sweep([task], workers=1, retries=5, on_error="skip",
+                           **FAST)
+        assert report.records[0]["source"] == "failed"
+        assert report.records[0]["error"]["kind"] == "diverged"
+        assert task.attempts_made() == 1
+
+    def test_invalid_policy_rejected(self, make_task):
+        with pytest.raises(ValueError):
+            run_sweep([make_task("a")], workers=1, on_error="ignore")
+
+
+class TestSpMMFallbackProvenance:
+    """Acceptance: a diverging DES point degrades to valid Eq.5 numbers."""
+
+    DIVERGING = dict(max_vertices=512, seed=0, window_edges=512,
+                     n_cores=1, max_events=16)
+
+    def test_fallback_record_carries_eq5_numbers(self):
+        task = spmm_task("products", 8, **self.DIVERGING)
+        report = run_sweep([task], workers=1, on_error="fallback")
+        record = report.records[0]
+        assert record["source"] == "model_fallback"
+        assert record["error"]["kind"] == "diverged"
+        assert record["gflops"] > 0
+        assert record["model_time_ns"] > 0
+        assert record["gflops"] == record["model_gflops"]
+        assert record["efficiency"] == 1.0
+        # The DES never produced numbers for this point.
+        assert record["sim_time_ns"] == 0.0
+
+    def test_fallback_records_are_not_cached(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        task = spmm_task("products", 8, **self.DIVERGING)
+        run_sweep([task], workers=1, cache=cache, on_error="fallback")
+        rerun = run_sweep([task], workers=1, cache=cache,
+                          on_error="fallback")
+        assert rerun.cache_hits == 0
+        assert rerun.records[0]["source"] == "model_fallback"
+
+
+class TestFaultHarness:
+    def test_plan_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            FaultyTask(name="x", scratch=str(tmp_path), plan=("explode",))
+
+    def test_attempt_counter_spans_processes(self, make_task):
+        task = make_task("counted", ("raise", "raise", "ok"))
+        run_sweep([task, make_task("b")], workers=2, retries=2, **FAST)
+        assert task.attempts_made() == 3

@@ -7,6 +7,7 @@ runner-free ``simulate_spmm`` path.
 """
 
 import json
+import os
 
 import pytest
 
@@ -15,6 +16,8 @@ from repro.piuma import simulate_spmm
 from repro.runtime import (
     ProgressTracker,
     ResultCache,
+    SpMMTask,
+    default_workers,
     run_sweep,
     spmm_task,
 )
@@ -139,6 +142,56 @@ class TestInstrumentation:
         label = task.label()
         assert "products" in label and "K=64" in label
         assert "n_cores=4" in label
+
+
+class TestRobustnessSatellites:
+    def test_default_workers_integer_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_default_workers_non_integer_env_warns_and_falls_back(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_WORKERS"):
+            workers = default_workers()
+        assert workers == max(1, min(4, os.cpu_count() or 1))
+
+    def test_overrides_must_be_field_value_pairs(self):
+        with pytest.raises(TypeError):
+            SpMMTask(dataset="products", embedding_dim=8,
+                     overrides=("n_cores",))
+        with pytest.raises(TypeError):
+            SpMMTask(dataset="products", embedding_dim=8,
+                     overrides=((2, "n_cores"),))
+        with pytest.raises(TypeError):
+            SpMMTask(dataset="products", embedding_dim=8,
+                     overrides=(("n_cores", 2, 3),))
+        # The canonical builder still produces valid tasks.
+        assert spmm_task("products", 8, n_cores=2).overrides == (
+            ("n_cores", 2),
+        )
+
+    def test_cache_put_failure_does_not_abort_sweep(
+        self, monkeypatch, tmp_path
+    ):
+        cache = ResultCache(directory=tmp_path)
+
+        def full_disk(key, record, payload=None):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache, "put", full_disk)
+        task = spmm_task("products", 8, **WINDOW, n_cores=1)
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            report = run_sweep([task], workers=1, cache=cache)
+        assert report.records[0]["gflops"] > 0
+        assert report.cache_misses == 1
+
+    def test_records_carry_simulation_provenance(self):
+        record = run_sweep(
+            [spmm_task("products", 8, **WINDOW, n_cores=1)], workers=1
+        ).records[0]
+        assert record["source"] == "simulation"
 
 
 class TestValidationIntegration:
