@@ -104,6 +104,9 @@ def _build_parser():
     sweep.add_argument("--resume", action="store_true",
                        help="resume an interrupted sweep from its "
                             "checkpoint manifest (under the cache dir)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="report host DES throughput (events/s) and "
+                            "the slowest computed points")
 
     advise = sub.add_parser(
         "advise", help="predict the CPU SpMM share for a (|V|, density)"
@@ -327,6 +330,9 @@ def _cmd_sweep(args, out):
             out(f"  - {entry['label']}: {entry['kind']} after "
                 f"{entry['attempts']} attempt(s) — {entry['message']}")
     out(progress.summary())
+    if args.profile:
+        for line in progress.profile_lines():
+            out(line)
     out(f"cache: {cache.stats}")
     # The sweep ran to completion (possibly degraded): its manifest has
     # served its purpose.  Failed points are deliberately not recorded

@@ -90,6 +90,14 @@ class PIUMAConfig:
     # STP-side kernel launch / teardown overhead.
     launch_overhead_ns: float = 2000.0
 
+    #: Select the DES main loop: ``True`` (default) runs the fast path
+    #: (type-dispatch table + peek-ahead thread continuation), ``False``
+    #: the reference pop/execute/push loop.  Both are bit-identical in
+    #: results and event accounting — the switch exists as an escape
+    #: hatch and as the differential-test oracle (DESIGN.md, "Host
+    #: performance").
+    engine_fast_path: bool = True
+
     # Simulation watchdogs: hard ceilings on the DES event loop so a
     # buggy kernel generator or pathological sweep point raises
     # ``SimulationDiverged`` instead of hanging a worker forever.  A

@@ -37,19 +37,37 @@ class DenseKernelResult:
 
 
 def dense_thread(rows, in_dim, out_dim, config, core_of_row):
-    """Thread generator: stream rows, MAC them against the resident W."""
+    """Thread generator: stream rows, MAC them against the resident W.
+
+    The MAC burst is one shared op instance and the stream-in/out DMA
+    descriptors are interned per target core (the same immutable-op
+    reuse as the SpMM kernels).
+    """
     row_in_bytes = in_dim * config.feature_bytes
     row_out_bytes = out_dim * config.feature_bytes
     macs = in_dim * out_dim
     instrs = max(1, int(round(macs * INSTRS_PER_MAC)))
     yield PhaseMarker()
+    mac_op = Compute(n_instrs=instrs, tag="dense_mac")
+    in_ops = {}   # target core -> DMAOp (activation stream-in)
+    out_ops = {}  # target core -> DMAOp (result stream-out)
     for row in rows:
         target = core_of_row(row)
-        yield DMAOp(kind="read", nbytes=row_in_bytes, target_core=target,
-                    tag="dense_in")
-        yield Compute(n_instrs=instrs, tag="dense_mac")
-        yield DMAOp(kind="write", nbytes=row_out_bytes, target_core=target,
-                    tag="dense_out")
+        op = in_ops.get(target)
+        if op is None:
+            op = in_ops[target] = DMAOp(
+                kind="read", nbytes=row_in_bytes, target_core=target,
+                tag="dense_in",
+            )
+        yield op
+        yield mac_op
+        op = out_ops.get(target)
+        if op is None:
+            op = out_ops[target] = DMAOp(
+                kind="write", nbytes=row_out_bytes, target_core=target,
+                tag="dense_out",
+            )
+        yield op
 
 
 def simulate_dense_mm(n_rows, in_dim, out_dim, config, window_rows=None):

@@ -18,12 +18,20 @@ from repro.piuma.resources import FluidResource
 class DMAEngine:
     """Per-core DMA engine with an in-order request queue."""
 
+    __slots__ = ("core_id", "_config", "_engine", "ops", "bytes_moved",
+                 "_inflight", "_inflight_bytes", "_inflight_limit",
+                 "_overhead_ns", "_lat_to")
+
     def __init__(self, core_id, config):
         self.core_id = core_id
         self._config = config
         self._engine = FluidResource(config.dma_rate_gbps, name=f"dma{core_id}")
         self.ops = 0
         self.bytes_moved = 0.0
+        # Hot-path constants hoisted out of `submit` (attribute chains
+        # through `_config` showed up in DES profiles).
+        self._inflight_limit = config.dma_inflight_bytes
+        self._overhead_ns = config.dma_overhead_ns
         # Bounded memory credits: the engine keeps at most
         # ``dma_inflight_bytes`` outstanding at DRAM (its staging-buffer
         # capacity).  This is the backpressure that lets the system reach
@@ -32,6 +40,31 @@ class DMAEngine:
         # in flight (a per-op limit would starve small embedding dims).
         self._inflight = collections.deque()  # (completion, nbytes)
         self._inflight_bytes = 0.0
+        # Per-destination one-way latency, filled lazily from the
+        # network (int key — avoids building a (src, dst) tuple per
+        # submit target).
+        self._lat_to = {}
+
+    def submit_internal(self, now, nbytes):
+        """Engine-internal request (scratchpad copy-add): descriptor
+        overhead plus streaming occupancy, no DRAM traffic.
+
+        Returns when the engine can accept its next request (which is
+        also the completion time).  The :class:`FluidResource` reserve
+        is inlined — this runs once per edge in the DMA kernels.
+        """
+        eng = self._engine
+        busy = eng.busy_until
+        start = now if now > busy else busy
+        duration = nbytes / eng.rate + self._overhead_ns
+        engine_free = start + duration
+        eng.busy_until = engine_free
+        eng.busy_time += duration
+        eng.units_served += nbytes
+        eng.requests += 1
+        self.ops += 1
+        self.bytes_moved += nbytes
+        return engine_free
 
     def submit(self, now, nbytes, targets=None, network=None):
         """Enqueue a request of ``nbytes`` at time ``now``.
@@ -53,38 +86,79 @@ class DMAEngine:
         (engine_free, completion):
             When the engine can accept its next request, and when the
             data movement finished.
+
+        The network injection, latency lookup, and DRAM request are
+        inlined against the resources' slots: this method executes a
+        couple of times per simulated edge and the call overhead of the
+        layered form dominated host time (DESIGN.md, "Host
+        performance").  Semantics are bit-identical to the layered
+        ``reserve``/``transfer``/``request`` calls it replaces.
         """
+        if not targets:
+            engine_free = self.submit_internal(now, nbytes)
+            return engine_free, engine_free
+        # Retire outstanding requests that completed by now, then
+        # wait for the oldest ones until the new payload fits in the
+        # staging buffer (backpressure toward the issuing threads'
+        # descriptor stream).
         gate = now
-        if targets:
-            # Retire outstanding requests that completed by now, then
-            # wait for the oldest ones until the new payload fits in the
-            # staging buffer (backpressure toward the issuing threads'
-            # descriptor stream).
-            limit = max(self._config.dma_inflight_bytes, nbytes)
-            while self._inflight and self._inflight[0][0] <= gate:
-                self._inflight_bytes -= self._inflight.popleft()[1]
-            while self._inflight and self._inflight_bytes + nbytes > limit:
-                done, size = self._inflight.popleft()
-                self._inflight_bytes -= size
-                gate = max(gate, done)
-        start, engine_free = self._engine.reserve(
-            gate, nbytes, extra_time=self._config.dma_overhead_ns
-        )
+        limit = self._inflight_limit
+        if nbytes > limit:
+            limit = nbytes
+        inflight = self._inflight
+        inflight_bytes = self._inflight_bytes
+        popleft = inflight.popleft
+        while inflight and inflight[0][0] <= gate:
+            inflight_bytes -= popleft()[1]
+        while inflight and inflight_bytes + nbytes > limit:
+            done, size = popleft()
+            inflight_bytes -= size
+            if done > gate:
+                gate = done
+        eng = self._engine
+        busy = eng.busy_until
+        start = gate if gate > busy else busy
+        duration = nbytes / eng.rate + self._overhead_ns
+        engine_free = start + duration
+        eng.busy_until = engine_free
+        eng.busy_time += duration
+        eng.units_served += nbytes
+        eng.requests += 1
         self.ops += 1
         self.bytes_moved += nbytes
-        if not targets:
-            return engine_free, engine_free
         share = nbytes / len(targets)
         completion = start
-        for memory, dst_core in targets:
-            arrival = start
-            if network is not None:
-                arrival = network.transfer(
-                    start, self.core_id, dst_core, share
-                )
-            completion = max(completion, memory.request(arrival, share))
-        self._inflight.append((completion, nbytes))
-        self._inflight_bytes += nbytes
+        core_id = self.core_id
+        if network is None:
+            for memory, _dst_core in targets:
+                end = memory.bulk_request(start, share)
+                if end > completion:
+                    completion = end
+        else:
+            inj = network._injection[core_id]
+            lat_to = self._lat_to
+            inj_service = share / inj.rate
+            for memory, dst_core in targets:
+                if dst_core == core_id:
+                    arrival = start
+                else:
+                    busy = inj.busy_until
+                    sent = (start if start > busy else busy) + inj_service
+                    inj.busy_until = sent
+                    inj.busy_time += inj_service
+                    inj.units_served += share
+                    inj.requests += 1
+                    lat = lat_to.get(dst_core)
+                    if lat is None:
+                        lat = lat_to[dst_core] = network.latency(
+                            core_id, dst_core
+                        )
+                    arrival = sent + lat
+                end = memory.bulk_request(arrival, share)
+                if end > completion:
+                    completion = end
+        inflight.append((completion, nbytes))
+        self._inflight_bytes = inflight_bytes + nbytes
         return engine_free, completion
 
     def utilization(self, horizon):

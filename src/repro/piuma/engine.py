@@ -5,18 +5,32 @@ the simulator executes each op against fluid resources (MTP pipelines,
 DMA engines, DRAM slices, network ports) and resumes the generator at
 the op's completion (blocking ops) or issue time (asynchronous ops).
 The event queue therefore holds exactly one entry per runnable thread —
-the simulation costs one heap operation per yielded op.
+the simulation costs at most one heap operation per yielded op.
 
 This is a *down-scaled* simulator in the sense of the paper's ref [18]:
 kernels simulate a bounded edge window at full mechanism fidelity and
 project steady-state throughput to the full graph.
+
+Two main loops implement identical semantics (see DESIGN.md, "Host
+performance"):
+
+* the **fast path** (``PIUMAConfig.engine_fast_path=True``, default)
+  dispatches ops through a type table and keeps driving a thread's
+  generator without heap traffic while its resume time precedes every
+  other queued event (peek-ahead continuation);
+* the **reference path** (``engine_fast_path=False``) is the plain
+  pop/execute/push loop with an ``isinstance`` ladder.
+
+Both produce bit-identical results — same ``end_time``, per-tag stats,
+resource utilizations, and watchdog/event accounting — which the
+differential suite in ``tests/piuma/test_engine_fastpath.py`` enforces.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from collections import defaultdict
-from dataclasses import dataclass, field
 
 from repro.piuma.dma import DMAEngine
 from repro.piuma.network import Network
@@ -33,13 +47,35 @@ from repro.piuma.resources import DRAMSlice, FluidResource
 from repro.runtime.errors import SimulationDiverged
 
 
-@dataclass
 class TagStats:
-    """Aggregate accounting for one op tag."""
+    """Aggregate accounting for one op tag.
 
-    count: int = 0
-    bytes: float = 0.0
-    wait_ns: float = 0.0  # blocking time charged to threads
+    A hand-written ``__slots__`` class (not a dataclass): three fields
+    are updated once per executed op, and slot stores are measurably
+    cheaper than instance-dict stores on that path.
+    """
+
+    __slots__ = ("count", "bytes", "wait_ns")
+
+    def __init__(self, count=0, bytes=0.0, wait_ns=0.0):
+        self.count = count
+        self.bytes = bytes
+        self.wait_ns = wait_ns  # blocking time charged to threads
+
+    def __repr__(self):
+        return (
+            f"TagStats(count={self.count}, bytes={self.bytes}, "
+            f"wait_ns={self.wait_ns})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, TagStats):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.bytes == other.bytes
+            and self.wait_ns == other.wait_ns
+        )
 
 
 class Simulator:
@@ -49,6 +85,14 @@ class Simulator:
     ----------
     config:
         :class:`repro.piuma.config.PIUMAConfig`.
+
+    Attributes
+    ----------
+    events:
+        Generator resumptions executed by the last :meth:`run` (the
+        DES event count; identical on both engine paths).
+    host_wall_s:
+        Host wall-clock seconds the last :meth:`run` took.
     """
 
     def __init__(self, config):
@@ -79,9 +123,35 @@ class Simulator:
         self.stats = defaultdict(TagStats)
         self.end_time = 0.0
         self.setup_end = 0.0  # latest PhaseMarker across threads
+        self.events = 0
+        self.host_wall_s = 0.0
         self._heap = []
         self._seq = 0
         self._threads = []
+        # Memoized topology tables: stripe-target core lists and the
+        # matching (slice, core) pairs for DMA, both keyed by
+        # (base_core, stripe count) — recomputing them per edge was a
+        # measurable share of host time.
+        self._stripe_cache = {}
+        self._dma_target_cache = {}
+        # Constants of the inlined DMA issue-slot reserve (identical
+        # floats to FluidResource.reserve's `amount / rate + 0.0`).
+        self._dma_issue_instrs = config.dma_issue_instrs
+        self._dma_issue_cost = config.dma_issue_instrs / instr_rate + 0.0
+        # Type-dispatch table replacing the isinstance ladder: one dict
+        # lookup selects the handler.  The DMA handler — a couple of
+        # invocations per simulated edge — is a closure over pre-bound
+        # resources rather than a method, eliminating both the
+        # per-invocation ``self`` lookups and the layered calls.
+        self._dispatch = {
+            PhaseMarker: self._exec_phase_marker,
+            Compute: self._exec_compute,
+            Load: self._exec_load,
+            SequentialAccess: self._exec_sequential,
+            Store: self._exec_store,
+            AtomicUpdate: self._exec_atomic,
+            DMAOp: self._make_exec_dma(),
+        }
 
     # -- thread management ---------------------------------------------------
 
@@ -115,100 +185,308 @@ class Simulator:
         vertex) spreads over several memory controllers instead of
         hammering one.  Striping is capped to bound simulation cost; the
         cap still spreads hub load well below the per-slice mean.
+
+        ``nbytes`` is truncated to an integer before the ceil-division:
+        callers that split a payload into fluid shares can pass floats,
+        and float ceil-div would let representation noise (e.g.
+        ``128.00000000001``) grow the stripe count by one line.
         """
-        cfg = self.config
-        lines = max(1, -(-nbytes // cfg.cache_line_bytes))
-        n = min(cfg.stripe_lines, lines, cfg.n_cores)
-        return [(base_core + i) % cfg.n_cores for i in range(n)]
+        key = (base_core, nbytes)
+        targets = self._stripe_cache.get(key)
+        if targets is None:
+            cfg = self.config
+            lines = (
+                int(nbytes) + cfg.cache_line_bytes - 1
+            ) // cfg.cache_line_bytes
+            if lines < 1:
+                lines = 1
+            n = min(cfg.stripe_lines, lines, cfg.n_cores)
+            n_cores = cfg.n_cores
+            targets = [(base_core + i) % n_cores for i in range(n)]
+            self._stripe_cache[key] = targets
+        return targets
+
+    def _dma_stripe_targets(self, base_core, nbytes):
+        """Memoized ``(DRAMSlice, core)`` pairs for a striped DMA access.
+
+        Keyed by the raw ``(base_core, nbytes)`` pair — the kernels
+        intern their op shapes, so the key population is tiny and the
+        ceil-division runs once per shape instead of once per edge.
+        """
+        key = (base_core, nbytes)
+        targets = self._dma_target_cache.get(key)
+        if targets is None:
+            cfg = self.config
+            lines = (
+                int(nbytes) + cfg.cache_line_bytes - 1
+            ) // cfg.cache_line_bytes
+            if lines < 1:
+                lines = 1
+            n = min(cfg.stripe_lines, lines, cfg.n_cores)
+            slices = self.slices
+            n_cores = cfg.n_cores
+            targets = [
+                (slices[(base_core + i) % n_cores], (base_core + i) % n_cores)
+                for i in range(n)
+            ]
+            self._dma_target_cache[key] = targets
+        return targets
+
+    # -- per-op handlers (type-dispatch table) --------------------------------
+
+    def _exec_phase_marker(self, op, now, core, mtp):
+        if now > self.setup_end:
+            self.setup_end = now
+        return now, now
+
+    def _exec_compute(self, op, now, core, mtp):
+        _start, end = self.pipelines[core][mtp].reserve(now, op.n_instrs)
+        self._account(op.tag, 0, 0.0)
+        return end, end
+
+    def _exec_load(self, op, now, core, mtp):
+        _start, issued = self.pipelines[core][mtp].reserve(now, op.grouped)
+        done = self._memory_read(
+            issued, core, op.target_core, op.nbytes, priority=op.priority
+        )
+        self._account(op.tag, op.nbytes, done - issued)
+        return done, done
+
+    def _exec_sequential(self, op, now, core, mtp):
+        # Dependent round trips: the thread's time is (all issue
+        # slots) + (bandwidth service of all bytes, with queueing)
+        # + one latency round trip per round.  Bytes are charged to
+        # the slice in one aggregate reservation at issue time so
+        # shared resources are only ever touched in global event
+        # order (reserving at future times would corrupt the FIFO
+        # horizons of other threads).
+        _start, issued = self.pipelines[core][mtp].reserve(
+            now, op.n_rounds * op.instrs_per_round
+        )
+        network = self.network
+        slices = self.slices
+        total_bytes = op.n_rounds * op.bytes_per_round
+        targets = self._stripe_targets(op.target_core, total_bytes)
+        share = total_bytes / len(targets)
+        served = issued
+        worst_trip = 0.0
+        for dst in targets:
+            hop = network.latency(core, dst)
+            slice_ = slices[dst]
+            done = slice_.request(issued + hop, share) + hop
+            if done > served:
+                served = done
+            trip = 2 * hop + slice_.latency_ns
+            if trip > worst_trip:
+                worst_trip = trip
+        # request() already charged one DRAM latency (plus hops);
+        # the remaining n_rounds - 1 dependent trips are pure delay
+        # on this thread only.
+        done = served + (op.n_rounds - 1) * worst_trip
+        self._account(op.tag, total_bytes, done - issued)
+        return done, done
+
+    def _exec_store(self, op, now, core, mtp):
+        _start, issued = self.pipelines[core][mtp].reserve(now, 1)
+        network = self.network
+        slices = self.slices
+        targets = self._stripe_targets(op.target_core, op.nbytes)
+        share = op.nbytes / len(targets)
+        done = issued
+        for dst in targets:
+            arrival = network.transfer(issued, core, dst, share)
+            end = slices[dst].request(arrival, share)
+            if end > done:
+                done = end
+        self._account(op.tag, op.nbytes, 0.0)
+        return issued, done
+
+    def _exec_atomic(self, op, now, core, mtp):
+        _start, issued = self.pipelines[core][mtp].reserve(now, 1)
+        arrival = self.network.transfer(
+            issued, core, op.target_core, op.nbytes
+        )
+        _ustart, unit_done = self.atomic_units[op.target_core].reserve(
+            arrival, op.nbytes, extra_time=self.config.atomic_overhead_ns
+        )
+        # RMW: the unit reads the current row and writes the sum.
+        done = self.slices[op.target_core].request(
+            unit_done, 2 * op.nbytes
+        )
+        self._account(op.tag, 2 * op.nbytes, 0.0)
+        return issued, done
+
+    def _make_exec_dma(self):
+        """Build the DMA handler as a closure over pre-bound resources.
+
+        This is the hottest code in the simulator (a couple of
+        executions per simulated edge), so the pipeline issue-slot
+        reserve, the engine's staging-credit bookkeeping and occupancy,
+        the network injection, and the DRAM slice request are all
+        inlined here against the resources' slots — bit-identical to
+        the layered ``reserve``/``submit``/``transfer``/``request``
+        calls they replace (which remain the readable reference
+        implementation in ``dma.py``/``resources.py``/``network.py``).
+        Both main loops dispatch through this one closure, so the fast
+        and reference paths cannot disagree on DMA semantics.
+        """
+        pipelines = self.pipelines
+        engines = self.dma_engines
+        stats = self.stats
+        network = self.network
+        injections = network._injection
+        stripe_targets = self._dma_stripe_targets
+        issue_cost = self._dma_issue_cost
+        issue_instrs = self._dma_issue_instrs
+        # Per-(op, core) execution plans.  The kernels intern their op
+        # instances and every thread is pinned to one core, so each
+        # (op, core) pair recurs thousands of times with the same
+        # stripe targets, share, injection port, per-target latency and
+        # service time, and staging limit — all of which are pure
+        # functions of the op and the topology.  Resolving them once
+        # turns the per-invocation work into slot updates only.  Every
+        # precomputed float is built from the exact expression the
+        # layered path evaluates, so results stay bit-identical.
+        #
+        # Keys are (id(op), core): op value-equality hashing walks the
+        # slots and is far too slow for this path, and identity is the
+        # right notion anyway (plans describe the interned instance).
+        # `pinned` keeps every planned op alive so its id can never be
+        # reused by a different op.
+        plans = {}
+        plans_get = plans.get
+        pinned = []
+
+        def build_plan(op, core):
+            engine = engines[core]
+            eng = engine._engine
+            nbytes = op.nbytes
+            duration = nbytes / eng.rate + engine._overhead_ns
+            if op.kind == "internal":
+                plan = (None, duration)
+            else:
+                raw = stripe_targets(op.target_core, nbytes)
+                share = nbytes / len(raw)
+                inj = injections[core]
+                resolved = []
+                for memory, dst_core in raw:
+                    lat = (
+                        None if dst_core == core
+                        else network.latency(core, dst_core)
+                    )
+                    resolved.append((
+                        memory, memory._timeline, lat,
+                        share / memory.rate, memory.latency_ns,
+                    ))
+                limit = engine._inflight_limit
+                if nbytes > limit:
+                    limit = nbytes
+                plan = (
+                    resolved, duration, share, inj, share / inj.rate, limit
+                )
+            plans[(id(op), core)] = plan
+            pinned.append(op)
+            return plan
+
+        def exec_dma(op, now, core, mtp):
+            pipe = pipelines[core][mtp]
+            busy = pipe.busy_until
+            issued = (now if now > busy else busy) + issue_cost
+            pipe.busy_until = issued
+            pipe.busy_time += issue_cost
+            pipe.units_served += issue_instrs
+            pipe.requests += 1
+            nbytes = op.nbytes
+            engine = engines[core]
+            eng = engine._engine
+            plan = plans_get((id(op), core))
+            if plan is None:
+                plan = build_plan(op, core)
+            targets = plan[0]
+            if targets is None:
+                duration = plan[1]
+                busy = eng.busy_until
+                start = issued if issued > busy else busy
+                done = start + duration
+                eng.busy_until = done
+                eng.busy_time += duration
+                eng.units_served += nbytes
+                eng.requests += 1
+                engine.ops += 1
+                engine.bytes_moved += nbytes
+            else:
+                _targets, duration, share, inj, inj_service, limit = plan
+                # Staging-buffer credits (see DMAEngine.submit).
+                gate = issued
+                inflight = engine._inflight
+                inflight_bytes = engine._inflight_bytes
+                popleft = inflight.popleft
+                while inflight and inflight[0][0] <= gate:
+                    inflight_bytes -= popleft()[1]
+                while inflight and inflight_bytes + nbytes > limit:
+                    retired, size = popleft()
+                    inflight_bytes -= size
+                    if retired > gate:
+                        gate = retired
+                # Engine descriptor + streaming occupancy.
+                busy = eng.busy_until
+                start = gate if gate > busy else busy
+                engine_free = start + duration
+                eng.busy_until = engine_free
+                eng.busy_time += duration
+                eng.units_served += nbytes
+                eng.requests += 1
+                engine.ops += 1
+                engine.bytes_moved += nbytes
+                # Stripe the payload: inject remote shares, charge each
+                # slice's timeline (saturated-FIFO fast path inline).
+                completion = start
+                for memory, timeline, lat, service, lat_ns in targets:
+                    if lat is None:
+                        arrival = start
+                    else:
+                        busy = inj.busy_until
+                        sent = (start if start > busy else busy) + inj_service
+                        inj.busy_until = sent
+                        inj.busy_time += inj_service
+                        inj.units_served += share
+                        inj.requests += 1
+                        arrival = sent + lat
+                    memory.bytes_served += share
+                    memory.requests += 1
+                    starts = timeline._starts
+                    if starts and arrival >= starts[-1]:
+                        ends = timeline._ends
+                        last_end = ends[-1]
+                        begin = last_end if last_end > arrival else arrival
+                        end = begin + service
+                        if begin <= last_end + 1e-9:
+                            if end > last_end:
+                                ends[-1] = end
+                        else:
+                            starts.append(begin)
+                            ends.append(end)
+                    else:
+                        _begin, end = timeline.backfill(arrival, service)
+                    end += lat_ns
+                    if end > completion:
+                        completion = end
+                inflight.append((completion, nbytes))
+                engine._inflight_bytes = inflight_bytes + nbytes
+                done = completion
+            record = stats[op.tag]
+            record.count += 1
+            record.bytes += nbytes
+            return issued, done
+
+        return exec_dma
 
     def _execute(self, op, now, core, mtp):
         """Run one op; returns (resume_time, completion_time)."""
-        pipeline = self.pipelines[core][mtp]
-        cfg = self.config
-        if isinstance(op, PhaseMarker):
-            self.setup_end = max(self.setup_end, now)
-            return now, now
-        if isinstance(op, Compute):
-            _start, end = pipeline.reserve(now, op.n_instrs)
-            self._account(op.tag, 0, 0.0)
-            return end, end
-        if isinstance(op, Load):
-            _start, issued = pipeline.reserve(now, op.grouped)
-            done = self._memory_read(
-                issued, core, op.target_core, op.nbytes, priority=op.priority
-            )
-            self._account(op.tag, op.nbytes, done - issued)
-            return done, done
-        if isinstance(op, SequentialAccess):
-            # Dependent round trips: the thread's time is (all issue
-            # slots) + (bandwidth service of all bytes, with queueing)
-            # + one latency round trip per round.  Bytes are charged to
-            # the slice in one aggregate reservation at issue time so
-            # shared resources are only ever touched in global event
-            # order (reserving at future times would corrupt the FIFO
-            # horizons of other threads).
-            _start, issued = pipeline.reserve(
-                now, op.n_rounds * op.instrs_per_round
-            )
-            total_bytes = op.n_rounds * op.bytes_per_round
-            targets = self._stripe_targets(op.target_core, total_bytes)
-            share = total_bytes / len(targets)
-            served = issued
-            worst_trip = 0.0
-            for dst in targets:
-                hop = self.network.latency(core, dst)
-                served = max(
-                    served, self.slices[dst].request(issued + hop, share) + hop
-                )
-                worst_trip = max(
-                    worst_trip, 2 * hop + self.slices[dst].latency_ns
-                )
-            # request() already charged one DRAM latency (plus hops);
-            # the remaining n_rounds - 1 dependent trips are pure delay
-            # on this thread only.
-            done = served + (op.n_rounds - 1) * worst_trip
-            self._account(op.tag, total_bytes, done - issued)
-            return done, done
-        if isinstance(op, Store):
-            _start, issued = pipeline.reserve(now, 1)
-            targets = self._stripe_targets(op.target_core, op.nbytes)
-            share = op.nbytes / len(targets)
-            done = issued
-            for dst in targets:
-                arrival = self.network.transfer(issued, core, dst, share)
-                done = max(done, self.slices[dst].request(arrival, share))
-            self._account(op.tag, op.nbytes, 0.0)
-            return issued, done
-        if isinstance(op, AtomicUpdate):
-            _start, issued = pipeline.reserve(now, 1)
-            arrival = self.network.transfer(
-                issued, core, op.target_core, op.nbytes
-            )
-            _ustart, unit_done = self.atomic_units[op.target_core].reserve(
-                arrival, op.nbytes, extra_time=cfg.atomic_overhead_ns
-            )
-            # RMW: the unit reads the current row and writes the sum.
-            done = self.slices[op.target_core].request(
-                unit_done, 2 * op.nbytes
-            )
-            self._account(op.tag, 2 * op.nbytes, 0.0)
-            return issued, done
-        if isinstance(op, DMAOp):
-            _start, issued = pipeline.reserve(now, cfg.dma_issue_instrs)
-            engine = self.dma_engines[core]
-            if op.kind == "internal":
-                _free, done = engine.submit(issued, op.nbytes)
-            else:
-                targets = [
-                    (self.slices[dst], dst)
-                    for dst in self._stripe_targets(op.target_core, op.nbytes)
-                ]
-                _free, done = engine.submit(
-                    issued, op.nbytes, targets=targets, network=self.network
-                )
-            self._account(op.tag, op.nbytes, 0.0)
-            return issued, done
-        raise TypeError(f"unknown op {op!r}")
+        handler = self._dispatch.get(op.__class__)
+        if handler is None:
+            raise TypeError(f"unknown op {op!r}")
+        return handler(op, now, core, mtp)
 
     def _account(self, tag, nbytes, wait_ns):
         record = self.stats[tag]
@@ -229,51 +507,196 @@ class Simulator:
         ``stall_events`` ceilings bound the loop, raising
         :class:`~repro.runtime.errors.SimulationDiverged` instead of
         spinning forever on a buggy kernel or pathological point.
+
+        ``PIUMAConfig.engine_fast_path`` selects the loop: the fast
+        path (default) and the reference path produce bit-identical
+        results; the reference path exists as the escape hatch and the
+        differential-test oracle.
+        """
+        started = time.perf_counter()
+        try:
+            if self.config.engine_fast_path:
+                return self._run_fast()
+            return self._run_reference()
+        finally:
+            self.host_wall_s = time.perf_counter() - started
+
+    def _diverged_events(self, events, now):
+        return SimulationDiverged(
+            f"event ceiling exceeded after {events - 1:,} events "
+            f"at {now:.0f} simulated ns",
+            cause="max_events",
+        )
+
+    def _diverged_sim_ns(self, now):
+        return SimulationDiverged(
+            f"simulated-time ceiling exceeded "
+            f"({now:.0f} ns > {self.config.max_sim_ns:.0f} ns)",
+            cause="max_sim_ns",
+        )
+
+    def _diverged_stall(self, stalled, now):
+        return SimulationDiverged(
+            f"no simulated-time progress over {stalled:,} "
+            f"consecutive events at {now:.0f} ns",
+            cause="stall",
+        )
+
+    def _run_fast(self):
+        """Peek-ahead main loop (the default).
+
+        After executing an op, if the thread's resume time strictly
+        precedes the earliest queued event, the same generator is driven
+        again without a heap push/pop — the global event order is
+        provably unchanged, because the skipped push would have been
+        popped next anyway (a new entry can never beat an equal-time
+        queued entry: sequence numbers only grow, and the heap breaks
+        time ties by sequence).  Long dependent op chains (SpMM threads)
+        therefore bypass most heap churn.
+
+        Event accounting is identical to the reference loop: every
+        generator resumption — including the final ``StopIteration``
+        — counts as one event, in the same global order, so the
+        watchdog ceilings trip at exactly the same point.
+        """
+        cfg = self.config
+        heap = self._heap
+        threads = self._threads
+        slices = self.slices
+        # A Tracer monkey-patches `_execute` on the instance; when it
+        # has, every op must route through the patched wrapper.  When it
+        # hasn't (the overwhelmingly common case), dispatch straight
+        # through the type table and skip the wrapper frame.
+        execute = self._execute if "_execute" in self.__dict__ else None
+        dispatch_get = self._dispatch.get
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        # Falsy ceilings mean "unbounded"; folding that into an infinite
+        # ceiling keeps the per-event watchdog to one comparison each.
+        inf = float("inf")
+        max_events = cfg.max_events or inf
+        max_sim_ns = cfg.max_sim_ns or inf
+        stall_limit = cfg.stall_events or inf
+        latest = 0.0
+        events = 0
+        stalled = 0
+        last_now = -1.0
+        seq = self._seq
+        try:
+            while heap:
+                now, _seq, idx, value = heappop(heap)
+                generator, core, mtp = threads[idx]
+                while True:
+                    events += 1
+                    if not events & 2047:
+                        # Periodically retire DRAM-timeline history:
+                        # global event time is non-decreasing and every
+                        # future allocation arrives at or after it, so
+                        # intervals ending 1 ns before `now` are dead
+                        # weight (see Timeline.compact — compaction is
+                        # result-transparent at any event boundary).
+                        cutoff = now - 1.0
+                        for s in slices:
+                            s.retire_before(cutoff)
+                    if events > max_events:
+                        raise self._diverged_events(events, now)
+                    if now > max_sim_ns:
+                        raise self._diverged_sim_ns(now)
+                    if now == last_now:
+                        stalled += 1
+                        if stalled > stall_limit:
+                            raise self._diverged_stall(stalled, now)
+                    else:
+                        stalled = 0
+                        last_now = now
+                    try:
+                        op = generator.send(value)
+                    except StopIteration:
+                        if now > latest:
+                            latest = now
+                        break
+                    if execute is None:
+                        handler = dispatch_get(op.__class__)
+                        if handler is None:
+                            raise TypeError(f"unknown op {op!r}")
+                        resume, completion = handler(op, now, core, mtp)
+                    else:
+                        resume, completion = execute(op, now, core, mtp)
+                    if completion > latest:
+                        latest = completion
+                    if heap and heap[0][0] <= resume:
+                        # An already-queued event runs first (earlier
+                        # time, or an equal time with a smaller
+                        # sequence number).  The push-then-pop pair is
+                        # fused into one sift: the new entry can never
+                        # beat the queued head (its sequence number is
+                        # larger), so heappushpop returns exactly what
+                        # push followed by pop would have.
+                        now, _seq, idx, value = heappushpop(
+                            heap, (resume, seq, idx, completion)
+                        )
+                        seq += 1
+                        generator, core, mtp = threads[idx]
+                        continue
+                    now, value = resume, completion
+        finally:
+            self._seq = seq
+            self.events = events
+        self.end_time = latest + cfg.launch_overhead_ns
+        return self.end_time
+
+    def _run_reference(self):
+        """The original pop/execute/push loop (``engine_fast_path=False``).
+
+        Kept verbatim as the semantics oracle: the differential suite
+        asserts the fast path reproduces this loop bit-for-bit.
         """
         cfg = self.config
         latest = 0.0
         events = 0
         stalled = 0
         last_now = -1.0
-        while self._heap:
-            now, _seq, idx, value = heapq.heappop(self._heap)
-            events += 1
-            if cfg.max_events and events > cfg.max_events:
-                raise SimulationDiverged(
-                    f"event ceiling exceeded after {events - 1:,} events "
-                    f"at {now:.0f} simulated ns",
-                    cause="max_events",
-                )
-            if cfg.max_sim_ns and now > cfg.max_sim_ns:
-                raise SimulationDiverged(
-                    f"simulated-time ceiling exceeded "
-                    f"({now:.0f} ns > {cfg.max_sim_ns:.0f} ns)",
-                    cause="max_sim_ns",
-                )
-            if now == last_now:
-                stalled += 1
-                if cfg.stall_events and stalled > cfg.stall_events:
-                    raise SimulationDiverged(
-                        f"no simulated-time progress over {stalled:,} "
-                        f"consecutive events at {now:.0f} ns",
-                        cause="stall",
-                    )
-            else:
-                stalled = 0
-                last_now = now
-            generator, core, mtp = self._threads[idx]
-            try:
-                op = generator.send(value)
-            except StopIteration:
-                latest = max(latest, now)
-                continue
-            resume, completion = self._execute(op, now, core, mtp)
-            latest = max(latest, completion)
-            self._push(resume, idx, completion)
+        try:
+            while self._heap:
+                now, _seq, idx, value = heapq.heappop(self._heap)
+                events += 1
+                if not events & 2047:
+                    cutoff = now - 1.0
+                    for s in self.slices:
+                        s.retire_before(cutoff)
+                if cfg.max_events and events > cfg.max_events:
+                    raise self._diverged_events(events, now)
+                if cfg.max_sim_ns and now > cfg.max_sim_ns:
+                    raise self._diverged_sim_ns(now)
+                if now == last_now:
+                    stalled += 1
+                    if cfg.stall_events and stalled > cfg.stall_events:
+                        raise self._diverged_stall(stalled, now)
+                else:
+                    stalled = 0
+                    last_now = now
+                generator, core, mtp = self._threads[idx]
+                try:
+                    op = generator.send(value)
+                except StopIteration:
+                    latest = max(latest, now)
+                    continue
+                resume, completion = self._execute(op, now, core, mtp)
+                latest = max(latest, completion)
+                self._push(resume, idx, completion)
+        finally:
+            self.events = events
         self.end_time = latest + self.config.launch_overhead_ns
         return self.end_time
 
     # -- reporting ---------------------------------------------------------------
+
+    @property
+    def events_per_s(self):
+        """Host-side DES throughput of the last :meth:`run`."""
+        if self.host_wall_s <= 0.0:
+            return 0.0
+        return self.events / self.host_wall_s
 
     def memory_utilization(self):
         """Mean DRAM-slice busy fraction over the kernel."""

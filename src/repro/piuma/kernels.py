@@ -12,6 +12,7 @@ populated exactly as they would be in a full run.
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass
 
@@ -69,6 +70,10 @@ class KernelResult:
         Per-category accounting (``nnz``, ``feature``, ``dma_read``...):
         counts, bytes, and thread-blocking wait — the raw material of the
         Fig 8 (right) breakdown.
+    events / host_wall_s:
+        Host-performance observability: DES events executed and host
+        wall-clock seconds the simulation took (see
+        :attr:`events_per_s`).
     """
 
     sim_time_ns: float
@@ -80,6 +85,15 @@ class KernelResult:
     memory_utilization: float
     achieved_bandwidth: float
     tag_stats: dict
+    events: int = 0
+    host_wall_s: float = 0.0
+
+    @property
+    def events_per_s(self):
+        """Host-side DES throughput (events per wall-clock second)."""
+        if self.host_wall_s <= 0.0:
+            return 0.0
+        return self.events / self.host_wall_s
 
     def efficiency_vs(self, model_gflops):
         """Fraction of an analytical-model throughput achieved."""
@@ -169,10 +183,22 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
     simulator = Simulator(config)
     work_items = splitter(adj, config, window_edges)
     simulated_edges = sum(len(w.cols) for w in work_items)
+    # Kernels that take a `shared` intern table get one per invocation
+    # (ops are immutable, so one instance can serve every thread);
+    # custom factories without the parameter still work.
+    params = inspect.signature(thread_factory).parameters
+    accepts_shared = "shared" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    shared = {} if accepts_shared else None
     for work in work_items:
-        simulator.spawn(
-            thread_factory(work, embedding_dim, config), work.core, work.mtp
-        )
+        if accepts_shared:
+            generator = thread_factory(
+                work, embedding_dim, config, shared=shared
+            )
+        else:
+            generator = thread_factory(work, embedding_dim, config)
+        simulator.spawn(generator, work.core, work.mtp)
     end = simulator.run()
     # Steady state excludes the per-thread setup (binary search): in a
     # full run it is amortized over thousands of edges per thread; a
@@ -193,4 +219,6 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
         memory_utilization=simulator.memory_utilization(),
         achieved_bandwidth=simulator.achieved_bandwidth(),
         tag_stats=dict(simulator.stats),
+        events=simulator.events,
+        host_wall_s=simulator.host_wall_s,
     )

@@ -23,6 +23,13 @@ class Network:
             FluidResource(config.network_bandwidth_gbps, name=f"net{c}")
             for c in range(config.n_cores)
         ]
+        # Latency is pure topology — memoize per (src, dst) pair.  The
+        # simulator asks for the same few thousand pairs millions of
+        # times per kernel, and the tier arithmetic (two integer
+        # divisions over two derived-property lookups) was one of the
+        # hottest lines of the DES before caching.
+        self._latency_cache = {}
+        self._mean_remote = None
 
     def latency(self, src_core, dst_core):
         """One-way latency in ns from ``src_core`` to ``dst_core``.
@@ -31,15 +38,24 @@ class Network:
         intra-die fabric; different dies one optical HyperX hop;
         different nodes the node-to-node optical tier.
         """
+        key = (src_core, dst_core)
+        cached = self._latency_cache.get(key)
+        if cached is not None:
+            return cached
         if src_core == dst_core:
-            return 0.0
-        per_die = self._config.cores_per_die
-        per_node = self._config.cores_per_node
-        if src_core // per_die == dst_core // per_die:
-            return self._config.intra_die_latency_ns
-        if src_core // per_node == dst_core // per_node:
-            return self._config.inter_die_latency_ns
-        return self._config.inter_node_latency_ns
+            value = 0.0
+        else:
+            config = self._config
+            per_die = config.cores_per_die
+            per_node = config.cores_per_node
+            if src_core // per_die == dst_core // per_die:
+                value = config.intra_die_latency_ns
+            elif src_core // per_node == dst_core // per_node:
+                value = config.inter_die_latency_ns
+            else:
+                value = config.inter_node_latency_ns
+        self._latency_cache[key] = value
+        return value
 
     def transfer(self, now, src_core, dst_core, nbytes):
         """Inject ``nbytes`` at ``now``; returns arrival time at ``dst``.
@@ -52,13 +68,23 @@ class Network:
         return end + self.latency(src_core, dst_core)
 
     def mean_remote_latency(self):
-        """Average one-way latency from a core to a uniformly random
-        *other* location (including itself), used by analytical checks."""
-        n = self._config.n_cores
-        if n == 1:
-            return 0.0
-        total = sum(self.latency(0, dst) for dst in range(n))
-        return total / n
+        """Expected one-way latency from core 0 to a *uniformly random*
+        destination core — the destination may be core 0 itself, whose
+        local access is free, so the self term contributes latency 0 to
+        the average.  That matches how the analytical checks use it: a
+        random vertex lands on a random slice, including the local one.
+
+        The value is pure topology, so it is computed once and
+        memoized.
+        """
+        if self._mean_remote is None:
+            n = self._config.n_cores
+            if n == 1:
+                self._mean_remote = 0.0
+            else:
+                total = sum(self.latency(0, dst) for dst in range(n))
+                self._mean_remote = total / n
+        return self._mean_remote
 
     def injection_utilization(self, horizon):
         """Max per-core injection-port utilization over ``[0, horizon]``."""

@@ -6,33 +6,63 @@ against the shared hardware resources.  Each record carries a ``tag``
 naming what the access is *for* (``"nnz"``, ``"feature"``, ...) so the
 simulator can attribute wait time per category — that attribution is the
 Fig 8 (right) execution-time breakdown.
+
+Ops are on the simulator's per-event hot path, so they are hand-written
+``__slots__`` classes rather than frozen dataclasses: construction is a
+plain attribute-assignment ``__init__`` with no ``object.__setattr__``
+indirection and no ``__dict__`` per instance.  They must be treated as
+**immutable**: the kernels intern and re-yield the same instance for
+repeated (target, bytes) shapes, so mutating one op would corrupt every
+later occurrence.  The simulator only ever reads them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+
+class _Op:
+    """Shared value semantics (repr/eq/hash over the slot fields)."""
+
+    __slots__ = ()
+
+    def _values(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __repr__(self):
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __hash__(self):
+        return hash((type(self).__name__,) + self._values())
 
 
-@dataclass(frozen=True)
-class Load:
+class Load(_Op):
     """Blocking read: the thread stalls until the data returns.
 
     ``grouped`` loads are issued back-to-back before stalling (the
     loop-unrolling trick); the stall covers the slowest of them, modeled
-    as one request of the combined size.
+    as one request of the combined size.  ``priority`` marks demand
+    loads (NNZ/index fetches) arbitrated ahead of bulk DMA streams at
+    the memory controller.
     """
 
-    nbytes: int
-    target_core: int
-    tag: str
-    grouped: int = 1
-    #: Demand loads (NNZ/index fetches) are arbitrated ahead of bulk DMA
-    #: streams at the memory controller.
-    priority: bool = True
+    __slots__ = ("nbytes", "target_core", "tag", "grouped", "priority")
+
+    def __init__(self, nbytes, target_core, tag, grouped=1, priority=True):
+        self.nbytes = nbytes
+        self.target_core = target_core
+        self.tag = tag
+        self.grouped = grouped
+        self.priority = priority
 
 
-@dataclass(frozen=True)
-class SequentialAccess:
+class SequentialAccess(_Op):
     """Blocking stall-on-use loop: ``n_rounds`` dependent line fetches.
 
     Each round issues ``instrs_per_round`` pipeline instructions, then a
@@ -42,15 +72,21 @@ class SequentialAccess:
     path — the scaling killer of Section IV-B.
     """
 
-    n_rounds: int
-    bytes_per_round: int
-    target_core: int
-    instrs_per_round: int
-    tag: str
+    __slots__ = (
+        "n_rounds", "bytes_per_round", "target_core", "instrs_per_round",
+        "tag",
+    )
+
+    def __init__(self, n_rounds, bytes_per_round, target_core,
+                 instrs_per_round, tag):
+        self.n_rounds = n_rounds
+        self.bytes_per_round = bytes_per_round
+        self.target_core = target_core
+        self.instrs_per_round = instrs_per_round
+        self.tag = tag
 
 
-@dataclass(frozen=True)
-class PhaseMarker:
+class PhaseMarker(_Op):
     """Zero-cost marker separating kernel setup from steady state.
 
     Kernels emit one after their per-thread setup (binary search); the
@@ -59,30 +95,36 @@ class PhaseMarker:
     otherwise overweight by orders of magnitude.
     """
 
-    name: str = "setup_done"
+    __slots__ = ("name",)
+
+    def __init__(self, name="setup_done"):
+        self.name = name
 
 
-@dataclass(frozen=True)
-class Compute:
+class Compute(_Op):
     """Pipeline-only work of ``n_instrs`` single-issue instructions."""
 
-    n_instrs: int
-    tag: str = "compute"
+    __slots__ = ("n_instrs", "tag")
+
+    def __init__(self, n_instrs, tag="compute"):
+        self.n_instrs = n_instrs
+        self.tag = tag
 
 
-@dataclass(frozen=True)
-class Store:
+class Store(_Op):
     """Fire-and-forget write: occupies issue slots and memory bandwidth
     but does not stall the thread (stall-on-use pipelines only stall on
     loads)."""
 
-    nbytes: int
-    target_core: int
-    tag: str
+    __slots__ = ("nbytes", "target_core", "tag")
+
+    def __init__(self, nbytes, target_core, tag):
+        self.nbytes = nbytes
+        self.target_core = target_core
+        self.tag = tag
 
 
-@dataclass(frozen=True)
-class AtomicUpdate:
+class AtomicUpdate(_Op):
     """Remote atomic read-modify-write of a row (fire-and-forget).
 
     Edge-parallel SpMM write-backs must be atomic because rows that
@@ -94,13 +136,19 @@ class AtomicUpdate:
     where it loses on CPUs.
     """
 
-    nbytes: int
-    target_core: int
-    tag: str
+    __slots__ = ("nbytes", "target_core", "tag")
+
+    def __init__(self, nbytes, target_core, tag):
+        self.nbytes = nbytes
+        self.target_core = target_core
+        self.tag = tag
 
 
-@dataclass(frozen=True)
-class DMAOp:
+#: Valid data paths of a :class:`DMAOp`.
+DMA_KINDS = frozenset(("read", "write", "internal"))
+
+
+class DMAOp(_Op):
     """Asynchronous DMA request routed to the thread's core engine.
 
     ``kind`` selects the data path: ``"read"``/``"write"`` move DRAM
@@ -110,11 +158,12 @@ class DMAOp:
     the end-of-kernel barrier waits for completions.
     """
 
-    kind: str
-    nbytes: int
-    target_core: int
-    tag: str
+    __slots__ = ("kind", "nbytes", "target_core", "tag")
 
-    def __post_init__(self):
-        if self.kind not in ("read", "write", "internal"):
-            raise ValueError(f"unknown DMA kind {self.kind!r}")
+    def __init__(self, kind, nbytes, target_core, tag):
+        if kind not in DMA_KINDS:
+            raise ValueError(f"unknown DMA kind {kind!r}")
+        self.kind = kind
+        self.nbytes = nbytes
+        self.target_core = target_core
+        self.tag = tag

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import bisect
 
+_INF = float("inf")
+
 
 class FluidResource:
     """A rate-limited FIFO server.
@@ -26,6 +28,9 @@ class FluidResource:
     name:
         Label used in utilization reports.
     """
+
+    __slots__ = ("rate", "name", "busy_until", "busy_time",
+                 "units_served", "requests")
 
     def __init__(self, rate, name=""):
         if rate <= 0:
@@ -47,7 +52,8 @@ class FluidResource:
         """
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        start = max(now, self.busy_until)
+        busy = self.busy_until
+        start = now if now > busy else busy
         duration = amount / self.rate + extra_time
         end = start + duration
         self.busy_until = end
@@ -75,8 +81,15 @@ class Timeline:
     exactly like a FIFO horizon.
     """
 
+    __slots__ = ("_starts", "_ends", "_retired_busy")
+
     def __init__(self):
-        self._intervals = []  # disjoint, sorted (start, end)
+        # Disjoint sorted intervals as parallel float lists: the hot
+        # paths extend or clip the newest interval, and plain float
+        # stores beat rebuilding a (start, end) tuple per request.
+        self._starts = []
+        self._ends = []
+        self._retired_busy = 0.0  # occupancy of compacted-away intervals
 
     def allocate(self, arrival, duration):
         """Occupy the earliest ``duration``-long window at/after ``arrival``.
@@ -85,45 +98,111 @@ class Timeline:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        intervals = self._intervals
-        index = bisect.bisect_right(intervals, (arrival, float("inf")))
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        if n:
+            last_end = ends[-1]
+            if arrival >= starts[-1]:
+                # Saturated-FIFO fast path: the request lands at or
+                # after the newest interval, so no backfilling or
+                # successor merging can occur.  Bit-identical to the
+                # general path below (same candidate rule, same merge
+                # epsilon), minus the bisect and mid-list insert.
+                start = last_end if last_end > arrival else arrival
+                end = start + duration
+                if start <= last_end + 1e-9:
+                    if end > last_end:
+                        ends[-1] = end
+                else:
+                    starts.append(start)
+                    ends.append(end)
+                return start, end
+        return self.backfill(arrival, duration)
+
+    def backfill(self, arrival, duration):
+        """General :meth:`allocate` path: find the earliest fitting gap.
+
+        Split out so the DMA hot loop (which has already inlined and
+        failed the saturated-FIFO fast path) can enter here directly
+        without re-checking it.  Same candidate rule and merge epsilon
+        as the fast path.
+        """
+        starts = self._starts
+        ends = self._ends
+        n = len(starts)
+        # First index whose start exceeds `arrival` — identical to
+        # bisecting the old (start, end) tuple list with (arrival, inf).
+        index = bisect.bisect_right(starts, arrival)
         # The previous interval may still cover `arrival`.
-        if index > 0 and intervals[index - 1][1] > arrival:
-            candidate = intervals[index - 1][1]
+        if index > 0 and ends[index - 1] > arrival:
+            candidate = ends[index - 1]
         else:
             candidate = arrival
-        while index < len(intervals) and intervals[index][0] - candidate < duration:
-            candidate = max(candidate, intervals[index][1])
+        while index < n:
+            if starts[index] - candidate >= duration:
+                break
+            end = ends[index]
+            if end > candidate:
+                candidate = end
             index += 1
         start, end = candidate, candidate + duration
-        intervals.insert(index, (start, end))
-        self._merge_around(index)
+        starts.insert(index, start)
+        ends.insert(index, end)
+        # Merge with successor(s) and predecessor if touching.
+        while index + 1 < len(starts) and (
+            starts[index + 1] <= ends[index] + 1e-9
+        ):
+            if ends[index + 1] > ends[index]:
+                ends[index] = ends[index + 1]
+            del starts[index + 1]
+            del ends[index + 1]
+        while index > 0 and starts[index] <= ends[index - 1] + 1e-9:
+            if ends[index] > ends[index - 1]:
+                ends[index - 1] = ends[index]
+            del starts[index]
+            del ends[index]
+            index -= 1
         return start, end
 
-    def _merge_around(self, index):
-        intervals = self._intervals
-        # Merge with successor(s) and predecessor if touching.
-        while index + 1 < len(intervals) and (
-            intervals[index + 1][0] <= intervals[index][1] + 1e-9
-        ):
-            intervals[index] = (
-                intervals[index][0],
-                max(intervals[index][1], intervals[index + 1][1]),
-            )
-            del intervals[index + 1]
-        while index > 0 and (
-            intervals[index][0] <= intervals[index - 1][1] + 1e-9
-        ):
-            intervals[index - 1] = (
-                intervals[index - 1][0],
-                max(intervals[index - 1][1], intervals[index][1]),
-            )
-            del intervals[index]
-            index -= 1
+    def compact(self, cutoff):
+        """Retire intervals that end before ``cutoff``.
+
+        Callers guarantee every future ``allocate`` arrives at or after
+        ``cutoff`` plus a safety margin larger than the merge epsilon, so
+        the retired prefix can never be bisected into, backfilled around,
+        or merged with again — dropping it is invisible to all future
+        results.  Occupancy is preserved in :attr:`busy_time`.  This
+        keeps the interval list short (the live frontier only) so the
+        general allocate path stays O(frontier), not O(history).
+        """
+        starts = self._starts
+        ends = self._ends
+        drop = 0
+        n = len(starts)
+        while drop < n and ends[drop] < cutoff:
+            drop += 1
+        if drop:
+            retired = 0.0
+            for i in range(drop):
+                retired += ends[i] - starts[i]
+            self._retired_busy += retired
+            del starts[:drop]
+            del ends[:drop]
+
+    @property
+    def _intervals(self):
+        """Read-only ``(start, end)`` tuple view (tests and debugging)."""
+        return list(zip(self._starts, self._ends))
 
     @property
     def busy_time(self):
-        return sum(end - start for start, end in self._intervals)
+        busy = self._retired_busy
+        starts = self._starts
+        ends = self._ends
+        for i in range(len(starts)):
+            busy += ends[i] - starts[i]
+        return busy
 
 
 class DRAMSlice:
@@ -132,6 +211,10 @@ class DRAMSlice:
     Service = bandwidth occupancy on a gap-backfilling timeline;
     completion additionally pays the (swept) DRAM access latency.
     """
+
+    __slots__ = ("rate", "latency_ns", "name", "_timeline",
+                 "_priority_horizon", "_priority_busy", "bytes_served",
+                 "requests")
 
     def __init__(self, bandwidth_bytes_per_ns, latency_ns, name=""):
         if bandwidth_bytes_per_ns <= 0:
@@ -160,22 +243,55 @@ class DRAMSlice:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if not priority:
+            return self.bulk_request(now, nbytes)
         self.bytes_served += nbytes
         self.requests += 1
         service = nbytes / self.rate
-        if priority:
-            # Jump ahead of queued bulk transfers, but still consume
-            # capacity: the stolen bandwidth is charged to the timeline
-            # so bulk traffic is pushed back and total throughput can
-            # never exceed the rate.
-            self._timeline.allocate(now, service)
-            start = max(now, self._priority_horizon)
-            end = start + service
-            self._priority_horizon = end
-            self._priority_busy += service
-            return end + self.latency_ns
-        _start, end = self._timeline.allocate(now, service)
+        # Jump ahead of queued bulk transfers, but still consume
+        # capacity: the stolen bandwidth is charged to the timeline
+        # so bulk traffic is pushed back and total throughput can
+        # never exceed the rate.
+        self._timeline.allocate(now, service)
+        start = max(now, self._priority_horizon)
+        end = start + service
+        self._priority_horizon = end
+        self._priority_busy += service
         return end + self.latency_ns
+
+    def bulk_request(self, now, nbytes):
+        """Non-priority :meth:`request` with the saturated-FIFO timeline
+        fast path inlined (the DMA inner loop runs through here a couple
+        of times per simulated edge).  Bit-identical to
+        ``Timeline.allocate``: same candidate rule, same merge epsilon.
+        """
+        self.bytes_served += nbytes
+        self.requests += 1
+        service = nbytes / self.rate
+        timeline = self._timeline
+        starts = timeline._starts
+        if starts and now >= starts[-1]:
+            ends = timeline._ends
+            last_end = ends[-1]
+            start = last_end if last_end > now else now
+            end = start + service
+            if start <= last_end + 1e-9:
+                if end > last_end:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+            return end + self.latency_ns
+        _start, end = timeline.backfill(now, service)
+        return end + self.latency_ns
+
+    def retire_before(self, cutoff):
+        """Compact timeline history that ends before ``cutoff``.
+
+        The simulator calls this periodically with the current global
+        event time minus a safety margin; see :meth:`Timeline.compact`.
+        """
+        self._timeline.compact(cutoff)
 
     @property
     def busy_time(self):

@@ -15,11 +15,25 @@ insensitivity of Fig 6/7.
 from __future__ import annotations
 
 from repro.piuma.ops import AtomicUpdate, DMAOp, Load, PhaseMarker
-from repro.piuma.spmm_loop import binary_search_op, nnz_line_core, owner_core
+from repro.piuma.spmm_loop import (
+    as_int_list,
+    binary_search_op,
+    nnz_line_core,
+    owner_cores,
+)
 
 
-def dma_thread(work, embedding_dim, config):
-    """Thread generator for the DMA-offload kernel."""
+def dma_thread(work, embedding_dim, config, shared=None):
+    """Thread generator for the DMA-offload kernel.
+
+    Ops are interned: the same immutable op is re-yielded for every
+    repeated (target, bytes) shape instead of being rebuilt per edge.
+    ``shared`` is an optional intern table spanning all threads of one
+    kernel invocation (ops are immutable, so cross-thread sharing is
+    safe) — it shrinks the op population from O(threads) to O(cores),
+    which both cuts construction cost and lets the engine's per-op
+    execution-plan cache stay tiny.
+    """
     n_cores = config.n_cores
     hashed = config.hashed_placement
     group = config.nnz_group_edges
@@ -28,41 +42,63 @@ def dma_thread(work, embedding_dim, config):
     yield binary_search_op(work, config)
     yield PhaseMarker()
 
-    n_edges = len(work.cols)
-    current_row = int(work.rows[0]) if n_edges else -1
+    col_cores = owner_cores(work.cols, n_cores, hashed)
+    row_cores = owner_cores(work.rows, n_cores, hashed)
+    rows = as_int_list(work.rows)
+    if shared is None:
+        shared = {}
+    # Buffer init with the vectorized edge weight: descriptor overhead
+    # only, no DRAM traffic — one instance covers every edge.
+    dma_init = shared.get("dma_init")
+    if dma_init is None:
+        dma_init = shared["dma_init"] = DMAOp(
+            kind="internal", nbytes=0, target_core=0, tag="dma_init"
+        )
+    nnz_loads = shared.setdefault("nnz", {})    # (core, bytes) -> Load
+    read_ops = shared.setdefault("read", {})    # core -> DMAOp
+    atomic_ops = shared.setdefault("atomic", {})  # core -> AtomicUpdate
+    n_edges = len(rows)
+    current_row = rows[0] if n_edges else -1
+    current_core = row_cores[0] if n_edges else -1
     for begin in range(0, n_edges, group):
         stop = min(begin + group, n_edges)
         nnz_bytes = (stop - begin) * (config.index_bytes + config.value_bytes)
-        yield Load(
-            nbytes=nnz_bytes,
-            target_core=nnz_line_core(work.start_edge + begin, group, n_cores),
-            tag="nnz",
-            grouped=2,
+        nnz_key = (
+            nnz_line_core(work.start_edge + begin, group, n_cores), nnz_bytes
         )
+        op = nnz_loads.get(nnz_key)
+        if op is None:
+            op = nnz_loads[nnz_key] = Load(
+                nbytes=nnz_bytes, target_core=nnz_key[0], tag="nnz", grouped=2
+            )
+        yield op
         for e in range(begin, stop):
-            row = int(work.rows[e])
+            row = rows[e]
             if row != current_row:
-                yield AtomicUpdate(
-                    nbytes=row_bytes,
-                    target_core=owner_core(current_row, n_cores, hashed),
-                    tag="atomic_write",
-                )
+                op = atomic_ops.get(current_core)
+                if op is None:
+                    op = atomic_ops[current_core] = AtomicUpdate(
+                        nbytes=row_bytes, target_core=current_core,
+                        tag="atomic_write",
+                    )
+                yield op
                 current_row = row
-            vertex = int(work.cols[e])
-            # Buffer init with the vectorized edge weight: descriptor
-            # overhead only, no DRAM traffic.
-            yield DMAOp(kind="internal", nbytes=0, target_core=0, tag="dma_init")
+                current_core = row_cores[e]
+            yield dma_init
             # Multiply-read of the neighbor feature vector, fused with
             # the scratchpad copy-add.
-            yield DMAOp(
-                kind="read",
-                nbytes=row_bytes,
-                target_core=owner_core(vertex, n_cores, hashed),
-                tag="dma_read",
-            )
+            target = col_cores[e]
+            op = read_ops.get(target)
+            if op is None:
+                op = read_ops[target] = DMAOp(
+                    kind="read", nbytes=row_bytes, target_core=target,
+                    tag="dma_read",
+                )
+            yield op
     if current_row >= 0:
-        yield AtomicUpdate(
-            nbytes=row_bytes,
-            target_core=owner_core(current_row, n_cores, hashed),
-            tag="atomic_write",
-        )
+        op = atomic_ops.get(current_core)
+        if op is None:
+            op = atomic_ops[current_core] = AtomicUpdate(
+                nbytes=row_bytes, target_core=current_core, tag="atomic_write"
+            )
+        yield op

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.piuma.kernels import ThreadWork
 from repro.piuma.ops import DMAOp, Load, PhaseMarker
-from repro.piuma.spmm_loop import nnz_line_core, owner_core
+from repro.piuma.spmm_loop import as_int_list, nnz_line_core, owner_cores
 
 
 def make_chunks(adj, config, window_edges, rows_per_chunk=None):
@@ -49,7 +49,7 @@ def make_chunks(adj, config, window_edges, rows_per_chunk=None):
     return chunks
 
 
-def dynamic_thread(queue, embedding_dim, config, thread_id):
+def dynamic_thread(queue, embedding_dim, config, thread_id, shared=None):
     """Thread generator: pop chunks from the shared queue until empty.
 
     The queue is plain Python state shared by all generators; each pop
@@ -65,55 +65,82 @@ def dynamic_thread(queue, embedding_dim, config, thread_id):
 
     yield PhaseMarker()
 
-    while queue:
-        # Atomic dequeue: blocking round trip to the queue's home.
-        yield Load(
-            nbytes=2 * config.index_bytes,
-            target_core=queue_home,
+    # Interned op instances (see the other kernels): the queue-pop load
+    # and buffer-init descriptor are constant; reads/writes vary only by
+    # target core.  ``shared`` optionally spans the intern table across
+    # all threads of one invocation.
+    if shared is None:
+        shared = {}
+    queue_pop = shared.get("queue_pop")
+    if queue_pop is None:
+        queue_pop = shared["queue_pop"] = Load(
+            nbytes=2 * config.index_bytes, target_core=queue_home,
             tag="queue_pop",
         )
+    dma_init = shared.get("dma_init")
+    if dma_init is None:
+        dma_init = shared["dma_init"] = DMAOp(
+            kind="internal", nbytes=0, target_core=0, tag="dma_init"
+        )
+    nnz_loads = shared.setdefault("nnz", {})    # (core, bytes) -> Load
+    read_ops = shared.setdefault("read", {})    # core -> DMAOp
+    write_ops = shared.setdefault("write", {})  # core -> DMAOp
+    while queue:
+        # Atomic dequeue: blocking round trip to the queue's home.
+        yield queue_pop
         if not queue:
             break
         start_edge, cols, rows = queue.pop()
-        n_edges = len(cols)
-        current_row = int(rows[0]) if n_edges else -1
+        col_cores = owner_cores(cols, n_cores, hashed)
+        row_cores = owner_cores(rows, n_cores, hashed)
+        rows = as_int_list(rows)
+        n_edges = len(rows)
+        current_row = rows[0] if n_edges else -1
+        current_core = row_cores[0] if n_edges else -1
         for begin in range(0, n_edges, group):
             stop = min(begin + group, n_edges)
             nnz_bytes = (stop - begin) * (
                 config.index_bytes + config.value_bytes
             )
-            yield Load(
-                nbytes=nnz_bytes,
-                target_core=nnz_line_core(start_edge + begin, group, n_cores),
-                tag="nnz",
-                grouped=2,
+            nnz_key = (
+                nnz_line_core(start_edge + begin, group, n_cores), nnz_bytes
             )
-            for e in range(begin, stop):
-                row = int(rows[e])
-                if row != current_row:
-                    yield DMAOp(
-                        kind="write",
-                        nbytes=row_bytes,
-                        target_core=owner_core(current_row, n_cores, hashed),
-                        tag="dma_write",
-                    )
-                    current_row = row
-                vertex = int(cols[e])
-                yield DMAOp(kind="internal", nbytes=0, target_core=0,
-                            tag="dma_init")
-                yield DMAOp(
-                    kind="read",
-                    nbytes=row_bytes,
-                    target_core=owner_core(vertex, n_cores, hashed),
-                    tag="dma_read",
+            op = nnz_loads.get(nnz_key)
+            if op is None:
+                op = nnz_loads[nnz_key] = Load(
+                    nbytes=nnz_bytes, target_core=nnz_key[0], tag="nnz",
+                    grouped=2,
                 )
+            yield op
+            for e in range(begin, stop):
+                row = rows[e]
+                if row != current_row:
+                    op = write_ops.get(current_core)
+                    if op is None:
+                        op = write_ops[current_core] = DMAOp(
+                            kind="write", nbytes=row_bytes,
+                            target_core=current_core, tag="dma_write",
+                        )
+                    yield op
+                    current_row = row
+                    current_core = row_cores[e]
+                yield dma_init
+                target = col_cores[e]
+                op = read_ops.get(target)
+                if op is None:
+                    op = read_ops[target] = DMAOp(
+                        kind="read", nbytes=row_bytes, target_core=target,
+                        tag="dma_read",
+                    )
+                yield op
         if current_row >= 0:
-            yield DMAOp(
-                kind="write",
-                nbytes=row_bytes,
-                target_core=owner_core(current_row, n_cores, hashed),
-                tag="dma_write",
-            )
+            op = write_ops.get(current_core)
+            if op is None:
+                op = write_ops[current_core] = DMAOp(
+                    kind="write", nbytes=row_bytes,
+                    target_core=current_core, tag="dma_write",
+                )
+            yield op
 
 
 def simulate_spmm_dynamic(adj, embedding_dim, config, window_edges=None,
@@ -130,11 +157,13 @@ def simulate_spmm_dynamic(adj, embedding_dim, config, window_edges=None,
     simulated_edges = sum(len(cols) for _s, cols, _r in chunks)
     queue = list(reversed(chunks))  # pop() takes from the front chunk
     simulator = Simulator(config)
+    shared = {}
     for t in range(config.n_threads):
         core = t // config.threads_per_core
         mtp = (t % config.threads_per_core) // config.threads_per_mtp
         simulator.spawn(
-            dynamic_thread(queue, embedding_dim, config, t), core, mtp
+            dynamic_thread(queue, embedding_dim, config, t, shared=shared),
+            core, mtp,
         )
     end = simulator.run()
     setup = min(simulator.setup_end, end - config.launch_overhead_ns)
@@ -153,4 +182,6 @@ def simulate_spmm_dynamic(adj, embedding_dim, config, window_edges=None,
         memory_utilization=simulator.memory_utilization(),
         achieved_bandwidth=simulator.achieved_bandwidth(),
         tag_stats=dict(simulator.stats),
+        events=simulator.events,
+        host_wall_s=simulator.host_wall_s,
     )

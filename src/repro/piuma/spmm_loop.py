@@ -15,7 +15,23 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.piuma.ops import AtomicUpdate, Load, PhaseMarker, SequentialAccess
+
+
+def as_int_list(values):
+    """Convert an index array to a list of plain Python ints, once.
+
+    Kernel inner loops used to box every element individually with
+    ``int(arr[e])`` — one numpy scalar extraction per simulated edge.
+    ``ndarray.tolist()`` converts the whole array in C and the loops
+    then run over native ints.
+    """
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return [int(v) for v in values]
 
 
 def owner_core(vertex, n_cores, hashed=True):
@@ -31,6 +47,22 @@ def owner_core(vertex, n_cores, hashed=True):
         return int(vertex) % n_cores
     mixed = (int(vertex) * 0x9E3779B1) & 0xFFFFFFFF
     return (mixed >> 16) % n_cores
+
+
+def owner_cores(vertices, n_cores, hashed=True):
+    """Vectorized :func:`owner_core` over an index array → list of ints.
+
+    The kernels resolve the home slice of every simulated edge; calling
+    :func:`owner_core` per edge was a measurable share of host time, so
+    the whole array is mixed and reduced in numpy and converted to
+    native ints once.  Bit-identical to the scalar function: the mix
+    product of a sub-2^32 vertex id fits comfortably in int64.
+    """
+    arr = np.asarray(vertices, dtype=np.int64)
+    if not hashed:
+        return (arr % n_cores).tolist()
+    mixed = (arr * 0x9E3779B1) & 0xFFFFFFFF
+    return ((mixed >> 16) % n_cores).tolist()
 
 
 def nnz_line_core(edge_index, group, n_cores):
@@ -56,8 +88,15 @@ def binary_search_op(work, config):
     )
 
 
-def loop_unrolled_thread(work, embedding_dim, config):
-    """Thread generator for the loop-unrolled kernel."""
+def loop_unrolled_thread(work, embedding_dim, config, shared=None):
+    """Thread generator for the loop-unrolled kernel.
+
+    Ops are interned: every (target, bytes) shape is built at most once
+    and the same immutable instance re-yielded — op construction is
+    otherwise a per-edge cost.  ``shared`` optionally spans the intern
+    table across all threads of one kernel invocation (see
+    ``spmm_dma.dma_thread``).
+    """
     n_cores = config.n_cores
     hashed = config.hashed_placement
     group = config.nnz_group_edges
@@ -67,45 +106,65 @@ def loop_unrolled_thread(work, embedding_dim, config):
     rounds = max(1, math.ceil(embedding_dim / config.unroll))
     round_bytes = min(embedding_dim, config.unroll) * feature_bytes
     row_bytes = embedding_dim * feature_bytes
+    instrs_per_round = config.instrs_per_unrolled_round
 
     yield binary_search_op(work, config)
     yield PhaseMarker()
 
-    n_edges = len(work.cols)
-    current_row = int(work.rows[0]) if n_edges else -1
+    col_cores = owner_cores(work.cols, n_cores, hashed)
+    row_cores = owner_cores(work.rows, n_cores, hashed)
+    rows = as_int_list(work.rows)
+    if shared is None:
+        shared = {}
+    nnz_loads = shared.setdefault("nnz", {})      # (core, bytes) -> Load
+    feature_ops = shared.setdefault("feature", {})  # core -> SequentialAccess
+    atomic_ops = shared.setdefault("atomic", {})  # core -> AtomicUpdate
+    n_edges = len(rows)
+    current_row = rows[0] if n_edges else -1
+    current_core = row_cores[0] if n_edges else -1
     for begin in range(0, n_edges, group):
         stop = min(begin + group, n_edges)
         nnz_bytes = (stop - begin) * (config.index_bytes + config.value_bytes)
-        yield Load(
-            nbytes=nnz_bytes,
-            target_core=nnz_line_core(work.start_edge + begin, group, n_cores),
-            tag="nnz",
-            grouped=2,
+        nnz_key = (
+            nnz_line_core(work.start_edge + begin, group, n_cores), nnz_bytes
         )
+        op = nnz_loads.get(nnz_key)
+        if op is None:
+            op = nnz_loads[nnz_key] = Load(
+                nbytes=nnz_bytes, target_core=nnz_key[0], tag="nnz", grouped=2
+            )
+        yield op
         for e in range(begin, stop):
-            row = int(work.rows[e])
+            row = rows[e]
             if row != current_row:
                 # Row boundary: flush the accumulation buffer.
                 # Edge-parallel write-backs are atomic (multiple
                 # writers per straddled row) and do not stall the
                 # pipeline.
-                yield AtomicUpdate(
-                    nbytes=row_bytes,
-                    target_core=owner_core(current_row, n_cores, hashed),
-                    tag="atomic_write",
-                )
+                op = atomic_ops.get(current_core)
+                if op is None:
+                    op = atomic_ops[current_core] = AtomicUpdate(
+                        nbytes=row_bytes, target_core=current_core,
+                        tag="atomic_write",
+                    )
+                yield op
                 current_row = row
-            vertex = int(work.cols[e])
-            yield SequentialAccess(
-                n_rounds=rounds,
-                bytes_per_round=round_bytes,
-                target_core=owner_core(vertex, n_cores, hashed),
-                instrs_per_round=config.instrs_per_unrolled_round,
-                tag="feature",
-            )
+                current_core = row_cores[e]
+            target = col_cores[e]
+            op = feature_ops.get(target)
+            if op is None:
+                op = feature_ops[target] = SequentialAccess(
+                    n_rounds=rounds,
+                    bytes_per_round=round_bytes,
+                    target_core=target,
+                    instrs_per_round=instrs_per_round,
+                    tag="feature",
+                )
+            yield op
     if current_row >= 0:
-        yield AtomicUpdate(
-            nbytes=row_bytes,
-            target_core=owner_core(current_row, n_cores, hashed),
-            tag="atomic_write",
-        )
+        op = atomic_ops.get(current_core)
+        if op is None:
+            op = atomic_ops[current_core] = AtomicUpdate(
+                nbytes=row_bytes, target_core=current_core, tag="atomic_write"
+            )
+        yield op

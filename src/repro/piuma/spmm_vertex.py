@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.piuma.kernels import ThreadWork
 from repro.piuma.ops import DMAOp, Load, PhaseMarker
-from repro.piuma.spmm_loop import nnz_line_core, owner_core
+from repro.piuma.spmm_loop import as_int_list, nnz_line_core, owner_cores
 
 
 def split_work_vertex(adj, config, window_edges):
@@ -60,11 +60,13 @@ def split_work_vertex(adj, config, window_edges):
     return work
 
 
-def vertex_parallel_thread(work, embedding_dim, config):
+def vertex_parallel_thread(work, embedding_dim, config, shared=None):
     """Thread generator for the vertex-parallel kernel.
 
     No binary search (row ranges are assigned directly) and regular —
-    not atomic — row write-backs.
+    not atomic — row write-backs.  Ops are interned like the other
+    kernels; ``shared`` optionally spans the intern table across all
+    threads of one invocation (see ``spmm_dma.dma_thread``).
     """
     n_cores = config.n_cores
     hashed = config.hashed_placement
@@ -73,40 +75,60 @@ def vertex_parallel_thread(work, embedding_dim, config):
 
     yield PhaseMarker()
 
-    n_edges = len(work.cols)
-    current_row = int(work.rows[0]) if n_edges else -1
+    col_cores = owner_cores(work.cols, n_cores, hashed)
+    row_cores = owner_cores(work.rows, n_cores, hashed)
+    rows = as_int_list(work.rows)
+    if shared is None:
+        shared = {}
+    dma_init = shared.get("dma_init")
+    if dma_init is None:
+        dma_init = shared["dma_init"] = DMAOp(
+            kind="internal", nbytes=0, target_core=0, tag="dma_init"
+        )
+    nnz_loads = shared.setdefault("nnz", {})    # (core, bytes) -> Load
+    read_ops = shared.setdefault("read", {})    # core -> DMAOp
+    write_ops = shared.setdefault("write", {})  # core -> DMAOp
+    n_edges = len(rows)
+    current_row = rows[0] if n_edges else -1
+    current_core = row_cores[0] if n_edges else -1
     for begin in range(0, n_edges, group):
         stop = min(begin + group, n_edges)
         nnz_bytes = (stop - begin) * (config.index_bytes + config.value_bytes)
-        yield Load(
-            nbytes=nnz_bytes,
-            target_core=nnz_line_core(work.start_edge + begin, group, n_cores),
-            tag="nnz",
-            grouped=2,
+        nnz_key = (
+            nnz_line_core(work.start_edge + begin, group, n_cores), nnz_bytes
         )
-        for e in range(begin, stop):
-            row = int(work.rows[e])
-            if row != current_row:
-                yield DMAOp(
-                    kind="write",
-                    nbytes=row_bytes,
-                    target_core=owner_core(current_row, n_cores, hashed),
-                    tag="dma_write",
-                )
-                current_row = row
-            vertex = int(work.cols[e])
-            yield DMAOp(kind="internal", nbytes=0, target_core=0,
-                        tag="dma_init")
-            yield DMAOp(
-                kind="read",
-                nbytes=row_bytes,
-                target_core=owner_core(vertex, n_cores, hashed),
-                tag="dma_read",
+        op = nnz_loads.get(nnz_key)
+        if op is None:
+            op = nnz_loads[nnz_key] = Load(
+                nbytes=nnz_bytes, target_core=nnz_key[0], tag="nnz", grouped=2
             )
+        yield op
+        for e in range(begin, stop):
+            row = rows[e]
+            if row != current_row:
+                op = write_ops.get(current_core)
+                if op is None:
+                    op = write_ops[current_core] = DMAOp(
+                        kind="write", nbytes=row_bytes,
+                        target_core=current_core, tag="dma_write",
+                    )
+                yield op
+                current_row = row
+                current_core = row_cores[e]
+            yield dma_init
+            target = col_cores[e]
+            op = read_ops.get(target)
+            if op is None:
+                op = read_ops[target] = DMAOp(
+                    kind="read", nbytes=row_bytes, target_core=target,
+                    tag="dma_read",
+                )
+            yield op
     if current_row >= 0:
-        yield DMAOp(
-            kind="write",
-            nbytes=row_bytes,
-            target_core=owner_core(current_row, n_cores, hashed),
-            tag="dma_write",
-        )
+        op = write_ops.get(current_core)
+        if op is None:
+            op = write_ops[current_core] = DMAOp(
+                kind="write", nbytes=row_bytes, target_core=current_core,
+                tag="dma_write",
+            )
+        yield op

@@ -26,7 +26,10 @@ from dataclasses import dataclass
 #: serving stale numbers.
 #: v2: records carry a ``"source"`` provenance field and configs grew
 #: watchdog ceilings.
-CODE_VERSION = "runtime-v2"
+#: v3: records carry host-performance fields (``events``,
+#: ``host_wall_s``, ``events_per_s``) and configs grew
+#: ``engine_fast_path``.
+CODE_VERSION = "runtime-v3"
 
 
 def default_cache_dir():

@@ -25,6 +25,18 @@ class PointMetrics:
     #: ``None`` for a healthy simulated point; ``"failed"`` or
     #: ``"model_fallback"`` for points resolved by an error policy.
     status: str | None = None
+    #: Host-performance observability (zero for cached/degraded points
+    #: and for records predating the fields): DES events executed and
+    #: host seconds spent inside ``Simulator.run``.
+    events: int = 0
+    host_wall_s: float = 0.0
+
+    @property
+    def events_per_s(self):
+        """Host-side DES throughput of this point (0 when unknown)."""
+        if self.host_wall_s <= 0.0:
+            return 0.0
+        return self.events / self.host_wall_s
 
 
 class ProgressTracker:
@@ -48,11 +60,13 @@ class ProgressTracker:
         self._started = clock()
         self.points = []
 
-    def point_done(self, label, wall_s, simulated_ns, cached, status=None):
+    def point_done(self, label, wall_s, simulated_ns, cached, status=None,
+                   events=0, host_wall_s=0.0):
         """Record one finished point."""
         metrics = PointMetrics(
             label=label, wall_s=wall_s,
             simulated_ns=simulated_ns, cached=cached, status=status,
+            events=events, host_wall_s=host_wall_s,
         )
         self.points.append(metrics)
         if self.out is not None:
@@ -94,6 +108,48 @@ class ProgressTracker:
     @property
     def elapsed_s(self):
         return self._clock() - self._started
+
+    @property
+    def events(self):
+        """Total DES events across all computed points."""
+        return sum(p.events for p in self.points)
+
+    @property
+    def events_per_s(self):
+        """Aggregate host-side DES throughput over the computed points."""
+        host = sum(p.host_wall_s for p in self.points)
+        if host <= 0.0:
+            return 0.0
+        return self.events / host
+
+    def slowest(self, n=5):
+        """The ``n`` computed points that took the most host wall-clock.
+
+        Cached points are excluded (they cost nothing this run); ties
+        keep submission order.
+        """
+        computed = [p for p in self.points if not p.cached]
+        computed.sort(key=lambda p: -p.wall_s)
+        return computed[:n]
+
+    def profile_lines(self, n=5):
+        """Host-performance report lines for ``repro sweep --profile``."""
+        lines = [
+            f"host perf: {self.events:,} DES events in "
+            f"{sum(p.host_wall_s for p in self.points):.2f}s simulator "
+            f"time ({self.events_per_s:,.0f} events/s)"
+        ]
+        slowest = self.slowest(n)
+        if slowest:
+            lines.append(f"slowest {len(slowest)} point(s):")
+            for p in slowest:
+                rate = (f"{p.events_per_s:,.0f} ev/s"
+                        if p.events else "no event data")
+                lines.append(
+                    f"  {p.label}: {p.wall_s:.2f}s wall, "
+                    f"{p.events:,} events ({rate})"
+                )
+        return lines
 
     def summary(self):
         """One-paragraph sweep summary for CLI / benchmark output."""

@@ -171,6 +171,9 @@ class SpMMTask:
             "model_time_ns": float(model.time_ns),
             "efficiency": (float(result.gflops / model.gflops)
                            if model.gflops > 0 else 0.0),
+            "events": int(result.events),
+            "host_wall_s": float(result.host_wall_s),
+            "events_per_s": float(result.events_per_s),
             "tag_stats": {
                 tag: {"count": int(s.count), "bytes": float(s.bytes),
                       "wait_ns": float(s.wait_ns)}
@@ -208,6 +211,9 @@ class SpMMTask:
             "model_gflops": float(model.gflops),
             "model_time_ns": float(model.time_ns),
             "efficiency": 1.0,
+            "events": 0,
+            "host_wall_s": 0.0,
+            "events_per_s": 0.0,
             "tag_stats": {},
             "source": "model_fallback",
         }
@@ -449,6 +455,8 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         progress.point_done(
             tasks[index].label(), wall_s,
             record.get("sim_time_ns", 0.0), cached=False,
+            events=record.get("events", 0),
+            host_wall_s=record.get("host_wall_s", 0.0),
         )
 
     def _resolve_failure(index, error, wall_s):

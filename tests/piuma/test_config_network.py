@@ -90,3 +90,28 @@ class TestNetwork:
 
     def test_single_core_mean_latency_zero(self):
         assert Network(PIUMAConfig(n_cores=1)).mean_remote_latency() == 0.0
+
+    def test_mean_remote_latency_matches_bruteforce(self):
+        """Memoized mean equals the plain average over every destination
+        (including the free self hop — stripes touch the local slice)."""
+        cfg = PIUMAConfig(n_cores=32)
+        net = Network(cfg)
+        expected = sum(net.latency(0, dst) for dst in range(32)) / 32
+        assert net.mean_remote_latency() == expected
+
+    def test_mean_remote_latency_memoized(self):
+        net = Network(PIUMAConfig(n_cores=16))
+        first = net.mean_remote_latency()
+        assert net.mean_remote_latency() is net._mean_remote
+        assert net.mean_remote_latency() == first
+
+    def test_latency_cache_consistent(self):
+        """Memoized pair latencies agree with a fresh Network's."""
+        cfg = PIUMAConfig(n_cores=16)
+        warm = Network(cfg)
+        for src in range(16):
+            for dst in range(16):
+                warm.latency(src, dst)
+        cold = Network(cfg)
+        for (src, dst), value in warm._latency_cache.items():
+            assert cold.latency(src, dst) == value

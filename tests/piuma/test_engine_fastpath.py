@@ -1,0 +1,180 @@
+"""Fast-path vs reference-path engine equivalence.
+
+The DES has two main loops (``PIUMAConfig.engine_fast_path``): the
+peek-ahead/type-dispatch fast path and the plain pop/execute/push
+reference loop.  The contract is **bit-identical results** — same
+``end_time``, per-tag stats, utilizations, bandwidth, and event count.
+This suite pins golden numbers on a fixed window and differentially
+fuzzes the two paths across a randomized RMAT grid covering every
+kernel, so any divergence introduced by a hot-path "optimization" fails
+loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.rmat import rmat_for_size
+from repro.piuma import simulate_spmm
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.engine import Simulator
+from repro.piuma.ops import DMAOp
+from repro.piuma.spmm_dma import dma_thread
+from repro.piuma.spmm_dynamic import simulate_spmm_dynamic
+
+
+def _result_fingerprint(result):
+    """Everything the two engine paths must agree on, exactly."""
+    return (
+        result.sim_time_ns,
+        result.gflops,
+        result.projected_time_ns,
+        result.memory_utilization,
+        result.achieved_bandwidth,
+        result.window_edges,
+        result.events,
+        sorted(
+            (tag, s.count, s.bytes, s.wait_ns)
+            for tag, s in result.tag_stats.items()
+        ),
+    )
+
+
+def _both_paths(adj, embedding_dim, kernel="dma", **overrides):
+    fast = simulate_spmm(
+        adj, embedding_dim,
+        PIUMAConfig(engine_fast_path=True, **overrides), kernel=kernel,
+    )
+    ref = simulate_spmm(
+        adj, embedding_dim,
+        PIUMAConfig(engine_fast_path=False, **overrides), kernel=kernel,
+    )
+    return fast, ref
+
+
+class TestGolden:
+    """Pinned results on a fixed window, identical on both paths.
+
+    The float goldens use a tight relative tolerance (libm-level
+    differences only); fast-vs-reference equality is exact.
+    """
+
+    @pytest.fixture(scope="class")
+    def window(self):
+        return rmat_for_size(4096, 4096 * 8, seed=11)
+
+    def test_pinned_end_time_and_stats(self, window):
+        fast, ref = _both_paths(window, 64, n_cores=4)
+        assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        assert fast.sim_time_ns == pytest.approx(41025.25, rel=1e-12)
+        assert fast.gflops == pytest.approx(41.67907254057635, rel=1e-9)
+        assert fast.events == 28232
+        stats = fast.tag_stats
+        assert stats["dma_read"].count == 12288
+        assert stats["dma_init"].count == 12288
+        assert stats["nnz"].count == 1536
+        assert stats["atomic_write"].count == 1352
+        assert stats["dma_read"].bytes == pytest.approx(3145728.0)
+
+    def test_loop_kernel_pinned(self, window):
+        fast, ref = _both_paths(window, 64, kernel="loop", n_cores=4)
+        assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        assert fast.sim_time_ns == pytest.approx(42644.5625, rel=1e-12)
+        assert fast.events == 15944
+
+
+class TestDifferential:
+    """Randomized fast-vs-reference fuzzing over an RMAT grid.
+
+    20+ points spanning kernels, core counts, thread counts, embedding
+    dims, and graph shapes; every fingerprint field must match exactly.
+    """
+
+    def _grid(self):
+        rng = random.Random(0xF457)
+        points = []
+        kernels = ("dma", "loop", "vertex")
+        for i in range(21):
+            points.append({
+                "n_vertices": rng.choice((512, 1024, 2048)),
+                "degree": rng.choice((4, 8, 12)),
+                "graph_seed": rng.randrange(1000),
+                "kernel": kernels[i % len(kernels)],
+                "embedding_dim": rng.choice((16, 32, 64)),
+                "n_cores": rng.choice((1, 2, 4)),
+                "threads_per_mtp": rng.choice((2, 4)),
+            })
+        return points
+
+    @pytest.mark.parametrize("index", range(21))
+    def test_point(self, index):
+        point = self._grid()[index]
+        adj = rmat_for_size(
+            point["n_vertices"],
+            point["n_vertices"] * point["degree"],
+            seed=point["graph_seed"],
+        )
+        fast, ref = _both_paths(
+            adj, point["embedding_dim"], kernel=point["kernel"],
+            n_cores=point["n_cores"],
+            threads_per_mtp=point["threads_per_mtp"],
+        )
+        assert _result_fingerprint(fast) == _result_fingerprint(ref), point
+
+    def test_dynamic_kernel(self):
+        adj = rmat_for_size(1024, 1024 * 8, seed=5)
+        fast = simulate_spmm_dynamic(
+            adj, 32, PIUMAConfig(n_cores=2, threads_per_mtp=2)
+        )
+        ref = simulate_spmm_dynamic(
+            adj, 32,
+            PIUMAConfig(n_cores=2, threads_per_mtp=2, engine_fast_path=False),
+        )
+        assert _result_fingerprint(fast) == _result_fingerprint(ref)
+
+
+class TestStripeTargets:
+    def test_fractional_nbytes_truncates(self):
+        """Float shares must not grow the stripe count by one line."""
+        sim = Simulator(PIUMAConfig(n_cores=8))
+        exact = sim._stripe_targets(0, 128)
+        noisy = sim._stripe_targets(0, 128.00000000001)
+        assert noisy == exact
+        assert len(sim._stripe_targets(0, 128.5)) == len(exact)
+
+    def test_dma_targets_match_stripe_targets(self):
+        sim = Simulator(PIUMAConfig(n_cores=8))
+        cores = sim._stripe_targets(3, 1024)
+        dma = sim._dma_stripe_targets(3, 1024)
+        assert [core for _slice, core in dma] == cores
+        assert all(s is sim.slices[c] for s, c in dma)
+
+
+class TestOpInterning:
+    def test_shared_table_interns_across_threads(self):
+        """Two threads with one shared table yield identical instances."""
+        from repro.piuma.kernels import split_work
+        adj = rmat_for_size(512, 4096, seed=1)
+        config = PIUMAConfig(n_cores=2, threads_per_mtp=2)
+        work = split_work(adj, config, 512)
+        assert len(work) >= 2
+        shared = {}
+        ops_a = list(dma_thread(work[0], 32, config, shared=shared))
+        ops_b = list(dma_thread(work[1], 32, config, shared=shared))
+        ids_a = {id(op) for op in ops_a if isinstance(op, DMAOp)}
+        ids_b = {id(op) for op in ops_b if isinstance(op, DMAOp)}
+        assert ids_a & ids_b, "no DMA op instances shared across threads"
+
+    def test_without_shared_table_sequences_equal(self):
+        """Sharing the intern table must not change the yielded values."""
+        from repro.piuma.kernels import split_work
+        adj = rmat_for_size(512, 4096, seed=1)
+        config = PIUMAConfig(n_cores=2, threads_per_mtp=2)
+        work = split_work(adj, config, 512)[0]
+        private = list(dma_thread(work, 32, config))
+        shared = list(dma_thread(work, 32, config, shared={}))
+        assert private == shared
+
+    def test_dma_kind_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            DMAOp(kind="sideways", nbytes=0, target_core=0, tag="x")
