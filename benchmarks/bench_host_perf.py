@@ -51,13 +51,16 @@ PRE_PR_BASELINE = {
 }
 
 
-def _best_run(adj, fast_path):
+def _best_run(adj, fast_path, check_level=0):
     """Best-of-ROUNDS simulation; returns (result, best host seconds)."""
     best = None
     result = None
     for _ in range(ROUNDS):
         r = simulate_spmm(
-            adj, K, PIUMAConfig(n_cores=N_CORES, engine_fast_path=fast_path)
+            adj, K, PIUMAConfig(
+                n_cores=N_CORES, engine_fast_path=fast_path,
+                check_level=check_level,
+            )
         )
         if best is None or r.host_wall_s < best:
             best = r.host_wall_s
@@ -73,6 +76,7 @@ def test_host_perf(emit):
     started = time.perf_counter()
     fast, fast_s = _best_run(adj, fast_path=True)
     ref, ref_s = _best_run(adj, fast_path=False)
+    checked, checked_s = _best_run(adj, fast_path=True, check_level=1)
     wall = time.perf_counter() - started
 
     # Bit-identical simulation results on both paths.
@@ -83,10 +87,17 @@ def test_host_perf(emit):
     assert fast.achieved_bandwidth == ref.achieved_bandwidth
     assert fast.events == ref.events
 
+    # The sanitizer observes, it never perturbs: level 1 must be
+    # bit-identical to the unchecked run.
+    assert checked.sim_time_ns == fast.sim_time_ns
+    assert checked.gflops == fast.gflops
+    assert checked.events == fast.events
+
     fast_evs = fast.events / fast_s
     ref_evs = ref.events / ref_s
     vs_ref = fast_evs / ref_evs
     vs_pre_pr = fast_evs / PRE_PR_BASELINE["events_per_s"]
+    check_overhead = checked_s / fast_s
 
     payload = {
         "point": {
@@ -100,6 +111,11 @@ def test_host_perf(emit):
         "sim_time_ns": fast.sim_time_ns,
         "fast": {"host_wall_s": fast_s, "events_per_s": fast_evs},
         "reference": {"host_wall_s": ref_s, "events_per_s": ref_evs},
+        "checked_level1": {
+            "host_wall_s": checked_s,
+            "events_per_s": checked.events / checked_s,
+        },
+        "check_level1_overhead": check_overhead,
         "fast_vs_reference": vs_ref,
         "pre_pr_baseline": PRE_PR_BASELINE,
         "fast_vs_pre_pr": vs_pre_pr,
@@ -116,6 +132,8 @@ def test_host_perf(emit):
             f"({fast.events:,} DES events)",
             f"fast path:      {fast_s:.4f}s  ({fast_evs:,.0f} events/s)",
             f"reference path: {ref_s:.4f}s  ({ref_evs:,.0f} events/s)",
+            f"check_level=1:  {checked_s:.4f}s  "
+            f"({check_overhead:.3f}x the unchecked fast path)",
             f"fast vs reference: {vs_ref:.2f}x",
             f"fast vs pre-PR engine (recorded "
             f"{PRE_PR_BASELINE['events_per_s']:,} ev/s): {vs_pre_pr:.2f}x",
@@ -133,4 +151,12 @@ def test_host_perf(emit):
     assert vs_ref >= 1.05, (
         f"fast path only {vs_ref:.2f}x the reference loop "
         f"({fast_evs:,.0f} vs {ref_evs:,.0f} events/s)"
+    )
+
+    # The level-1 sanitizer promises <10% hot-loop overhead (DESIGN.md,
+    # "Runtime invariant sanitizer").  Same-process ratio, so the bound
+    # is machine-independent; measured ~1.01x, leaving real headroom.
+    assert check_overhead < 1.10, (
+        f"check_level=1 costs {check_overhead:.3f}x the unchecked fast "
+        f"path ({checked_s:.4f}s vs {fast_s:.4f}s) — over the 10% budget"
     )

@@ -10,6 +10,8 @@ without writing any Python:
 * ``simulate``  — run the PIUMA DES on a (down-scaled) dataset.
 * ``sweep``     — run a DES grid through the cached, process-parallel
   sweep runner (``repro.runtime``).
+* ``check``     — differential conformance suite + invariant-sanitizer
+  mutation smoke-checks (``repro.testing``).
 * ``advise``    — the Fig 2 contour as a decision rule.
 """
 
@@ -101,12 +103,42 @@ def _build_parser():
                        help="policy once retries are exhausted: abort the "
                             "sweep, record a structured failure, or degrade "
                             "the point to the Eq.5 analytical model")
+    sweep.add_argument("--check-level", type=int, default=None,
+                       choices=(0, 1, 2),
+                       help="run every point under the runtime invariant "
+                            "sanitizer at this level (default: off)")
     sweep.add_argument("--resume", action="store_true",
                        help="resume an interrupted sweep from its "
                             "checkpoint manifest (under the cache dir)")
     sweep.add_argument("--profile", action="store_true",
                        help="report host DES throughput (events/s) and "
                             "the slowest computed points")
+
+    check = sub.add_parser(
+        "check",
+        help="differential conformance suite: fast-vs-reference "
+             "bit-identity, Eq.5 envelope, metamorphic relations, and "
+             "invariant-sanitizer mutation smoke-checks",
+    )
+    check.add_argument("--level", type=int, default=2, choices=(0, 1, 2),
+                       help="invariant sanitizer level armed inside every "
+                            "differential run (default 2)")
+    check.add_argument("--cases", type=int, default=25,
+                       help="seeded conformance cases to generate")
+    check.add_argument("--seed", type=int, default=0,
+                       help="case-population seed")
+    check.add_argument("--engine", choices=("fast", "reference", "both"),
+                       default="both",
+                       help="engine path(s) to run (default both)")
+    check.add_argument("--no-metamorphic", action="store_true",
+                       help="skip the metamorphic relations")
+    check.add_argument("--no-mutations", action="store_true",
+                       help="skip the mutation smoke-checks")
+    check.add_argument("--artifact", default=None, metavar="PATH",
+                       help="write the JSON report (incl. any shrunk "
+                            "failing case) to this path")
+    check.add_argument("--quiet", action="store_true",
+                       help="only print the final summary line")
 
     advise = sub.add_parser(
         "advise", help="predict the CPU SpMM share for a (|V|, density)"
@@ -296,7 +328,8 @@ def _cmd_sweep(args, out):
     report = run_sweep(tasks, workers=args.workers, cache=cache,
                        progress=progress, timeout=args.timeout,
                        retries=args.retries, on_error=args.on_error,
-                       checkpoint=checkpoint, resume=args.resume)
+                       checkpoint=checkpoint, resume=args.resume,
+                       check_level=args.check_level)
     rows = []
     for task, record in zip(report.tasks, report.records):
         over = dict(task.overrides)
@@ -340,6 +373,32 @@ def _cmd_sweep(args, out):
     if not report.failures:
         checkpoint.discard()
     return 0
+
+
+def _cmd_check(args, out):
+    from repro.testing import run_conformance
+
+    report = run_conformance(
+        n_cases=args.cases,
+        seed=args.seed,
+        check_level=args.level,
+        engine=args.engine,
+        metamorphic=not args.no_metamorphic,
+        mutations=not args.no_mutations,
+        artifact=args.artifact,
+        out=None if args.quiet else out,
+    )
+    out(report.summary())
+    for failure in report.failures:
+        out(f"  - {failure['case']} {failure['check']}: "
+            f"{failure['detail']}")
+    for failure in report.mutation_failures:
+        out(f"  - mutation {failure['mutation']} ({failure['engine']}): "
+            f"{failure['detail']}")
+    if report.shrunk is not None:
+        out(f"  shrunk repro ({report.shrunk['check']}): "
+            f"{report.shrunk['case']}")
+    return 0 if report.passed else 1
 
 
 def _cmd_advise(args, out):
@@ -475,6 +534,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "check": _cmd_check,
     "advise": _cmd_advise,
     "calibrate": _cmd_calibrate,
     "validate": _cmd_validate,

@@ -98,6 +98,15 @@ class PIUMAConfig:
     #: performance").
     engine_fast_path: bool = True
 
+    #: Runtime invariant sanitizer level (``repro.piuma.invariants``):
+    #: 0 disables all checking (the default — zero overhead), 1 enables
+    #: the cheap per-event checks (event-time monotonicity, thread
+    #: state-machine legality) plus the post-run resource accounting
+    #: cross-checks, 2 additionally tracks per-op byte/stat expectations
+    #: and scans the DRAM timelines for interval-order violations.
+    #: Violations raise ``repro.runtime.errors.InvariantViolation``.
+    check_level: int = 0
+
     # Simulation watchdogs: hard ceilings on the DES event loop so a
     # buggy kernel generator or pathological sweep point raises
     # ``SimulationDiverged`` instead of hanging a worker forever.  A
@@ -122,6 +131,8 @@ class PIUMAConfig:
             raise ValueError("latency must be non-negative")
         if self.max_events < 0 or self.max_sim_ns < 0 or self.stall_events < 0:
             raise ValueError("watchdog ceilings must be non-negative")
+        if self.check_level not in (0, 1, 2):
+            raise ValueError("check_level must be 0, 1, or 2")
 
     # -- derived quantities -------------------------------------------------
 

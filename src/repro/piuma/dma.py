@@ -167,3 +167,21 @@ class DMAEngine:
     @property
     def busy_time(self):
         return self._engine.busy_time
+
+    @property
+    def streamed_bytes(self):
+        """Bytes the underlying fluid engine served.
+
+        Accounted on the same lines as :attr:`bytes_moved` (both the
+        layered :meth:`submit` path and the inlined engine hot loop
+        update the two together), so the runtime sanitizer can
+        cross-check them: any accounting drift between the engine's
+        descriptor bookkeeping and its fluid-resource occupancy is a
+        byte-conservation violation.
+        """
+        return self._engine.units_served
+
+    @property
+    def requests(self):
+        """Requests the underlying fluid engine accepted (== ops)."""
+        return self._engine.requests

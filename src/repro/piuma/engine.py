@@ -43,6 +43,7 @@ from repro.piuma.ops import (
     SequentialAccess,
     Store,
 )
+from repro.piuma.invariants import InvariantChecker
 from repro.piuma.resources import DRAMSlice, FluidResource
 from repro.runtime.errors import SimulationDiverged
 
@@ -152,6 +153,16 @@ class Simulator:
             AtomicUpdate: self._exec_atomic,
             DMAOp: self._make_exec_dma(),
         }
+        # Runtime invariant sanitizer (repro.piuma.invariants): at
+        # check_level>=1 it installs an instance `_execute` wrapper —
+        # the same hook a Tracer uses — so both main loops route every
+        # op through it; at level 0 nothing is constructed and the hot
+        # loops keep the direct-dispatch path.
+        self.checker = (
+            InvariantChecker(self, config.check_level)
+            if config.check_level
+            else None
+        )
 
     # -- thread management ---------------------------------------------------
 
@@ -516,8 +527,12 @@ class Simulator:
         started = time.perf_counter()
         try:
             if self.config.engine_fast_path:
-                return self._run_fast()
-            return self._run_reference()
+                result = self._run_fast()
+            else:
+                result = self._run_reference()
+            if self.checker is not None:
+                self.checker.after_run()
+            return result
         finally:
             self.host_wall_s = time.perf_counter() - started
 

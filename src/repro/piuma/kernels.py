@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.piuma.engine import Simulator
+from repro.piuma.invariants import verify_kernel_result
 from repro.sparse.spmm import spmm_traffic
 
 
@@ -209,7 +210,7 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
     gflops = flops / steady  # flops per ns == GFLOP/s
     total_flops = 2.0 * adj.nnz * embedding_dim
     projected = config.launch_overhead_ns + setup + total_flops / gflops
-    return KernelResult(
+    result = KernelResult(
         sim_time_ns=end,
         window_edges=simulated_edges,
         total_edges=adj.nnz,
@@ -222,3 +223,10 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
         events=simulator.events,
         host_wall_s=simulator.host_wall_s,
     )
+    if config.check_level:
+        # Cross-check the reported aggregates against independently
+        # recomputed sums from the raw simulator state (the sanitizer's
+        # reporting-layer leg; the resource-accounting legs already ran
+        # inside Simulator.run).
+        verify_kernel_result(result, simulator, config)
+    return result

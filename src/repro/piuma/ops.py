@@ -167,3 +167,27 @@ class DMAOp(_Op):
         self.nbytes = nbytes
         self.target_core = target_core
         self.tag = tag
+
+
+def dram_bytes(op):
+    """DRAM-slice bytes one executed op charges (0 for pure-pipeline ops).
+
+    The independent ledger the runtime sanitizer accumulates at
+    ``check_level>=2``: summing this over every executed op must equal
+    the slices' ``bytes_served`` total, byte for byte, or the engine's
+    memory accounting has drifted.  Mirrors the per-handler accounting
+    in ``repro.piuma.engine`` — an atomic RMW reads and writes its
+    payload (2x), an internal DMA moves no DRAM traffic at all.
+    """
+    cls = type(op)
+    if cls is Load:
+        return op.nbytes
+    if cls is SequentialAccess:
+        return op.n_rounds * op.bytes_per_round
+    if cls is Store:
+        return op.nbytes
+    if cls is AtomicUpdate:
+        return 2 * op.nbytes
+    if cls is DMAOp:
+        return 0 if op.kind == "internal" else op.nbytes
+    return 0

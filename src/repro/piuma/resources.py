@@ -195,6 +195,41 @@ class Timeline:
         """Read-only ``(start, end)`` tuple view (tests and debugging)."""
         return list(zip(self._starts, self._ends))
 
+    def validate(self, epsilon=1e-9):
+        """Structural invariants of the interval lists.
+
+        Returns a list of human-readable violation strings (empty when
+        healthy): the parallel lists must be equal length, every
+        interval must have non-negative extent, starts must be strictly
+        increasing, and consecutive intervals must not overlap (beyond
+        the merge epsilon — touching intervals would have been merged).
+        Used by the runtime sanitizer (``repro.piuma.invariants``) at
+        ``check_level>=2``.
+        """
+        starts = self._starts
+        ends = self._ends
+        problems = []
+        if len(starts) != len(ends):
+            problems.append(
+                f"parallel lists diverged ({len(starts)} starts, "
+                f"{len(ends)} ends)"
+            )
+            return problems
+        for i in range(len(starts)):
+            if ends[i] < starts[i]:
+                problems.append(
+                    f"interval {i} has negative extent "
+                    f"[{starts[i]:.3f}, {ends[i]:.3f}]"
+                )
+            if i and starts[i] < ends[i - 1] - epsilon:
+                problems.append(
+                    f"interval {i} [{starts[i]:.3f}, {ends[i]:.3f}] "
+                    f"overlaps predecessor ending {ends[i - 1]:.3f}"
+                )
+        if self._retired_busy < 0:
+            problems.append(f"negative retired busy {self._retired_busy}")
+        return problems
+
     @property
     def busy_time(self):
         busy = self._retired_busy

@@ -101,6 +101,55 @@ class SimulationDiverged(TaskError):
     retryable = False
 
 
+class InvariantViolation(TaskError):
+    """The runtime invariant sanitizer caught an accounting violation.
+
+    Raised by :mod:`repro.piuma.invariants` when a check enabled via
+    ``PIUMAConfig.check_level`` fails — event time ran backwards, a
+    resource served more bytes than its timeline occupancy can explain,
+    DMA byte conservation broke, and so on.  ``invariant`` names the
+    specific check (see ``repro.piuma.invariants.INVARIANTS``).
+
+    Deterministic — the same simulation violates the same invariant
+    again — so never retried, like :class:`SimulationDiverged`.
+    """
+
+    kind = "invariant"
+    retryable = False
+
+    def __init__(self, message="", invariant=None, label=None, attempts=0,
+                 cause=None):
+        super().__init__(message, label=label, attempts=attempts, cause=cause)
+        self.invariant = invariant
+
+    def payload(self):
+        data = super().payload()
+        data["invariant"] = self.invariant
+        return data
+
+    def with_context(self, label=None, attempts=None):
+        return type(self)(
+            self.message,
+            invariant=self.invariant,
+            label=self.label if label is None else label,
+            attempts=self.attempts if attempts is None else attempts,
+            cause=self.cause,
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.message, self.invariant, self.label, self.attempts,
+             self.cause),
+        )
+
+    def __str__(self):
+        text = super().__str__()
+        if self.invariant:
+            text = f"{self.invariant}: {text}"
+        return text
+
+
 def wrap_failure(error, label, attempts):
     """Normalize any exception into a context-annotated :class:`TaskError`.
 

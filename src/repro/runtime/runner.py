@@ -39,7 +39,7 @@ import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.runtime.cache import cache_key
 from repro.runtime.errors import (
@@ -114,6 +114,18 @@ class SpMMTask:
         from repro.piuma.config import PIUMAConfig
 
         return PIUMAConfig(**dict(self.overrides))
+
+    def with_check_level(self, level):
+        """Copy of this task running under the invariant sanitizer.
+
+        Merges ``check_level=level`` into the override tuple (replacing
+        any existing pair, keeping canonical order).  The config's
+        ``check_level`` participates in the cache key like every other
+        field, so sanitized and unsanitized records never alias.
+        """
+        merged = dict(self.overrides)
+        merged["check_level"] = level
+        return replace(self, overrides=tuple(sorted(merged.items())))
 
     def label(self):
         knobs = " ".join(f"{k}={v}" for k, v in self.overrides)
@@ -315,7 +327,7 @@ class SweepReport:
 def run_sweep(tasks, workers=None, cache=None, progress=None, *,
               timeout=None, retries=0, backoff_s=0.25, backoff_cap_s=8.0,
               jitter=0.25, on_error="raise", checkpoint=None, resume=False,
-              sleep=time.sleep):
+              check_level=None, sleep=time.sleep):
     """Run every task; returns a :class:`SweepReport`.
 
     Parameters
@@ -363,10 +375,22 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
     resume:
         Load the checkpoint manifest first and skip the points it
         already holds.
+    check_level:
+        When not ``None``, rewrite every task to run under the runtime
+        invariant sanitizer at this level (``task.with_check_level``);
+        an :class:`~repro.runtime.errors.InvariantViolation` is
+        deterministic and therefore never retried, like
+        ``SimulationDiverged``.
     sleep:
         Injectable delay function (tests).
     """
     tasks = list(tasks)
+    if check_level is not None:
+        tasks = [
+            task.with_check_level(check_level)
+            if hasattr(task, "with_check_level") else task
+            for task in tasks
+        ]
     if on_error not in ON_ERROR_POLICIES:
         raise ValueError(
             f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"

@@ -1,0 +1,176 @@
+"""Seeded conformance-case generation with greedy shrinking.
+
+A :class:`ConformanceCase` is one fully-specified DES workload: an
+RMAT graph recipe plus the kernel and config knobs of a single
+``simulate_spmm`` invocation.  Cases are generated from a seed (the
+same ``(n, seed)`` always yields the same population, so CI failures
+reproduce locally), serialize to plain JSON (failing cases land in CI
+artifacts), and shrink: given a predicate "this case still fails",
+:func:`shrink` greedily walks toward the smallest graph/config that
+keeps failing, which is what you want to debug, not the scale-9
+original.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+
+from repro.graphs.rmat import GRAPH500, RMATParams, rmat_graph
+from repro.piuma.config import PIUMAConfig
+
+#: Knob pools the generator draws from.  Deliberately spans both
+#: bandwidth-bound (dma, large K) and latency-bound (loop, small K)
+#: regimes, single-core and multi-core, and both RMAT flavors.
+_POOLS = {
+    "scale": (7, 8, 9),
+    "edge_factor": (4, 8, 16),
+    "symmetric": (True, False),
+    "kernel": ("dma", "loop", "vertex"),
+    "embedding_dim": (16, 64, 256),
+    "n_cores": (1, 2, 4, 8),
+    "threads_per_mtp": (4, 8, 16),
+    "dram_latency_ns": (20.0, 45.0, 90.0),
+    "dram_bandwidth_scale": (0.5, 1.0, 2.0),
+    "window_edges": (1024, 2048),
+}
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One seeded DES workload: graph recipe + kernel + config knobs."""
+
+    name: str
+    scale: int
+    edge_factor: int
+    graph_seed: int
+    symmetric: bool
+    kernel: str
+    embedding_dim: int
+    n_cores: int
+    threads_per_mtp: int
+    dram_latency_ns: float
+    dram_bandwidth_scale: float
+    window_edges: int
+
+    def config(self, check_level=0, engine_fast_path=True, **overrides):
+        """The :class:`PIUMAConfig` this case runs under."""
+        fields = {
+            "n_cores": self.n_cores,
+            "threads_per_mtp": self.threads_per_mtp,
+            "dram_latency_ns": self.dram_latency_ns,
+            "dram_bandwidth_scale": self.dram_bandwidth_scale,
+            "check_level": check_level,
+            "engine_fast_path": engine_fast_path,
+        }
+        fields.update(overrides)
+        return PIUMAConfig(**fields)
+
+    def graph(self):
+        """Materialize (and memoize) the case's RMAT adjacency."""
+        key = (self.scale, self.edge_factor, self.graph_seed, self.symmetric)
+        adj = _GRAPH_MEMO.get(key)
+        if adj is None:
+            adj = _GRAPH_MEMO[key] = rmat_graph(
+                RMATParams(
+                    scale=self.scale, edge_factor=self.edge_factor,
+                    abcd=GRAPH500,
+                ),
+                seed=self.graph_seed,
+                symmetric=self.symmetric,
+            )
+        return adj
+
+    def to_json(self):
+        """Plain-JSON description (CI artifacts, repro instructions)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(**data)
+
+
+_GRAPH_MEMO = {}
+
+
+def generate_cases(n, seed=0):
+    """``n`` deterministic cases drawn from the knob pools.
+
+    The same ``(n, seed)`` always produces the same list, and case
+    ``i`` of a longer population equals case ``i`` of a shorter one
+    with the same seed (draws are per-case), so "re-run case 17" is
+    meaningful across invocations with different ``--cases``.
+    """
+    if n < 1:
+        raise ValueError("need at least one case")
+    cases = []
+    for index in range(n):
+        rng = random.Random(f"{seed}:{index}")
+        knobs = {key: rng.choice(pool) for key, pool in _POOLS.items()}
+        cases.append(
+            ConformanceCase(
+                name=f"case{index:03d}-s{seed}",
+                graph_seed=rng.randrange(1 << 16),
+                **knobs,
+            )
+        )
+    return cases
+
+
+def _shrink_candidates(case):
+    """Simpler variants of ``case``, most aggressive first.
+
+    The kernel is never changed (which engine path a failure lives on
+    is usually kernel-specific); everything that controls *size* or
+    non-default knobs is walked toward the minimum.
+    """
+    candidates = []
+
+    def emit(**changes):
+        candidates.append(replace(case, **changes))
+
+    if case.scale > 6:
+        emit(scale=case.scale - 1)
+    if case.edge_factor > 2:
+        emit(edge_factor=max(2, case.edge_factor // 2))
+    if case.window_edges > 256:
+        emit(window_edges=max(256, case.window_edges // 2))
+    if case.n_cores > 1:
+        emit(n_cores=case.n_cores // 2)
+    if case.threads_per_mtp > 1:
+        emit(threads_per_mtp=max(1, case.threads_per_mtp // 2))
+    if case.embedding_dim > 8:
+        emit(embedding_dim=max(8, case.embedding_dim // 2))
+    if case.dram_bandwidth_scale != 1.0:
+        emit(dram_bandwidth_scale=1.0)
+    if case.dram_latency_ns != 45.0:
+        emit(dram_latency_ns=45.0)
+    if not case.symmetric:
+        emit(symmetric=True)
+    return candidates
+
+
+def shrink(case, still_fails, max_attempts=64):
+    """Greedily minimize a failing case.
+
+    ``still_fails(candidate)`` must return True when the candidate
+    reproduces the original failure.  Classic greedy descent: try each
+    simpler variant in order; on the first that still fails, restart
+    from it.  Bounded by ``max_attempts`` predicate evaluations, so a
+    flaky predicate cannot loop the harness.  Returns the smallest
+    still-failing case found (possibly the original).
+    """
+    attempts = 0
+    current = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            if still_fails(candidate):
+                current = replace(candidate, name=current.name + "'")
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current

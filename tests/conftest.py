@@ -1,10 +1,24 @@
 """Shared fixtures: small deterministic graphs used across the suite."""
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.graphs.rmat import RMATParams, rmat_graph
 from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(autouse=True)
+def _pin_global_seeds():
+    """Reset the global RNGs before every test.
+
+    Library code takes explicit seeds or Generator objects, but a test
+    that reaches for ``np.random`` / ``random`` directly must not
+    inherit state from whichever test ran before it.
+    """
+    random.seed(1234)
+    np.random.seed(1234)
 
 
 @pytest.fixture

@@ -1,0 +1,87 @@
+"""Property-based tests for block vertex partitioning (hypothesis).
+
+The partition quality numbers feed the Section VI cut-cost argument
+(and the distributed-CPU extension's MPI charges), so the partitioner
+must actually be a partition: every vertex in exactly one part, parts
+contiguous, loads balanced to within one vertex.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.partition import block_vertex_partition, evaluate_partition
+
+
+@given(st.integers(0, 300), st.integers(1, 17))
+@settings(max_examples=80, deadline=None)
+def test_block_partition_covers_every_vertex_once(n, parts):
+    part = block_vertex_partition(n, parts)
+    # Exactly one label per vertex (cover + disjointness), all in range.
+    assert part.shape == (n,)
+    if n:
+        assert part.min() >= 0 and part.max() <= parts - 1
+
+
+@given(st.integers(1, 300), st.integers(1, 17))
+@settings(max_examples=80, deadline=None)
+def test_block_partition_is_contiguous_and_balanced(n, parts):
+    part = block_vertex_partition(n, parts)
+    # Contiguous blocks: labels never decrease along the vertex range.
+    assert np.all(np.diff(part) >= 0)
+    # Balance: linspace bounds make block sizes differ by at most one.
+    loads = np.bincount(part, minlength=parts)
+    assert loads.sum() == n
+    assert loads.max() - loads.min() <= 1
+    assert loads.max() <= int(np.ceil(n / parts))
+
+
+@given(st.integers(2, 64), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_partition_determinism(n, parts):
+    first = block_vertex_partition(n, parts)
+    second = block_vertex_partition(n, parts)
+    assert np.array_equal(first, second)
+
+
+def test_rejects_nonpositive_parts():
+    with pytest.raises(ValueError):
+        block_vertex_partition(10, 0)
+
+
+class TestEvaluatePartition:
+    def test_single_part_has_no_cut(self, small_rmat):
+        report = evaluate_partition(
+            small_rmat, block_vertex_partition(small_rmat.n_rows, 1)
+        )
+        assert report.n_parts == 1
+        assert report.edge_cut == 0
+        assert report.replication_factor == 1.0
+        assert report.balance == 1.0
+
+    @pytest.mark.parametrize("parts", [2, 4, 8])
+    def test_metrics_within_bounds(self, small_rmat, parts):
+        report = evaluate_partition(
+            small_rmat, block_vertex_partition(small_rmat.n_rows, parts)
+        )
+        assert report.n_parts == parts
+        assert 0 <= report.edge_cut <= small_rmat.nnz
+        assert report.replication_factor >= 1.0
+        assert report.balance >= 1.0
+
+    def test_more_parts_never_cut_fewer_edges(self, small_rmat):
+        cuts = [
+            evaluate_partition(
+                small_rmat, block_vertex_partition(small_rmat.n_rows, p)
+            ).edge_cut
+            for p in (1, 2, 4, 8)
+        ]
+        # Refining contiguous blocks only adds boundaries.
+        assert cuts == sorted(cuts)
+
+    def test_rejects_wrong_length(self, small_rmat):
+        with pytest.raises(ValueError):
+            evaluate_partition(
+                small_rmat, np.zeros(small_rmat.n_rows - 1, dtype=np.int64)
+            )

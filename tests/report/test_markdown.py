@@ -1,0 +1,79 @@
+"""Tests for the one-shot markdown report assembler.
+
+``generate_report`` imports the experiment registry lazily (inside the
+function), so the run itself is stubbed through the
+``repro.experiments`` module attributes — these tests exercise the
+document assembly, not the experiments.
+"""
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments import ExperimentContext
+from repro.report.markdown import EXPERIMENT_TITLES, generate_report
+
+
+@pytest.fixture
+def stub_runner(monkeypatch):
+    """Replace ``run_experiment`` with a recording stub."""
+    calls = []
+
+    def fake_run(name, context):
+        calls.append(name)
+        return f"<{name} body>"
+
+    monkeypatch.setattr(experiments, "run_experiment", fake_run)
+    return calls
+
+
+def test_titles_match_registry():
+    # Every section the report promises must exist in the registry
+    # (and would otherwise raise KeyError before running anything).
+    missing = [n for n in EXPERIMENT_TITLES if n not in experiments.EXPERIMENTS]
+    assert missing == []
+
+
+def test_default_report_runs_everything_in_paper_order(stub_runner):
+    doc = generate_report()
+    assert stub_runner == list(EXPERIMENT_TITLES)
+    for name, title in EXPERIMENT_TITLES.items():
+        assert f"## {title}" in doc
+        assert f"<{name} body>" in doc
+
+
+def test_bodies_are_code_fenced(stub_runner):
+    doc = generate_report(experiments=["fig5"])
+    lines = doc.splitlines()
+    body = lines.index("<fig5 body>")
+    assert lines[body - 1] == "```"
+    assert lines[body + 1] == "```"
+
+
+def test_subset_runs_only_requested(stub_runner):
+    doc = generate_report(experiments=["fig6", "fig5"])
+    assert stub_runner == ["fig6", "fig5"]
+    assert EXPERIMENT_TITLES["fig2"] not in doc
+
+
+def test_unknown_experiment_rejected_before_running(stub_runner):
+    with pytest.raises(KeyError, match="fig99"):
+        generate_report(experiments=["fig5", "fig99"])
+    assert stub_runner == []
+
+
+def test_custom_heading_is_first_line(stub_runner):
+    doc = generate_report(experiments=["fig5"], heading="# My run")
+    assert doc.splitlines()[0] == "# My run"
+
+
+def test_default_heading_and_context_note(stub_runner):
+    context = ExperimentContext()
+    doc = generate_report(context=context, experiments=["fig5"])
+    assert doc.startswith("# Reproduction report")
+    assert f"{context.max_vertices:,}" in doc
+
+
+def test_unregistered_title_falls_back_to_name(stub_runner, monkeypatch):
+    monkeypatch.setitem(experiments.EXPERIMENTS, "extra", object())
+    doc = generate_report(experiments=["extra"])
+    assert "## extra" in doc

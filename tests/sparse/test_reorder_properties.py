@@ -1,0 +1,101 @@
+"""Property-based tests for vertex reordering (hypothesis).
+
+The load-bearing property: :func:`apply_permutation` is a graph
+isomorphism, so SpMM commutes with it — permuting the adjacency and
+the feature rows permutes the output rows and nothing else.  The
+metamorphic relabel-invariance relation in ``repro.testing`` leans on
+exactly this.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.reorder import (
+    apply_permutation,
+    bfs_order,
+    degree_order,
+    random_order,
+    rcm_order,
+)
+from repro.sparse.spmm import spmm
+
+
+@st.composite
+def square_csr(draw, max_dim=10, max_nnz=40):
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(arrays(np.int64, nnz, elements=st.integers(0, n - 1)))
+    cols = draw(arrays(np.int64, nnz, elements=st.integers(0, n - 1)))
+    vals = draw(arrays(
+        np.float64, nnz, elements=st.floats(-8, 8, allow_nan=False)
+    ))
+    return COOMatrix(rows, cols, vals, (n, n)).to_csr()
+
+
+@st.composite
+def csr_with_perm(draw):
+    adj = draw(square_csr())
+    seed = draw(st.integers(0, 2**16))
+    perm = np.random.default_rng(seed).permutation(adj.n_rows)
+    return adj, perm.astype(np.int64)
+
+
+@given(csr_with_perm())
+@settings(max_examples=60, deadline=None)
+def test_permutation_round_trip_is_identity(pair):
+    adj, perm = pair
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(adj.n_rows, dtype=np.int64)
+    back = apply_permutation(apply_permutation(adj, perm), inverse)
+    np.testing.assert_allclose(back.to_dense(), adj.to_dense(), atol=1e-12)
+
+
+@given(csr_with_perm(), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_spmm_commutes_with_relabeling(pair, k):
+    adj, perm = pair
+    features = np.random.default_rng(3).standard_normal((adj.n_rows, k))
+    relabeled = apply_permutation(adj, perm)
+    permuted_features = np.empty_like(features)
+    permuted_features[perm] = features
+    # Row perm[i] of the relabeled product is row i of the original.
+    np.testing.assert_allclose(
+        spmm(relabeled, permuted_features)[perm],
+        spmm(adj, features),
+        atol=1e-9,
+    )
+
+
+@given(csr_with_perm())
+@settings(max_examples=60, deadline=None)
+def test_relabeling_preserves_degree_multiset(pair):
+    adj, perm = pair
+    relabeled = apply_permutation(adj, perm)
+    assert sorted(relabeled.row_degrees()) == sorted(adj.row_degrees())
+    assert relabeled.nnz == adj.nnz
+
+
+@given(square_csr())
+@settings(max_examples=40, deadline=None)
+def test_orderings_are_valid_permutations(adj):
+    n = adj.n_rows
+    for perm in (
+        bfs_order(adj),
+        rcm_order(adj),
+        degree_order(adj),
+        degree_order(adj, descending=False),
+        random_order(adj, seed=5),
+    ):
+        assert sorted(perm) == list(range(n))
+
+
+@given(square_csr())
+@settings(max_examples=30, deadline=None)
+def test_identity_permutation_is_noop(adj):
+    identity = np.arange(adj.n_rows, dtype=np.int64)
+    np.testing.assert_allclose(
+        apply_permutation(adj, identity).to_dense(), adj.to_dense()
+    )

@@ -1,0 +1,164 @@
+"""Tests for the user-facing self-test checks in ``validation.verify``.
+
+The tolerance logic is exercised against a stubbed ``simulate_spmm``
+(so the boundaries are exact and fast); one real smoke run at the end
+keeps the stubs honest against the actual DES.
+"""
+
+import types
+from dataclasses import dataclass
+
+import pytest
+
+import repro.validation.verify as verify
+from repro.graphs.rmat import RMATParams, rmat_graph
+from repro.piuma.analytical import element_bytes
+from repro.piuma.config import PIUMAConfig
+from repro.sparse.spmm import spmm_traffic
+
+
+@dataclass
+class _Stat:
+    bytes: float
+
+
+class _FakeResult:
+    def __init__(self, gflops=100.0, sim_time_ns=1000.0, moved=0.0,
+                 window_edges=50, total_edges=100):
+        self.gflops = gflops
+        self.sim_time_ns = sim_time_ns
+        self.tag_stats = {"all": _Stat(bytes=moved)}
+        self.window_edges = window_edges
+        self.total_edges = total_edges
+
+
+# A stand-in adjacency: conservation only reads n_rows and nnz.
+_ADJ = types.SimpleNamespace(n_rows=64, nnz=512)
+
+
+def _expected_window_bytes(config, embedding_dim=64, window=50, total=100):
+    traffic = spmm_traffic(
+        _ADJ.n_rows, _ADJ.nnz, embedding_dim, element_bytes(config)
+    )
+    return traffic.total_bytes * (window / total)
+
+
+def _patch_results(monkeypatch, results):
+    """Feed ``simulate_spmm`` stub results in call order."""
+    queue = list(results)
+    monkeypatch.setattr(
+        verify, "simulate_spmm", lambda *a, **k: queue.pop(0)
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("ratio,passed", [
+        (1.0, True),
+        (1.30, True),   # inside the 35% tolerance
+        (0.70, True),
+        (1.40, False),  # outside
+        (0.60, False),
+    ])
+    def test_tolerance_boundary(self, monkeypatch, ratio, passed):
+        config = PIUMAConfig(n_cores=2)
+        moved = _expected_window_bytes(config) * ratio
+        _patch_results(monkeypatch, [_FakeResult(moved=moved)])
+        report = verify.check_conservation(_ADJ, config=config)
+        assert report.name == "conservation"
+        assert report.passed is passed
+        assert "moved/expected" in report.detail
+
+    def test_custom_tolerance(self, monkeypatch):
+        config = PIUMAConfig(n_cores=2)
+        moved = _expected_window_bytes(config) * 1.30
+        _patch_results(monkeypatch, [_FakeResult(moved=moved)])
+        report = verify.check_conservation(
+            _ADJ, config=config, tolerance=0.10
+        )
+        assert not report.passed
+
+
+class TestMonotonicity:
+    def test_passes_when_worse_configs_are_slower(self, monkeypatch):
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=100.0),  # nominal
+            _FakeResult(gflops=60.0),   # half bandwidth
+            _FakeResult(gflops=40.0),   # 720 ns latency
+        ])
+        report = verify.check_monotonicity(_ADJ)
+        assert report.passed
+        assert "nominal=100.0" in report.detail
+
+    def test_slack_absorbs_window_noise(self, monkeypatch):
+        # 1.2x "faster" under half bandwidth is within the 1.25 slack.
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=100.0),
+            _FakeResult(gflops=120.0),
+            _FakeResult(gflops=90.0),
+        ])
+        assert verify.check_monotonicity(_ADJ).passed
+
+    def test_fails_beyond_slack(self, monkeypatch):
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=100.0),
+            _FakeResult(gflops=130.0),  # > 1.25x nominal
+            _FakeResult(gflops=90.0),
+        ])
+        report = verify.check_monotonicity(_ADJ)
+        assert not report.passed
+        assert "half bandwidth faster" in report.detail
+
+    def test_latency_violation_reported(self, monkeypatch):
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=100.0),
+            _FakeResult(gflops=90.0),
+            _FakeResult(gflops=200.0),  # 16x latency "faster"
+        ])
+        report = verify.check_monotonicity(_ADJ)
+        assert not report.passed
+        assert "latency faster" in report.detail
+
+
+class TestDeterminism:
+    def test_identical_runs_pass(self, monkeypatch):
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=10.0, sim_time_ns=500.0),
+            _FakeResult(gflops=10.0, sim_time_ns=500.0),
+        ])
+        assert verify.check_determinism(_ADJ).passed
+
+    def test_divergent_runs_fail(self, monkeypatch):
+        _patch_results(monkeypatch, [
+            _FakeResult(gflops=10.0, sim_time_ns=500.0),
+            _FakeResult(gflops=10.0, sim_time_ns=501.0),
+        ])
+        assert not verify.check_determinism(_ADJ).passed
+
+
+def test_run_all_checks_aggregates(monkeypatch):
+    config = PIUMAConfig(n_cores=2)
+    moved = _expected_window_bytes(config)
+    _patch_results(monkeypatch, [
+        _FakeResult(moved=moved),                       # conservation
+        _FakeResult(gflops=100.0),                      # monotonicity x3
+        _FakeResult(gflops=60.0),
+        _FakeResult(gflops=40.0),
+        _FakeResult(gflops=10.0, sim_time_ns=500.0),    # determinism x2
+        _FakeResult(gflops=10.0, sim_time_ns=500.0),
+    ])
+    reports = verify.run_all_checks(_ADJ, config=config)
+    assert [r.name for r in reports] == [
+        "conservation", "monotonicity", "determinism"
+    ]
+    assert all(r.passed for r in reports)
+
+
+@pytest.mark.slow
+def test_real_des_passes_all_checks():
+    adj = rmat_graph(
+        RMATParams(scale=7, edge_factor=8), seed=11, symmetric=True
+    )
+    reports = verify.run_all_checks(adj, embedding_dim=16)
+    assert all(r.passed for r in reports), [
+        (r.name, r.detail) for r in reports
+    ]
