@@ -9,7 +9,10 @@ without writing any Python:
 * ``speedup``   — cross-platform speedups for one dataset (Fig 9 row).
 * ``simulate``  — run the PIUMA DES on a (down-scaled) dataset.
 * ``sweep``     — run a DES grid through the cached, process-parallel
-  sweep runner (``repro.runtime``).
+  sweep runner (``repro.runtime``); ``--degrade`` runs the whole grid
+  on a deterministically faulted fabric.
+* ``resilience`` — graceful-degradation curve: SpMM slowdown vs the
+  fraction of degraded fabric, against the derated Eq.5 envelope.
 * ``check``     — differential conformance suite + invariant-sanitizer
   mutation smoke-checks (``repro.testing``).
 * ``advise``    — the Fig 2 contour as a decision rule.
@@ -113,6 +116,44 @@ def _build_parser():
     sweep.add_argument("--profile", action="store_true",
                        help="report host DES throughput (events/s) and "
                             "the slowest computed points")
+    sweep.add_argument("--degrade", default=None, metavar="SPEC",
+                       help="run the whole grid on a degraded fabric: a "
+                            "preset name (mild, moderate, severe, links, "
+                            "slices, dma, compute) or a JSON spec file")
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="graceful-degradation curve: SpMM slowdown vs fraction of "
+             "degraded fabric, with the derated Eq.5 model as envelope",
+    )
+    resilience.add_argument("--dataset", default="products")
+    resilience.add_argument("--kernel", choices=("dma", "loop", "vertex"),
+                            default="dma")
+    resilience.add_argument("--hidden", type=int, default=256)
+    resilience.add_argument("--cores", type=int, default=8)
+    resilience.add_argument("--max-vertices", type=int, default=16384)
+    resilience.add_argument("--seed", type=int, default=7,
+                            help="graph down-scaling seed (default: the "
+                                 "Fig 5 medium-point window)")
+    resilience.add_argument("--severities", type=float, nargs="+",
+                            default=[0.0, 0.25, 0.5, 0.75, 1.0],
+                            help="degraded-fraction grid; the fault sets "
+                                 "nest with severity, so the curve is "
+                                 "monotone by construction")
+    resilience.add_argument("--fault-seed", type=int, default=0,
+                            help="seed of the degradation membership draws")
+    resilience.add_argument("--check-level", type=int, default=1,
+                            choices=(0, 1, 2),
+                            help="invariant sanitizer level armed inside "
+                                 "every point (default 1)")
+    resilience.add_argument("--verify-engines", action="store_true",
+                            help="additionally run every point through the "
+                                 "reference engine and require bit-identity")
+    resilience.add_argument("--workers", type=int, default=None)
+    resilience.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
+    resilience.add_argument("--json", default=None, metavar="PATH",
+                            help="write the curve as a JSON artifact")
 
     check = sub.add_parser(
         "check",
@@ -293,12 +334,37 @@ def _cmd_simulate(args, out):
     return 0
 
 
+def _resolve_degradation(value):
+    """``--degrade`` argument -> :class:`DegradationSpec`.
+
+    Accepts a preset name from :data:`DEGRADATION_PRESETS` or the path
+    of a JSON file holding the spec's fields.
+    """
+    import json
+    import pathlib
+
+    from repro.piuma import DEGRADATION_PRESETS
+    from repro.piuma.degradation import DegradationSpec
+
+    preset = DEGRADATION_PRESETS.get(value)
+    if preset is not None:
+        return preset
+    path = pathlib.Path(value)
+    if path.is_file():
+        return DegradationSpec.from_json(json.loads(path.read_text()))
+    raise ValueError(
+        f"--degrade {value!r} is neither a preset "
+        f"({', '.join(sorted(DEGRADATION_PRESETS))}) nor a JSON spec file"
+    )
+
+
 def _cmd_sweep(args, out):
     from repro.report.tables import format_table
     from repro.runtime import (
         ProgressTracker,
         ResultCache,
         SweepCheckpoint,
+        gc_manifests,
         run_sweep,
         spmm_task,
     )
@@ -319,10 +385,19 @@ def _cmd_sweep(args, out):
         )
         for point in points
     ]
+    if args.degrade:
+        # Rewrite the tasks *before* deriving the checkpoint manifest:
+        # the spec is part of each task's identity, so a degraded sweep
+        # never shares a manifest (or cache records) with a healthy one.
+        spec = _resolve_degradation(args.degrade)
+        tasks = [task.with_degradation(spec) for task in tasks]
     cache = ResultCache(directory=args.cache_dir,
                         enabled=not args.no_cache)
     if args.clear_cache:
         out(f"cleared {cache.clear()} cached record(s)")
+    removed = gc_manifests(directory=cache.directory)
+    if removed:
+        out(f"garbage-collected {removed} abandoned sweep manifest(s)")
     checkpoint = SweepCheckpoint.for_tasks(tasks, directory=cache.directory)
     progress = ProgressTracker(total=len(tasks), out=out)
     report = run_sweep(tasks, workers=args.workers, cache=cache,
@@ -367,12 +442,156 @@ def _cmd_sweep(args, out):
         for line in progress.profile_lines():
             out(line)
     out(f"cache: {cache.stats}")
+    if args.degrade:
+        out(f"degraded fabric: --degrade {args.degrade} (records carry "
+            "a \"degradation\" provenance field)")
     # The sweep ran to completion (possibly degraded): its manifest has
     # served its purpose.  Failed points are deliberately not recorded
     # in it, so a later --resume rerun would retry exactly those.
     if not report.failures:
         checkpoint.discard()
     return 0
+
+
+#: Record fields that must be bit-identical across the fast and
+#: reference engines (``repro resilience --verify-engines``).
+_ENGINE_IDENTITY_FIELDS = (
+    "sim_time_ns", "gflops", "projected_time_ns", "events",
+    "window_edges", "memory_utilization", "achieved_bandwidth",
+    "tag_stats",
+)
+
+
+def _cmd_resilience(args, out):
+    import json
+    import pathlib
+
+    from repro.piuma import effective_total_bandwidth, spmm_model
+    from repro.piuma.degradation import DegradationSpec
+    from repro.report.tables import format_table
+    from repro.runtime import ResultCache, run_sweep, spmm_task
+    from repro.testing.oracle import ENVELOPES
+
+    severities = [float(s) for s in args.severities]
+    if sorted(severities) != severities:
+        raise ValueError("--severities must be non-decreasing")
+
+    def task_for(severity, fast_path=True):
+        task = spmm_task(
+            args.dataset, args.hidden, kernel=args.kernel,
+            max_vertices=args.max_vertices, seed=args.seed,
+            n_cores=args.cores, engine_fast_path=fast_path,
+        )
+        if severity > 0.0:
+            task = task.with_degradation(
+                DegradationSpec.at_severity(severity, seed=args.fault_seed)
+            )
+        return task
+
+    tasks = [task_for(s) for s in severities]
+    cache = ResultCache(enabled=not args.no_cache)
+    report = run_sweep(tasks, workers=args.workers, cache=cache,
+                       check_level=args.check_level)
+
+    mismatches = []
+    if args.verify_engines:
+        reference = run_sweep(
+            [task_for(s, fast_path=False) for s in severities],
+            workers=args.workers, cache=cache,
+            check_level=args.check_level,
+        )
+        for severity, fast, ref in zip(
+            severities, report.records, reference.records
+        ):
+            diverged = [
+                name for name in _ENGINE_IDENTITY_FIELDS
+                if fast[name] != ref[name]
+            ]
+            if diverged:
+                mismatches.append((severity, diverged))
+
+    low, high = ENVELOPES[args.kernel]
+    baseline = report.records[0]["sim_time_ns"]
+    rows, curve = [], []
+    monotone = True
+    in_envelope = True
+    previous = None
+    for severity, record in zip(severities, report.records):
+        config = task_for(severity).config()
+        bandwidth = effective_total_bandwidth(config)
+        model = spmm_model(
+            record["n_vertices"], record["n_edges"], args.hidden, config,
+            read_bandwidth=bandwidth, write_bandwidth=bandwidth,
+        )
+        efficiency = (record["gflops"] / model.gflops
+                      if model.gflops > 0 else 0.0)
+        slowdown = (record["sim_time_ns"] / baseline
+                    if baseline > 0 else 0.0)
+        if previous is not None and record["sim_time_ns"] < previous:
+            monotone = False
+        previous = record["sim_time_ns"]
+        if not low <= efficiency <= high:
+            in_envelope = False
+        rows.append([
+            f"{severity:.2f}", f"{record['sim_time_ns']:,.0f}",
+            f"{slowdown:.2f}x", f"{bandwidth:.0f}",
+            f"{record['gflops']:.1f}", f"{model.gflops:.1f}",
+            f"{efficiency:.2f}",
+        ])
+        curve.append({
+            "severity": severity,
+            "sim_time_ns": record["sim_time_ns"],
+            "slowdown": slowdown,
+            "effective_bandwidth_gbps": bandwidth,
+            "gflops": record["gflops"],
+            "derated_model_gflops": model.gflops,
+            "derated_efficiency": efficiency,
+            "degradation": record.get("degradation"),
+        })
+    out(format_table(
+        ["severity", "sim ns", "slowdown", "bw GB/s",
+         "DES GF", "derated model GF", "eff"],
+        rows,
+        title=f"graceful degradation — {args.dataset}/{args.kernel} "
+              f"K={args.hidden}, {args.cores} cores "
+              f"({args.max_vertices:,}-vertex window)",
+    ))
+
+    passed = monotone and in_envelope and not mismatches
+    out(f"monotone slowdown: {'yes' if monotone else 'NO'}; "
+        f"derated Eq.5 envelope [{low}, {high}]: "
+        f"{'held' if in_envelope else 'VIOLATED'}")
+    if args.verify_engines:
+        if mismatches:
+            for severity, diverged in mismatches:
+                out(f"engine mismatch at severity {severity:.2f}: "
+                    + ", ".join(diverged))
+        else:
+            out("fast and reference engines bit-identical at every "
+                "severity")
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "point": {
+                "dataset": args.dataset, "kernel": args.kernel,
+                "embedding_dim": args.hidden, "n_cores": args.cores,
+                "max_vertices": args.max_vertices, "seed": args.seed,
+                "fault_seed": args.fault_seed,
+                "check_level": args.check_level,
+            },
+            "curve": curve,
+            "monotone": monotone,
+            "envelope": [low, high],
+            "in_envelope": in_envelope,
+            "engines_verified": bool(args.verify_engines),
+            "engine_mismatches": [
+                {"severity": s, "fields": d} for s, d in mismatches
+            ],
+            "passed": passed,
+        }, indent=2, sort_keys=True) + "\n")
+        out(f"curve written to {path}")
+    return 0 if passed else 1
 
 
 def _cmd_check(args, out):
@@ -534,6 +753,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "resilience": _cmd_resilience,
     "check": _cmd_check,
     "advise": _cmd_advise,
     "calibrate": _cmd_calibrate,

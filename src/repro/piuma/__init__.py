@@ -11,6 +11,13 @@ the reference curve.
 
 from repro.piuma.analytical import ModelResult, spmm_model
 from repro.piuma.config import PIUMAConfig
+from repro.piuma.degradation import (
+    DEGRADATION_PRESETS,
+    DegradationModel,
+    DegradationSpec,
+    effective_total_bandwidth,
+    thread_placements,
+)
 from repro.piuma.densemm import DenseMMEstimate, dense_mm_time, peak_mac_gflops
 from repro.piuma.engine import Simulator
 from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
@@ -19,6 +26,9 @@ from repro.piuma.spmm_dma import dma_thread
 from repro.piuma.spmm_loop import loop_unrolled_thread
 
 __all__ = [
+    "DEGRADATION_PRESETS",
+    "DegradationModel",
+    "DegradationSpec",
     "DenseMMEstimate",
     "KernelResult",
     "ModelResult",
@@ -27,6 +37,7 @@ __all__ = [
     "auto_window",
     "dense_mm_time",
     "dma_thread",
+    "effective_total_bandwidth",
     "loop_unrolled_thread",
     "peak_mac_gflops",
     "piuma_gcn_breakdown",
@@ -35,6 +46,7 @@ __all__ = [
     "simulate_gcn",
     "simulate_spmm",
     "spmm_model",
+    "thread_placements",
 ]
 
 

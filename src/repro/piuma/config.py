@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.piuma.degradation import DegradationSpec
+
 
 @dataclass(frozen=True)
 class PIUMAConfig:
@@ -120,6 +122,14 @@ class PIUMAConfig:
     #: op loops) before the run counts as stalled.
     stall_events: int = 2_000_000
 
+    #: Hardware-fault model (``repro.piuma.degradation``): ``None`` (the
+    #: default) simulates a healthy fabric; a
+    #: :class:`~repro.piuma.degradation.DegradationSpec` deterministically
+    #: degrades links, DRAM slices, DMA engines, and pipelines.  The spec
+    #: is a frozen all-primitive dataclass, so it serializes with the
+    #: config and participates in the sweep cache key.
+    degradation: DegradationSpec | None = None
+
     def __post_init__(self):
         if self.n_cores < 1:
             raise ValueError("n_cores must be positive")
@@ -133,6 +143,13 @@ class PIUMAConfig:
             raise ValueError("watchdog ceilings must be non-negative")
         if self.check_level not in (0, 1, 2):
             raise ValueError("check_level must be 0, 1, or 2")
+        if self.degradation is not None and not isinstance(
+            self.degradation, DegradationSpec
+        ):
+            raise ValueError(
+                "degradation must be a DegradationSpec or None, got "
+                f"{type(self.degradation).__name__}"
+            )
 
     # -- derived quantities -------------------------------------------------
 

@@ -13,21 +13,37 @@ from __future__ import annotations
 import collections
 
 from repro.piuma.resources import FluidResource
+from repro.runtime.errors import HardwareExhausted
 
 
 class DMAEngine:
-    """Per-core DMA engine with an in-order request queue."""
+    """Per-core DMA engine with an in-order request queue.
+
+    Under a degradation spec an engine may be *dead* (every submit
+    raises :class:`HardwareExhausted` — the core's threads cannot
+    offload at all) or *flaky*: every ``fail_period``-th descriptor
+    fails and is retried after ``retry_backoff_ns``, a delay the
+    issuing thread observes.  Both behaviors are pure functions of the
+    submission order, which is identical on both engine main loops.
+    """
 
     __slots__ = ("core_id", "_config", "_engine", "ops", "bytes_moved",
                  "_inflight", "_inflight_bytes", "_inflight_limit",
-                 "_overhead_ns", "_lat_to")
+                 "_overhead_ns", "_lat_to", "alive", "retries",
+                 "_fail_period", "_fail_countdown", "_retry_backoff_ns")
 
-    def __init__(self, core_id, config):
+    def __init__(self, core_id, config, alive=True, fail_period=0,
+                 retry_backoff_ns=0.0):
         self.core_id = core_id
         self._config = config
         self._engine = FluidResource(config.dma_rate_gbps, name=f"dma{core_id}")
         self.ops = 0
         self.bytes_moved = 0.0
+        self.alive = alive
+        self.retries = 0
+        self._fail_period = int(fail_period)
+        self._fail_countdown = int(fail_period)
+        self._retry_backoff_ns = retry_backoff_ns
         # Hot-path constants hoisted out of `submit` (attribute chains
         # through `_config` showed up in DES profiles).
         self._inflight_limit = config.dma_inflight_bytes
@@ -53,6 +69,17 @@ class DMAEngine:
         also the completion time).  The :class:`FluidResource` reserve
         is inlined — this runs once per edge in the DMA kernels.
         """
+        if not self.alive:
+            raise HardwareExhausted(
+                f"DMA engine on core {self.core_id} is dead",
+                cause="dead-dma",
+            )
+        if self._fail_period:
+            self._fail_countdown -= 1
+            if not self._fail_countdown:
+                self._fail_countdown = self._fail_period
+                self.retries += 1
+                now += self._retry_backoff_ns
         eng = self._engine
         busy = eng.busy_until
         start = now if now > busy else busy
@@ -97,6 +124,17 @@ class DMAEngine:
         if not targets:
             engine_free = self.submit_internal(now, nbytes)
             return engine_free, engine_free
+        if not self.alive:
+            raise HardwareExhausted(
+                f"DMA engine on core {self.core_id} is dead",
+                cause="dead-dma",
+            )
+        if self._fail_period:
+            self._fail_countdown -= 1
+            if not self._fail_countdown:
+                self._fail_countdown = self._fail_period
+                self.retries += 1
+                now += self._retry_backoff_ns
         # Retire outstanding requests that completed by now, then
         # wait for the oldest ones until the new payload fits in the
         # staging buffer (backpressure toward the issuing threads'

@@ -32,6 +32,7 @@ import heapq
 import time
 from collections import defaultdict
 
+from repro.piuma.degradation import DegradationModel
 from repro.piuma.dma import DMAEngine
 from repro.piuma.network import Network
 from repro.piuma.ops import (
@@ -45,7 +46,7 @@ from repro.piuma.ops import (
 )
 from repro.piuma.invariants import InvariantChecker
 from repro.piuma.resources import DRAMSlice, FluidResource
-from repro.runtime.errors import SimulationDiverged
+from repro.runtime.errors import HardwareExhausted, SimulationDiverged
 
 
 class TagStats:
@@ -98,16 +99,42 @@ class Simulator:
 
     def __init__(self, config):
         self.config = config
-        self.network = Network(config)
-        self.slices = [
-            DRAMSlice(
-                config.slice_bandwidth_bytes_per_ns,
-                config.dram_latency_ns,
-                name=f"dram{c}",
-            )
-            for c in range(config.n_cores)
-        ]
-        self.dma_engines = [DMAEngine(c, config) for c in range(config.n_cores)]
+        # Resolved degradation state (None on a healthy fabric).  Static
+        # for the simulator's lifetime: both main loops see identical
+        # link/slice/engine/pipeline state, which is what keeps them
+        # bit-identical under faults.
+        degradation = DegradationModel.for_config(config)
+        self.degradation = degradation
+        self.network = Network(config, degradation=degradation)
+        if degradation is None:
+            self.slices = [
+                DRAMSlice(
+                    config.slice_bandwidth_bytes_per_ns,
+                    config.dram_latency_ns,
+                    name=f"dram{c}",
+                )
+                for c in range(config.n_cores)
+            ]
+            self.dma_engines = [
+                DMAEngine(c, config) for c in range(config.n_cores)
+            ]
+        else:
+            self.slices = []
+            self.dma_engines = []
+            for c in range(config.n_cores):
+                bw, lat, period, duration = degradation.slice_parameters(
+                    c, config.slice_bandwidth_bytes_per_ns,
+                    config.dram_latency_ns,
+                )
+                self.slices.append(DRAMSlice(
+                    bw, lat, name=f"dram{c}",
+                    stall_period_ns=period, stall_duration_ns=duration,
+                ))
+                alive, fail_period, backoff = degradation.dma_parameters(c)
+                self.dma_engines.append(DMAEngine(
+                    c, config, alive=alive, fail_period=fail_period,
+                    retry_backoff_ns=backoff,
+                ))
         self.atomic_units = [
             FluidResource(config.atomic_rate_gbps, name=f"atomic{c}")
             for c in range(config.n_cores)
@@ -370,6 +397,13 @@ class Simulator:
 
         def build_plan(op, core):
             engine = engines[core]
+            if not engine.alive:
+                # Raised before caching: a dead engine never gets a
+                # plan, so the fast path below cannot bypass the check.
+                raise HardwareExhausted(
+                    f"DMA engine on core {core} is dead",
+                    cause="dead-dma",
+                )
             eng = engine._engine
             nbytes = op.nbytes
             duration = nbytes / eng.rate + engine._overhead_ns
@@ -413,6 +447,18 @@ class Simulator:
             plan = plans_get((id(op), core))
             if plan is None:
                 plan = build_plan(op, core)
+            if engine._fail_period:
+                # Flaky engine: every Nth descriptor fails and is
+                # retried after a fixed backoff the issuing thread
+                # observes (mirrors DMAEngine.submit/submit_internal).
+                # Pure function of descriptor order — identical on both
+                # main loops.  The wait is thread delay, not pipeline
+                # or engine occupancy, so conservation holds untouched.
+                engine._fail_countdown -= 1
+                if not engine._fail_countdown:
+                    engine._fail_countdown = engine._fail_period
+                    engine.retries += 1
+                    issued += engine._retry_backoff_ns
             targets = plan[0]
             if targets is None:
                 duration = plan[1]
@@ -463,6 +509,15 @@ class Simulator:
                         inj.units_served += share
                         inj.requests += 1
                         arrival = sent + lat
+                    if memory.stall_period_ns:
+                        # Stalling slice: route through the layered
+                        # bulk_request, which applies the stall-window
+                        # deferral before the same timeline fast path
+                        # (identical service/latency arithmetic).
+                        end = memory.bulk_request(arrival, share)
+                        if end > completion:
+                            completion = end
+                        continue
                     memory.bytes_served += share
                     memory.requests += 1
                     starts = timeline._starts

@@ -64,6 +64,10 @@ INVARIANTS = {
                                "long as their served units require"),
     "result-recompute": (1, "KernelResult aggregates match sums "
                             "recomputed from the raw simulator state"),
+    "degradation-silence": (1, "hardware disabled by the degradation "
+                               "spec stays silent: dead pipelines "
+                               "execute nothing, dead DMA engines "
+                               "accept no descriptors"),
     "dma-request-conservation": (2, "DMA bytes requested by ops equal "
                                     "bytes the engines moved"),
     "dram-byte-ledger": (2, "slice bytes served equal the per-op DRAM "
@@ -282,6 +286,38 @@ class InvariantChecker:
                     f"units at {resource.rate:g}/ns "
                     f"(needs >= {floor:.3f} ns)",
                 )
+        degradation = getattr(sim, "degradation", None)
+        if degradation is not None:
+            # Disabled hardware must stay silent.  Work redistribution
+            # (thread_placements) may never place a thread on a dead
+            # core or MTP, and no kernel may slip a descriptor past a
+            # dead DMA engine.  Note the *slices* and atomic units of a
+            # dead core stay in service deliberately — the distributed
+            # global address space survives the core's compute — so
+            # only pipelines and DMA engines are checked.
+            for core in degradation.dead_cores:
+                for pipe in sim.pipelines[core]:
+                    if pipe.requests:
+                        raise violation(
+                            "degradation-silence",
+                            f"{pipe.name} on dead core {core} executed "
+                            f"{pipe.requests} reservations",
+                        )
+            for core, mtp in degradation.dead_mtps:
+                pipe = sim.pipelines[core][mtp]
+                if pipe.requests:
+                    raise violation(
+                        "degradation-silence",
+                        f"dead pipeline {pipe.name} executed "
+                        f"{pipe.requests} reservations",
+                    )
+            for core in degradation.dead_dma:
+                engine = sim.dma_engines[core]
+                if engine.ops or engine.requests:
+                    raise violation(
+                        "degradation-silence",
+                        f"dead dma{core} accepted {engine.ops} ops",
+                    )
         if self.level >= 2:
             self._check_ledgers()
 

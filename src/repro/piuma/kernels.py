@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.piuma.degradation import thread_placements
 from repro.piuma.engine import Simulator
 from repro.piuma.invariants import verify_kernel_result
 from repro.sparse.spmm import spmm_traffic
@@ -125,9 +126,15 @@ def split_work(adj, config, window_edges):
 
     Thread ``t`` owns the contiguous global slice ``[tE/T, (t+1)E/T)``
     (Algorithm 2 line 3) and simulates its leading ``~window/T`` edges.
+
+    Placement comes from :func:`thread_placements`: the historical
+    contiguous layout on a healthy fabric (bit-identical results), and
+    a redistribution of the same ``T`` work shares over the surviving
+    pipelines when the degradation spec disables cores or MTPs.
     """
     total_edges = adj.nnz
     n_threads = config.n_threads
+    placements = thread_placements(config)
     bounds = np.linspace(0, total_edges, n_threads + 1).astype(np.int64)
     per_thread = max(1, int(round(window_edges / n_threads)))
     work = []
@@ -143,8 +150,7 @@ def split_work(adj, config, window_edges):
             )
             - 1
         )
-        core = t // config.threads_per_core
-        mtp = (t % config.threads_per_core) // config.threads_per_mtp
+        core, mtp = placements[t]
         work.append(
             ThreadWork(
                 core=core, mtp=mtp, cols=cols, rows=rows, start_edge=start

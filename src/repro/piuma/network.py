@@ -7,17 +7,25 @@ Takeaway 3 of the paper is that SpMM at scale is *not* network-bound, so
 the model charges realistic latencies but generous per-core injection
 bandwidth; the bandwidth resource exists so ablations can artificially
 choke it and verify the claim.
+
+Under a :class:`~repro.piuma.degradation.DegradationModel` individual
+links run at multiplied latency or go down entirely; down links reroute
+through the cheapest healthy intermediate core.  Latency stays pure
+(static per model), so the per-pair memo remains valid — but only for
+the degradation state it was filled under, which is why the memo is
+tied to a *degradation epoch* (see :meth:`Network.set_degradation`).
 """
 
 from __future__ import annotations
 
+from repro.piuma.degradation import DegradationModel
 from repro.piuma.resources import FluidResource
 
 
 class Network:
     """Latency and (optional) injection-bandwidth model between cores."""
 
-    def __init__(self, config):
+    def __init__(self, config, degradation=None):
         self._config = config
         self._injection = [
             FluidResource(config.network_bandwidth_gbps, name=f"net{c}")
@@ -30,30 +38,61 @@ class Network:
         # hottest lines of the DES before caching.
         self._latency_cache = {}
         self._mean_remote = None
+        # Memo epoch: bumped by every degradation change so tests and
+        # tools can assert the caches were actually dropped instead of
+        # silently serving values computed under the previous link
+        # state (the historical stale-memo hazard).
+        self._epoch = 0
+        if degradation is None:
+            degradation = DegradationModel.for_config(config)
+        self._degradation = degradation
+
+    @property
+    def degradation_epoch(self):
+        """Monotone counter of link-state changes seen by the memos."""
+        return self._epoch
+
+    def set_degradation(self, model):
+        """Switch the link-state model and invalidate every memo."""
+        self._degradation = model
+        self.invalidate()
+
+    def invalidate(self):
+        """Drop all latency memos (link parameters changed)."""
+        self._latency_cache.clear()
+        self._mean_remote = None
+        self._epoch += 1
+
+    def _tier_latency(self, src_core, dst_core):
+        """Healthy tier latency: the pure-topology cost of a link."""
+        if src_core == dst_core:
+            return 0.0
+        config = self._config
+        per_die = config.cores_per_die
+        per_node = config.cores_per_node
+        if src_core // per_die == dst_core // per_die:
+            return config.intra_die_latency_ns
+        if src_core // per_node == dst_core // per_node:
+            return config.inter_die_latency_ns
+        return config.inter_node_latency_ns
 
     def latency(self, src_core, dst_core):
         """One-way latency in ns from ``src_core`` to ``dst_core``.
 
         Same core is free (local slice access); same die pays the
         intra-die fabric; different dies one optical HyperX hop;
-        different nodes the node-to-node optical tier.
+        different nodes the node-to-node optical tier.  Degraded links
+        pay their latency multiplier; down links the cheapest reroute.
         """
         key = (src_core, dst_core)
         cached = self._latency_cache.get(key)
         if cached is not None:
             return cached
-        if src_core == dst_core:
-            value = 0.0
-        else:
-            config = self._config
-            per_die = config.cores_per_die
-            per_node = config.cores_per_node
-            if src_core // per_die == dst_core // per_die:
-                value = config.intra_die_latency_ns
-            elif src_core // per_node == dst_core // per_node:
-                value = config.inter_die_latency_ns
-            else:
-                value = config.inter_node_latency_ns
+        value = self._tier_latency(src_core, dst_core)
+        if self._degradation is not None and src_core != dst_core:
+            value = self._degradation.link_latency(
+                src_core, dst_core, value, self._tier_latency
+            )
         self._latency_cache[key] = value
         return value
 
@@ -74,8 +113,8 @@ class Network:
         the average.  That matches how the analytical checks use it: a
         random vertex lands on a random slice, including the local one.
 
-        The value is pure topology, so it is computed once and
-        memoized.
+        The value is pure topology (plus the static degradation state),
+        so it is computed once and memoized until :meth:`invalidate`.
         """
         if self._mean_remote is None:
             n = self._config.n_cores

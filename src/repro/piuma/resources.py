@@ -245,25 +245,52 @@ class DRAMSlice:
 
     Service = bandwidth occupancy on a gap-backfilling timeline;
     completion additionally pays the (swept) DRAM access latency.
+
+    A degraded slice (``repro.piuma.degradation``) may additionally
+    carry periodic *stall windows*: every ``stall_period_ns`` the slice
+    freezes for ``stall_duration_ns`` (refresh storm, thermal throttle)
+    and arrivals inside the window are deferred to its end before
+    normal service begins.  Deferral only moves arrivals *later*, so
+    all conservation accounting is untouched — the bytes are still
+    served, just after the window.
     """
 
-    __slots__ = ("rate", "latency_ns", "name", "_timeline",
-                 "_priority_horizon", "_priority_busy", "bytes_served",
-                 "requests")
+    __slots__ = ("rate", "latency_ns", "name", "stall_period_ns",
+                 "stall_duration_ns", "_timeline", "_priority_horizon",
+                 "_priority_busy", "bytes_served", "requests")
 
-    def __init__(self, bandwidth_bytes_per_ns, latency_ns, name=""):
+    def __init__(self, bandwidth_bytes_per_ns, latency_ns, name="",
+                 stall_period_ns=0.0, stall_duration_ns=0.0):
         if bandwidth_bytes_per_ns <= 0:
             raise ValueError("bandwidth must be positive")
         if latency_ns < 0:
             raise ValueError("latency must be non-negative")
+        if stall_period_ns < 0 or stall_duration_ns < 0:
+            raise ValueError("stall window must be non-negative")
+        if stall_period_ns and stall_duration_ns >= stall_period_ns:
+            raise ValueError("stall_duration_ns must be < stall_period_ns")
         self.rate = bandwidth_bytes_per_ns
         self.latency_ns = latency_ns
         self.name = name
+        self.stall_period_ns = stall_period_ns
+        self.stall_duration_ns = stall_duration_ns
         self._timeline = Timeline()
         self._priority_horizon = 0.0
         self._priority_busy = 0.0
         self.bytes_served = 0.0
         self.requests = 0
+
+    def _stall_defer(self, now):
+        """Earliest non-stalled instant at or after ``now``.
+
+        Arrivals in ``[k*period, k*period + duration)`` wait for the
+        window end; anything else passes through.  Idempotent — the
+        returned instant is itself outside every window.
+        """
+        phase = now % self.stall_period_ns
+        if phase < self.stall_duration_ns:
+            return now + (self.stall_duration_ns - phase)
+        return now
 
     def request(self, now, nbytes, priority=False):
         """Access ``nbytes`` arriving at ``now``; returns completion time.
@@ -280,6 +307,8 @@ class DRAMSlice:
             raise ValueError("nbytes must be non-negative")
         if not priority:
             return self.bulk_request(now, nbytes)
+        if self.stall_period_ns:
+            now = self._stall_defer(now)
         self.bytes_served += nbytes
         self.requests += 1
         service = nbytes / self.rate
@@ -300,6 +329,8 @@ class DRAMSlice:
         of times per simulated edge).  Bit-identical to
         ``Timeline.allocate``: same candidate rule, same merge epsilon.
         """
+        if self.stall_period_ns:
+            now = self._stall_defer(now)
         self.bytes_served += nbytes
         self.requests += 1
         service = nbytes / self.rate

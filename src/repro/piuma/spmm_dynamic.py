@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.piuma.degradation import thread_placements
 from repro.piuma.kernels import ThreadWork
 from repro.piuma.ops import DMAOp, Load, PhaseMarker
 from repro.piuma.spmm_loop import as_int_list, nnz_line_core, owner_cores
@@ -158,9 +159,9 @@ def simulate_spmm_dynamic(adj, embedding_dim, config, window_edges=None,
     queue = list(reversed(chunks))  # pop() takes from the front chunk
     simulator = Simulator(config)
     shared = {}
+    placements = thread_placements(config)
     for t in range(config.n_threads):
-        core = t // config.threads_per_core
-        mtp = (t % config.threads_per_core) // config.threads_per_mtp
+        core, mtp = placements[t]
         simulator.spawn(
             dynamic_thread(queue, embedding_dim, config, t, shared=shared),
             core, mtp,

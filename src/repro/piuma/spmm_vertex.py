@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.piuma.degradation import thread_placements
 from repro.piuma.kernels import ThreadWork
 from repro.piuma.ops import DMAOp, Load, PhaseMarker
 from repro.piuma.spmm_loop import as_int_list, nnz_line_core, owner_cores
@@ -33,6 +34,7 @@ def split_work_vertex(adj, config, window_edges):
     n_threads = config.n_threads
     total_edges = adj.nnz
     fraction = min(1.0, window_edges / total_edges) if total_edges else 0.0
+    placements = thread_placements(config)
     row_bounds = np.linspace(0, adj.n_rows, n_threads + 1).astype(np.int64)
     work = []
     for t in range(n_threads):
@@ -51,8 +53,7 @@ def split_work_vertex(adj, config, window_edges):
             )
             - 1
         )
-        core = t // config.threads_per_core
-        mtp = (t % config.threads_per_core) // config.threads_per_mtp
+        core, mtp = placements[t]
         work.append(
             ThreadWork(core=core, mtp=mtp, cols=cols, rows=rows,
                        start_edge=lo)

@@ -30,8 +30,9 @@ from repro.runtime.cache import (
     cache_key,
     default_cache_dir,
 )
-from repro.runtime.checkpoint import SweepCheckpoint
+from repro.runtime.checkpoint import SweepCheckpoint, gc_manifests
 from repro.runtime.errors import (
+    HardwareExhausted,
     SimulationDiverged,
     TaskError,
     TaskTimeout,
@@ -54,6 +55,7 @@ __all__ = [
     "CODE_VERSION",
     "CacheStats",
     "FaultyTask",
+    "HardwareExhausted",
     "ON_ERROR_POLICIES",
     "PointMetrics",
     "ProgressTracker",
@@ -69,6 +71,7 @@ __all__ = [
     "default_cache_dir",
     "default_workers",
     "failure_record",
+    "gc_manifests",
     "run_sweep",
     "spmm_task",
     "wrap_failure",

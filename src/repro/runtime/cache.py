@@ -29,7 +29,11 @@ from dataclasses import dataclass
 #: v3: records carry host-performance fields (``events``,
 #: ``host_wall_s``, ``events_per_s``) and configs grew
 #: ``engine_fast_path``.
-CODE_VERSION = "runtime-v3"
+#: v4: configs grew ``degradation`` (the deterministic hardware-fault
+#: spec, serialized into the key payload like every other field) and
+#: records run under a non-trivial spec carry a ``"degradation"``
+#: provenance field.
+CODE_VERSION = "runtime-v4"
 
 
 def default_cache_dir():

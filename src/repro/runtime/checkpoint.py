@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
 
 from repro.runtime.cache import cache_key, default_cache_dir
 
@@ -95,6 +96,43 @@ class SweepCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
 
+    def compact(self):
+        """Rewrite the manifest with one line per key (housekeeping).
+
+        A long campaign appends a line per completed point per attempt
+        — resumed sweeps re-flush records that were loaded from the
+        manifest, so the file grows with every interruption while its
+        key set does not.  Compaction loads the surviving ``{key:
+        record}`` map (last line per key wins, torn lines dropped) and
+        atomically replaces the file via a same-directory temp file +
+        ``os.replace``: a crash mid-compaction leaves either the old
+        manifest or the new one, never a torn mix — the same guarantee
+        the cache's atomic writes give.
+
+        Returns the number of records kept (0 for a missing or empty
+        manifest, which is left untouched).
+        """
+        records = self.load()
+        if not records:
+            return 0
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for key in sorted(records):
+                    handle.write(json.dumps(
+                        {"key": key, "record": records[key]},
+                        sort_keys=True,
+                    ) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return len(records)
+
     def discard(self):
         """Delete the manifest (sweep completed); returns True if removed."""
         try:
@@ -105,3 +143,32 @@ class SweepCheckpoint:
 
     def __len__(self):
         return len(self.load())
+
+
+def gc_manifests(directory=None, max_age_days=14):
+    """Delete sweep manifests not touched in ``max_age_days`` days.
+
+    Completed sweeps discard their manifest, but abandoned ones (a
+    killed campaign never resumed, a grid that changed under the
+    operator) leave orphans behind forever — the manifest filename is
+    content-addressed, so nothing ever maps to them again.  Called by
+    ``repro sweep`` as routine housekeeping; errors are swallowed (a
+    vanished or unreadable file is someone else's GC racing ours).
+
+    Returns the number of manifests removed.
+    """
+    directory = pathlib.Path(directory or default_cache_dir())
+    cutoff = time.time() - max_age_days * 86400.0
+    removed = 0
+    try:
+        candidates = sorted(directory.glob("sweep-*.manifest.jsonl"))
+    except OSError:
+        return 0
+    for path in candidates:
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed

@@ -150,6 +150,22 @@ class InvariantViolation(TaskError):
         return text
 
 
+class HardwareExhausted(TaskError):
+    """The degraded fabric cannot execute the kernel at all.
+
+    Raised by :mod:`repro.piuma.degradation`-aware components when a
+    kernel's required hardware has no surviving member — every DMA
+    engine a core-side op needs is dead, or no MTP pipeline is left to
+    place threads on (see ``PIUMAConfig.degradation``).  Deterministic:
+    the spec decides which units are dead, so re-running exhausts the
+    same hardware again — never retried, like
+    :class:`SimulationDiverged`; the watchdogs remain the backstop.
+    """
+
+    kind = "exhausted"
+    retryable = False
+
+
 def wrap_failure(error, label, attempts):
     """Normalize any exception into a context-annotated :class:`TaskError`.
 

@@ -127,6 +127,19 @@ class SpMMTask:
         merged["check_level"] = level
         return replace(self, overrides=tuple(sorted(merged.items())))
 
+    def with_degradation(self, spec):
+        """Copy of this task running on a degraded fabric.
+
+        Merges ``degradation=spec`` into the override tuple (``None``
+        restores the healthy fabric).  The spec is a frozen
+        all-primitive dataclass serialized into ``key_payload`` with
+        the rest of the config, so healthy and degraded records can
+        never collide in the cache or the checkpoint manifest.
+        """
+        merged = dict(self.overrides)
+        merged["degradation"] = spec
+        return replace(self, overrides=tuple(sorted(merged.items())))
+
     def label(self):
         knobs = " ".join(f"{k}={v}" for k, v in self.overrides)
         return (f"{self.dataset}/{self.kernel} K={self.embedding_dim}"
@@ -167,7 +180,7 @@ class SpMMTask:
             window_edges=self.window_edges,
         )
         model = spmm_model(adj.n_rows, adj.nnz, self.embedding_dim, config)
-        return {
+        record = {
             "n_vertices": int(adj.n_rows),
             "n_edges": int(adj.nnz),
             "embedding_dim": int(self.embedding_dim),
@@ -193,6 +206,12 @@ class SpMMTask:
             },
             "source": "simulation",
         }
+        if config.degradation is not None:
+            # Provenance next to "source": a record measured on a
+            # degraded fabric must say so wherever it travels (cache,
+            # checkpoint manifest, figures, CLI tables).
+            record["degradation"] = asdict(config.degradation)
+        return record
 
     def fallback_record(self, error=None):
         """Analytical stand-in record for a point whose DES run failed.
@@ -205,8 +224,9 @@ class SpMMTask:
         from repro.piuma import spmm_model
 
         adj = _materialized(self.dataset, self.max_vertices, self.seed)
+        config = self.config()
         model = spmm_model(
-            adj.n_rows, adj.nnz, self.embedding_dim, self.config()
+            adj.n_rows, adj.nnz, self.embedding_dim, config
         )
         record = {
             "n_vertices": int(adj.n_rows),
@@ -229,6 +249,8 @@ class SpMMTask:
             "tag_stats": {},
             "source": "model_fallback",
         }
+        if config.degradation is not None:
+            record["degradation"] = asdict(config.degradation)
         if error is not None:
             record["error"] = error.payload()
         return record
@@ -327,7 +349,7 @@ class SweepReport:
 def run_sweep(tasks, workers=None, cache=None, progress=None, *,
               timeout=None, retries=0, backoff_s=0.25, backoff_cap_s=8.0,
               jitter=0.25, on_error="raise", checkpoint=None, resume=False,
-              check_level=None, sleep=time.sleep):
+              check_level=None, degradation=None, sleep=time.sleep):
     """Run every task; returns a :class:`SweepReport`.
 
     Parameters
@@ -381,6 +403,14 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         an :class:`~repro.runtime.errors.InvariantViolation` is
         deterministic and therefore never retried, like
         ``SimulationDiverged``.
+    degradation:
+        When not ``None``, a
+        :class:`~repro.piuma.degradation.DegradationSpec` applied to
+        every task (``task.with_degradation``) — the whole sweep runs
+        on the same degraded fabric.  The spec lands in each task's
+        cache key and its records' ``"degradation"`` provenance field;
+        a :class:`~repro.runtime.errors.HardwareExhausted` point is
+        deterministic and never retried.
     sleep:
         Injectable delay function (tests).
     """
@@ -389,6 +419,12 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         tasks = [
             task.with_check_level(check_level)
             if hasattr(task, "with_check_level") else task
+            for task in tasks
+        ]
+    if degradation is not None:
+        tasks = [
+            task.with_degradation(degradation)
+            if hasattr(task, "with_degradation") else task
             for task in tasks
         ]
     if on_error not in ON_ERROR_POLICIES:
@@ -665,6 +701,16 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
             # Abnormal exit (on_error="raise" mid-flight) may leave
             # running workers; kill only then, else close gracefully.
             _shutdown_pool(kill=bool(inflight))
+
+    if checkpoint is not None:
+        # The sweep ran to completion: compact the append-only manifest
+        # so interrupted-and-resumed campaigns do not grow it without
+        # bound (one line per surviving key; crash-safe via rename).
+        # The CLI discards the manifest entirely when nothing failed.
+        try:
+            checkpoint.compact()
+        except (OSError, AttributeError):
+            pass
 
     return SweepReport(
         tasks=tasks,

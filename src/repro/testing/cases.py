@@ -18,6 +18,7 @@ from dataclasses import asdict, dataclass, replace
 
 from repro.graphs.rmat import GRAPH500, RMATParams, rmat_graph
 from repro.piuma.config import PIUMAConfig
+from repro.piuma.degradation import DegradationSpec
 
 #: Knob pools the generator draws from.  Deliberately spans both
 #: bandwidth-bound (dma, large K) and latency-bound (loop, small K)
@@ -34,6 +35,25 @@ _POOLS = {
     "dram_bandwidth_scale": (0.5, 1.0, 2.0),
     "window_edges": (1024, 2048),
 }
+
+#: Degradation specs a case may carry.  Drawn *after* every knob in
+#: ``_POOLS`` and after ``graph_seed`` — a separate trailing draw, so
+#: adding this axis changed no previously generated case — and mostly
+#: ``None`` (the healthy fabric stays the dominant regime the envelopes
+#: are calibrated on).  The degraded entries are mild single-axis
+#: specs: fractions and intensities small enough that the kernels
+#: complete and the differential oracle's bit-identity leg is the check
+#: that matters (the Eq.5 envelopes are only applied to healthy cases).
+_DEGRADATION_POOL = (
+    None, None, None, None, None, None,
+    DegradationSpec(degraded_link_fraction=0.25, link_latency_scale=2.0),
+    DegradationSpec(degraded_slice_fraction=0.25,
+                    slice_bandwidth_derate=0.75),
+    DegradationSpec(stall_slice_fraction=0.25, stall_period_ns=20000.0,
+                    stall_duration_ns=500.0),
+    DegradationSpec(flaky_dma_fraction=0.25, dma_fail_period=32,
+                    dma_retry_backoff_ns=100.0),
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +72,10 @@ class ConformanceCase:
     dram_latency_ns: float
     dram_bandwidth_scale: float
     window_edges: int
+    #: Optional hardware-fault spec (``None`` = healthy fabric).
+    #: Appended after the original fields so positional construction
+    #: of historical cases is unchanged.
+    degradation: DegradationSpec | None = None
 
     def config(self, check_level=0, engine_fast_path=True, **overrides):
         """The :class:`PIUMAConfig` this case runs under."""
@@ -62,6 +86,7 @@ class ConformanceCase:
             "dram_bandwidth_scale": self.dram_bandwidth_scale,
             "check_level": check_level,
             "engine_fast_path": engine_fast_path,
+            "degradation": self.degradation,
         }
         fields.update(overrides)
         return PIUMAConfig(**fields)
@@ -87,6 +112,10 @@ class ConformanceCase:
 
     @classmethod
     def from_json(cls, data):
+        degradation = data.get("degradation")
+        if isinstance(degradation, dict):
+            data = dict(data)
+            data["degradation"] = DegradationSpec(**degradation)
         return cls(**data)
 
 
@@ -107,10 +136,15 @@ def generate_cases(n, seed=0):
     for index in range(n):
         rng = random.Random(f"{seed}:{index}")
         knobs = {key: rng.choice(pool) for key, pool in _POOLS.items()}
+        graph_seed = rng.randrange(1 << 16)
+        # Drawn last, after every historical knob, so the degradation
+        # axis changed no previously generated case population.
+        degradation = rng.choice(_DEGRADATION_POOL)
         cases.append(
             ConformanceCase(
                 name=f"case{index:03d}-s{seed}",
-                graph_seed=rng.randrange(1 << 16),
+                graph_seed=graph_seed,
+                degradation=degradation,
                 **knobs,
             )
         )
@@ -129,6 +163,11 @@ def _shrink_candidates(case):
     def emit(**changes):
         candidates.append(replace(case, **changes))
 
+    if case.degradation is not None:
+        # Try the healthy fabric first: a failure that survives without
+        # the fault spec is a plain engine bug, which is the simpler
+        # (and more alarming) reproduction.
+        emit(degradation=None)
     if case.scale > 6:
         emit(scale=case.scale - 1)
     if case.edge_factor > 2:

@@ -1,0 +1,132 @@
+"""Checkpoint-manifest housekeeping: compaction and garbage collection.
+
+A long campaign appends one manifest line per completed point per
+attempt, so resumed sweeps grow the file without growing its key set;
+abandoned campaigns leave content-addressed orphans nothing will ever
+map to again.  ``SweepCheckpoint.compact`` rewrites the manifest to
+one line per key via an atomic same-directory replace (crash leaves
+either the old file or the new one, never a torn mix), and
+``gc_manifests`` reaps manifests untouched for ``max_age_days``.
+"""
+
+import json
+import os
+import time
+
+from repro.runtime import SweepCheckpoint, gc_manifests, run_sweep, spmm_task
+
+
+def _flush_n(checkpoint, pairs):
+    for key, record in pairs:
+        checkpoint.flush(key, record)
+
+
+class TestCompact:
+    def test_compacts_to_one_line_per_key(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-x.manifest.jsonl")
+        _flush_n(cp, [("a", {"v": 1}), ("b", {"v": 2}),
+                      ("a", {"v": 1}), ("a", {"v": 3})])
+        assert len(cp.path.read_text().splitlines()) == 4
+        assert cp.compact() == 2
+        lines = cp.path.read_text().splitlines()
+        assert len(lines) == 2
+        # Last write per key wins, exactly as load() resolves it.
+        assert cp.load() == {"a": {"v": 3}, "b": {"v": 2}}
+
+    def test_missing_or_empty_manifest_is_a_noop(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-y.manifest.jsonl")
+        assert cp.compact() == 0
+        assert not cp.exists()
+        cp.path.write_text("")
+        assert cp.compact() == 0
+
+    def test_drops_torn_tail(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-z.manifest.jsonl")
+        cp.flush("a", {"v": 1})
+        with open(cp.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "rec')  # writer died mid-append
+        assert cp.compact() == 1
+        assert cp.load() == {"a": {"v": 1}}
+
+    def test_leaves_no_temp_file_behind(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-t.manifest.jsonl")
+        cp.flush("a", {"v": 1})
+        cp.compact()
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert not leftovers
+
+    def test_crash_during_compaction_preserves_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        """A failed atomic replace must leave the old manifest intact
+        (and clean up its temp file) rather than tearing the file."""
+        cp = SweepCheckpoint(tmp_path / "sweep-c.manifest.jsonl")
+        _flush_n(cp, [("a", {"v": 1}), ("a", {"v": 2})])
+        before = cp.path.read_text()
+
+        def exploding_replace(_src, _dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        cp.compact()
+        assert cp.path.read_text() == before
+        assert cp.load() == {"a": {"v": 2}}
+        assert not [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+
+    def test_stale_temp_from_a_dead_compactor_is_ignored(self, tmp_path):
+        """A temp file orphaned by a killed process must not corrupt a
+        later load or compaction."""
+        cp = SweepCheckpoint(tmp_path / "sweep-s.manifest.jsonl")
+        cp.flush("a", {"v": 1})
+        orphan = cp.path.with_name(cp.path.name + ".tmp.99999")
+        orphan.write_text('{"key": "ghost", "record": {"v": 0}}\n')
+        assert cp.load() == {"a": {"v": 1}}
+        assert cp.compact() == 1
+        assert cp.load() == {"a": {"v": 1}}
+
+    def test_run_sweep_compacts_on_completion(self, tmp_path):
+        """A completed sweep's manifest holds one line per point, even
+        when the run re-flushed resumed records."""
+        tasks = [
+            spmm_task("products", k, max_vertices=512, seed=0,
+                      window_edges=512, n_cores=1)
+            for k in (8, 16)
+        ]
+        checkpoint = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        run_sweep(tasks, workers=1, checkpoint=checkpoint)
+        # Resume re-flushes the two restored records into the manifest,
+        # then the completed sweep compacts them away again.
+        report = run_sweep(tasks, workers=1, checkpoint=checkpoint,
+                           resume=True)
+        assert report.resumed == 2
+        lines = checkpoint.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert {json.loads(line)["key"] for line in lines} == \
+            set(checkpoint.load())
+
+
+class TestGcManifests:
+    def test_reaps_only_old_manifests(self, tmp_path):
+        old = tmp_path / "sweep-old.manifest.jsonl"
+        new = tmp_path / "sweep-new.manifest.jsonl"
+        bystander = tmp_path / "notes.jsonl"
+        for path in (old, new, bystander):
+            path.write_text("{}\n")
+        stale = time.time() - 30 * 86400
+        os.utime(old, (stale, stale))
+        os.utime(bystander, (stale, stale))
+        assert gc_manifests(directory=tmp_path, max_age_days=14) == 1
+        assert not old.exists()
+        assert new.exists()
+        assert bystander.exists()
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        assert gc_manifests(directory=tmp_path / "nope") == 0
+
+    def test_zero_age_reaps_everything(self, tmp_path):
+        path = tmp_path / "sweep-a.manifest.jsonl"
+        path.write_text("{}\n")
+        stale = time.time() - 60
+        os.utime(path, (stale, stale))
+        assert gc_manifests(directory=tmp_path, max_age_days=0) == 1
+        assert not path.exists()
