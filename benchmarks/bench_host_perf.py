@@ -1,23 +1,40 @@
-"""Host performance of the DES engine: fast path vs reference path.
+"""Host performance of the DES engine across its backends.
 
 This bench measures how fast the *simulator itself* runs on the host
 (events per wall-clock second), not anything about PIUMA.  It executes
-the Fig 5 medium point (`products` window, K=256, 8 cores) through both
-main loops:
+the Fig 5 medium point (`products` window, K=256, 8 cores) through
+every main-loop / event-scheduler combination the engine ships:
 
-* the **fast path** (``engine_fast_path=True``, default): peek-ahead
-  continuation, type-dispatch with a fused DMA closure, per-op
-  execution plans, timeline compaction;
+* the **fast path** over the binary heap (``engine_fast_path=True``,
+  ``scheduler="heap"`` — both defaults): peek-ahead continuation,
+  type-dispatch with a fused DMA closure, per-op execution plans,
+  timeline compaction, fused ``heappushpop`` switch;
+* the **fast path** over the **calendar queue**
+  (``scheduler="calendar"``): same loop semantics over the bucketed
+  ring (Brown 1988) with lazy overflow spill and dynamic width
+  retuning;
 * the **reference path** (``engine_fast_path=False``): the plain
   pop/execute/push loop kept as the semantics oracle.
 
-Both must produce bit-identical simulation results (also enforced by
-``tests/piuma/test_engine_fastpath.py``); here the bench additionally
-asserts the fast path actually pays for itself.  Thresholds are
-*relative* to the reference loop measured in the same process, so the
-guard is machine-independent and tolerant of slow CI hosts; the
-absolute numbers (and the recorded pre-PR baseline) go into
+All combinations must produce bit-identical simulation results (also
+enforced by ``tests/piuma/test_engine_fastpath.py`` and
+``tests/piuma/test_scheduler.py``); here the bench additionally guards
+the performance relationships.  Thresholds are *relative* ratios
+measured in the same process, so the guards are machine-independent
+and tolerant of slow CI hosts; the absolute per-backend columns (and
+the recorded pre-PR baseline) go into
 ``benchmarks/out/BENCH_host_perf.json`` for eyeballing trends.
+
+On the calendar backend's expectations, honestly: at this point's
+queue population (~500 entries, one per runnable thread) CPython's
+C-implemented ``heappushpop`` is only a few percent of the per-event
+cost, so the pure-Python bucket ring cannot beat it — measured
+~0.82-0.87x of the heap-backed fast path.  The guard therefore asserts
+the calendar backend stays within a defensible floor of the heap
+(no pathological regression — a broken cursor scan shows up as 10x,
+not 15%), not that it wins.  Its O(1)-amortized structure is the
+asset: the ratio column exists so a future larger-population workload
+(or a compiled queue) can be judged against recorded history.
 
 The reference loop shares the kernel-side optimizations (op interning,
 vectorized owner-core resolution, memoized topology tables), so the
@@ -50,16 +67,22 @@ PRE_PR_BASELINE = {
               "products 16384/seed7 K=256 n_cores=8",
 }
 
+#: Loop x scheduler combinations benched, in report order.
+BACKENDS = (
+    ("fast", dict(engine_fast_path=True, scheduler="heap")),
+    ("fast-calendar", dict(engine_fast_path=True, scheduler="calendar")),
+    ("reference", dict(engine_fast_path=False, scheduler="heap")),
+)
 
-def _best_run(adj, fast_path, check_level=0):
+
+def _best_run(adj, check_level=0, **backend):
     """Best-of-ROUNDS simulation; returns (result, best host seconds)."""
     best = None
     result = None
     for _ in range(ROUNDS):
         r = simulate_spmm(
             adj, K, PIUMAConfig(
-                n_cores=N_CORES, engine_fast_path=fast_path,
-                check_level=check_level,
+                n_cores=N_CORES, check_level=check_level, **backend
             )
         )
         if best is None or r.host_wall_s < best:
@@ -68,34 +91,47 @@ def _best_run(adj, fast_path, check_level=0):
     return result, best
 
 
+def _signature(result):
+    return (
+        result.sim_time_ns, result.gflops, result.memory_utilization,
+        result.achieved_bandwidth, result.events, result.tag_stats,
+    )
+
+
 def test_host_perf(emit):
     adj = get_dataset("products").materialize(**{
         "max_vertices": PRODUCTS_WINDOW["max_vertices"],
         "seed": PRODUCTS_WINDOW["seed"],
     })
     started = time.perf_counter()
-    fast, fast_s = _best_run(adj, fast_path=True)
-    ref, ref_s = _best_run(adj, fast_path=False)
-    checked, checked_s = _best_run(adj, fast_path=True, check_level=1)
+    runs = {
+        name: _best_run(adj, **backend) for name, backend in BACKENDS
+    }
+    checked, checked_s = _best_run(
+        adj, check_level=1, engine_fast_path=True, scheduler="heap"
+    )
     wall = time.perf_counter() - started
 
-    # Bit-identical simulation results on both paths.
-    assert fast.sim_time_ns == ref.sim_time_ns
-    assert fast.gflops == ref.gflops
-    assert fast.tag_stats == ref.tag_stats
-    assert fast.memory_utilization == ref.memory_utilization
-    assert fast.achieved_bandwidth == ref.achieved_bandwidth
-    assert fast.events == ref.events
+    # Bit-identical simulation results on every backend combination.
+    fast, fast_s = runs["fast"]
+    for name, (result, _s) in runs.items():
+        assert _signature(result) == _signature(fast), (
+            f"{name} backend diverged from the fast path"
+        )
 
     # The sanitizer observes, it never perturbs: level 1 must be
     # bit-identical to the unchecked run.
-    assert checked.sim_time_ns == fast.sim_time_ns
-    assert checked.gflops == fast.gflops
-    assert checked.events == fast.events
+    assert _signature(checked) == _signature(fast)
 
-    fast_evs = fast.events / fast_s
-    ref_evs = ref.events / ref_s
+    columns = {
+        name: {"host_wall_s": s, "events_per_s": result.events / s}
+        for name, (result, s) in runs.items()
+    }
+    fast_evs = columns["fast"]["events_per_s"]
+    cal_evs = columns["fast-calendar"]["events_per_s"]
+    ref_evs = columns["reference"]["events_per_s"]
     vs_ref = fast_evs / ref_evs
+    cal_vs_fast = cal_evs / fast_evs
     vs_pre_pr = fast_evs / PRE_PR_BASELINE["events_per_s"]
     check_overhead = checked_s / fast_s
 
@@ -109,14 +145,14 @@ def test_host_perf(emit):
         },
         "events": fast.events,
         "sim_time_ns": fast.sim_time_ns,
-        "fast": {"host_wall_s": fast_s, "events_per_s": fast_evs},
-        "reference": {"host_wall_s": ref_s, "events_per_s": ref_evs},
+        **columns,
         "checked_level1": {
             "host_wall_s": checked_s,
             "events_per_s": checked.events / checked_s,
         },
         "check_level1_overhead": check_overhead,
         "fast_vs_reference": vs_ref,
+        "calendar_vs_fast": cal_vs_fast,
         "pre_pr_baseline": PRE_PR_BASELINE,
         "fast_vs_pre_pr": vs_pre_pr,
         "bench_wall_s": wall,
@@ -125,16 +161,23 @@ def test_host_perf(emit):
     path = OUT_DIR / "BENCH_host_perf.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
+    cal_s = columns["fast-calendar"]["host_wall_s"]
+    ref_s = columns["reference"]["host_wall_s"]
     emit(
         "host_perf",
         "\n".join([
             f"point: products {PRODUCTS_WINDOW} K={K} n_cores={N_CORES} "
             f"({fast.events:,} DES events)",
-            f"fast path:      {fast_s:.4f}s  ({fast_evs:,.0f} events/s)",
-            f"reference path: {ref_s:.4f}s  ({ref_evs:,.0f} events/s)",
-            f"check_level=1:  {checked_s:.4f}s  "
+            f"fast path (heap):     {fast_s:.4f}s  "
+            f"({fast_evs:,.0f} events/s)",
+            f"fast path (calendar): {cal_s:.4f}s  "
+            f"({cal_evs:,.0f} events/s)",
+            f"reference path:       {ref_s:.4f}s  "
+            f"({ref_evs:,.0f} events/s)",
+            f"check_level=1:        {checked_s:.4f}s  "
             f"({check_overhead:.3f}x the unchecked fast path)",
             f"fast vs reference: {vs_ref:.2f}x",
+            f"calendar vs fast-heap: {cal_vs_fast:.2f}x",
             f"fast vs pre-PR engine (recorded "
             f"{PRE_PR_BASELINE['events_per_s']:,} ev/s): {vs_pre_pr:.2f}x",
             f"[written to {path}]",
@@ -151,6 +194,17 @@ def test_host_perf(emit):
     assert vs_ref >= 1.05, (
         f"fast path only {vs_ref:.2f}x the reference loop "
         f"({fast_evs:,.0f} vs {ref_evs:,.0f} events/s)"
+    )
+
+    # The calendar backend measures ~0.82-0.87x of the heap-backed fast
+    # path here (see the module docstring for why it cannot win at this
+    # queue population).  0.70x is the tripwire for a *structural*
+    # regression — a broken cursor scan or runaway retune degrades the
+    # queue to O(n) probes and lands far below it.
+    assert cal_vs_fast >= 0.70, (
+        f"calendar backend at {cal_vs_fast:.2f}x the heap-backed fast "
+        f"path ({cal_evs:,.0f} vs {fast_evs:,.0f} events/s) — "
+        "pathological scheduler regression"
     )
 
     # The level-1 sanitizer promises <10% hot-loop overhead (DESIGN.md,

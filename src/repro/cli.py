@@ -63,6 +63,10 @@ def _build_parser():
     simulate.add_argument("--threads-per-mtp", type=int, default=16)
     simulate.add_argument("--max-vertices", type=int, default=16384,
                           help="down-scale the graph to this many vertices")
+    simulate.add_argument("--scheduler", choices=("heap", "calendar"),
+                          default="heap",
+                          help="event-scheduler backend of the DES loop "
+                               "(bit-identical results; host speed only)")
     simulate.add_argument("--no-cache", action="store_true",
                           help="bypass the on-disk result cache")
 
@@ -116,6 +120,11 @@ def _build_parser():
     sweep.add_argument("--profile", action="store_true",
                        help="report host DES throughput (events/s) and "
                             "the slowest computed points")
+    sweep.add_argument("--scheduler", choices=("heap", "calendar"),
+                       default=None,
+                       help="run every point on this event-scheduler "
+                            "backend (bit-identical results; records "
+                            "carry a \"scheduler\" provenance field)")
     sweep.add_argument("--degrade", default=None, metavar="SPEC",
                        help="run the whole grid on a degraded fabric: a "
                             "preset name (mild, moderate, severe, links, "
@@ -146,6 +155,10 @@ def _build_parser():
                             choices=(0, 1, 2),
                             help="invariant sanitizer level armed inside "
                                  "every point (default 1)")
+    resilience.add_argument("--scheduler", choices=("heap", "calendar"),
+                            default="heap",
+                            help="event-scheduler backend for the curve "
+                                 "(bit-identical results)")
     resilience.add_argument("--verify-engines", action="store_true",
                             help="additionally run every point through the "
                                  "reference engine and require bit-identity")
@@ -168,7 +181,9 @@ def _build_parser():
                        help="seeded conformance cases to generate")
     check.add_argument("--seed", type=int, default=0,
                        help="case-population seed")
-    check.add_argument("--engine", choices=("fast", "reference", "both"),
+    check.add_argument("--engine",
+                       choices=("fast", "reference", "calendar",
+                                "both", "all"),
                        default="both",
                        help="engine path(s) to run (default both)")
     check.add_argument("--no-metamorphic", action="store_true",
@@ -314,6 +329,7 @@ def _cmd_simulate(args, out):
         dram_latency_ns=args.latency_ns,
         dram_bandwidth_scale=args.bandwidth_scale,
         threads_per_mtp=args.threads_per_mtp,
+        scheduler=args.scheduler,
     )
     cache = ResultCache(enabled=not args.no_cache)
     report = run_sweep([task], workers=1, cache=cache)
@@ -391,6 +407,10 @@ def _cmd_sweep(args, out):
         # never shares a manifest (or cache records) with a healthy one.
         spec = _resolve_degradation(args.degrade)
         tasks = [task.with_degradation(spec) for task in tasks]
+    if args.scheduler:
+        # Same ordering rule as --degrade: the backend is part of each
+        # task's identity (cache key + checkpoint manifest).
+        tasks = [task.with_scheduler(args.scheduler) for task in tasks]
     cache = ResultCache(directory=args.cache_dir,
                         enabled=not args.no_cache)
     if args.clear_cache:
@@ -445,6 +465,9 @@ def _cmd_sweep(args, out):
     if args.degrade:
         out(f"degraded fabric: --degrade {args.degrade} (records carry "
             "a \"degradation\" provenance field)")
+    if args.scheduler:
+        out(f"event scheduler: --scheduler {args.scheduler} "
+            "(bit-identical results; host speed only)")
     # The sweep ran to completion (possibly degraded): its manifest has
     # served its purpose.  Failed points are deliberately not recorded
     # in it, so a later --resume rerun would retry exactly those.
@@ -481,6 +504,7 @@ def _cmd_resilience(args, out):
             args.dataset, args.hidden, kernel=args.kernel,
             max_vertices=args.max_vertices, seed=args.seed,
             n_cores=args.cores, engine_fast_path=fast_path,
+            scheduler=args.scheduler,
         )
         if severity > 0.0:
             task = task.with_degradation(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.piuma.degradation import DegradationSpec
+from repro.piuma.scheduler import SCHEDULERS
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,15 @@ class PIUMAConfig:
     #: performance").
     engine_fast_path: bool = True
 
+    #: Event-scheduler backend of the DES main loops
+    #: (``repro.piuma.scheduler``): ``"heap"`` (default) drives the
+    #: original ``heapq`` binary heap, ``"calendar"`` a calendar queue —
+    #: a bucketed ring indexed by quantized timestamp with lazy overflow
+    #: spill and dynamic width retuning.  Composes with
+    #: :attr:`engine_fast_path`; every (loop, scheduler) combination is
+    #: bit-identical in results and event accounting.
+    scheduler: str = "heap"
+
     #: Runtime invariant sanitizer level (``repro.piuma.invariants``):
     #: 0 disables all checking (the default — zero overhead), 1 enables
     #: the cheap per-event checks (event-time monotonicity, thread
@@ -143,6 +153,11 @@ class PIUMAConfig:
             raise ValueError("watchdog ceilings must be non-negative")
         if self.check_level not in (0, 1, 2):
             raise ValueError("check_level must be 0, 1, or 2")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, "
+                f"got {self.scheduler!r}"
+            )
         if self.degradation is not None and not isinstance(
             self.degradation, DegradationSpec
         ):

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from bisect import insort
 from collections import defaultdict
 
 from repro.piuma.degradation import DegradationModel
@@ -46,6 +47,7 @@ from repro.piuma.ops import (
 )
 from repro.piuma.invariants import InvariantChecker
 from repro.piuma.resources import DRAMSlice, FluidResource
+from repro.piuma.scheduler import make_scheduler
 from repro.runtime.errors import HardwareExhausted, SimulationDiverged
 
 
@@ -153,7 +155,12 @@ class Simulator:
         self.setup_end = 0.0  # latest PhaseMarker across threads
         self.events = 0
         self.host_wall_s = 0.0
-        self._heap = []
+        # Event-scheduler backend (repro.piuma.scheduler).  Both main
+        # loops and the sanitizer talk to it through push/pop/peek;
+        # `_heap` stays bound to the heap backend's raw entry list so
+        # the fast-path loop keeps its fused heappushpop switch.
+        self._scheduler = make_scheduler(config.scheduler)
+        self._heap = getattr(self._scheduler, "entries", [])
         self._seq = 0
         self._threads = []
         # Memoized topology tables: stripe-target core lists and the
@@ -204,7 +211,7 @@ class Simulator:
         self._push(0.0, idx, None)
 
     def _push(self, when, idx, value):
-        heapq.heappush(self._heap, (when, self._seq, idx, value))
+        self._scheduler.push((when, self._seq, idx, value))
         self._seq += 1
 
     # -- op execution ----------------------------------------------------------
@@ -574,15 +581,19 @@ class Simulator:
         :class:`~repro.runtime.errors.SimulationDiverged` instead of
         spinning forever on a buggy kernel or pathological point.
 
-        ``PIUMAConfig.engine_fast_path`` selects the loop: the fast
+        ``PIUMAConfig.engine_fast_path`` selects the loop and
+        ``PIUMAConfig.scheduler`` the event-queue backend: the fast
         path (default) and the reference path produce bit-identical
-        results; the reference path exists as the escape hatch and the
-        differential-test oracle.
+        results under either scheduler; the reference path exists as
+        the escape hatch and the differential-test oracle.
         """
         started = time.perf_counter()
         try:
             if self.config.engine_fast_path:
-                result = self._run_fast()
+                if self.config.scheduler == "calendar":
+                    result = self._run_calendar()
+                else:
+                    result = self._run_fast()
             else:
                 result = self._run_reference()
             if self.checker is not None:
@@ -715,20 +726,194 @@ class Simulator:
         self.end_time = latest + cfg.launch_overhead_ns
         return self.end_time
 
+    def _run_calendar(self):
+        """Calendar-queue main loop (``scheduler="calendar"`` fast path).
+
+        Same peek-ahead thread continuation and event accounting as
+        ``_run_fast``, with the binary heap replaced by the calendar
+        queue's bucket ring (see ``repro.piuma.scheduler``).  The ring
+        internals are bound to locals; the rare slow paths — overflow
+        migration, year jumps, width retuning — drop into the
+        ``CalendarQueue`` methods and re-sync.
+
+        Where ``_run_fast`` fuses its switch into ``heappushpop``, this
+        loop caches the queue head: after each pop it scans forward for
+        the *next* head (a peek), drives the popped thread against that
+        bound, and on a switch pushes the running thread's entry and
+        consumes the cached head.  The pushed entry can never precede
+        the cached head (its resume time is >= the head's, and on a tie
+        its sequence number is larger), so the global event order — and
+        with it every result bit — matches both other loops exactly.
+
+        The width retune runs at the same ``events & 2047`` boundary as
+        DRAM-timeline compaction and is equally result-transparent: it
+        re-buckets the queued population without reordering it.
+        """
+        cfg = self.config
+        q = self._scheduler
+        threads = self._threads
+        slices = self.slices
+        execute = self._execute if "_execute" in self.__dict__ else None
+        dispatch_get = self._dispatch.get
+        heappush = heapq.heappush
+        inf = float("inf")
+        max_events = cfg.max_events or inf
+        max_sim_ns = cfg.max_sim_ns or inf
+        stall_limit = cfg.stall_events or inf
+        latest = 0.0
+        events = 0
+        stalled = 0
+        last_now = -1.0
+        seq = self._seq
+        # Ring internals as locals (re-synced around queue method calls;
+        # `buckets` and `overflow` are the queue's own mutable objects,
+        # re-read only after a rebuild replaces them).
+        buckets = q.buckets
+        mask = q.mask
+        inv_width = q.inv_width
+        cur = q.cur
+        year_end = q.year_end
+        ring = q.ring_size
+        overflow = q.overflow
+        try:
+            # Prime the cached head (a peek — the entry stays queued).
+            if ring or overflow:
+                q.cur, q.ring_size = cur, ring
+                head_b, head_e = q._seek()
+                cur, year_end, ring = q.cur, q.year_end, q.ring_size
+                hw = head_e[0]
+            else:
+                head_e = None
+            while head_e is not None:
+                now, _seq, idx, value = head_e
+                del head_b[0]
+                ring -= 1
+                # Scan forward from the cursor for the new head.  The
+                # common case qualifies within a probe or two; crossing
+                # the year horizon drops to the queue's slow path
+                # (overflow migration / global-minimum jump).
+                if ring:
+                    i = cur
+                    while True:
+                        b = buckets[i & mask]
+                        if b:
+                            e = b[0]
+                            if int(e[0] * inv_width) <= i:
+                                cur = i
+                                head_b, head_e, hw = b, e, e[0]
+                                break
+                        i += 1
+                        if i >= year_end:
+                            q.cur, q.ring_size = i, ring
+                            head_b, head_e = q._seek()
+                            cur, year_end = q.cur, q.year_end
+                            ring = q.ring_size
+                            hw = head_e[0]
+                            break
+                elif overflow:
+                    q.cur, q.ring_size = cur, ring
+                    head_b, head_e = q._seek()
+                    cur, year_end, ring = q.cur, q.year_end, q.ring_size
+                    hw = head_e[0]
+                else:
+                    head_e = None
+                    hw = inf
+                generator, core, mtp = threads[idx]
+                while True:
+                    events += 1
+                    if not events & 2047:
+                        # Same boundary as _run_fast: retire dead DRAM
+                        # timeline history, then let the queue re-fit
+                        # its bucket geometry to the observed deltas.
+                        cutoff = now - 1.0
+                        for s in slices:
+                            s.retire_before(cutoff)
+                        q.cur, q.ring_size = cur, ring
+                        if q.retune():
+                            buckets = q.buckets
+                            mask = q.mask
+                            inv_width = q.inv_width
+                            overflow = q.overflow
+                            year_end = q.year_end
+                            cur = q.cur
+                            ring = q.ring_size
+                            if head_e is not None:
+                                # Same minimal entry, new bucket list.
+                                head_b, head_e = q._seek()
+                                cur, year_end = q.cur, q.year_end
+                                ring = q.ring_size
+                    if events > max_events:
+                        raise self._diverged_events(events, now)
+                    if now > max_sim_ns:
+                        raise self._diverged_sim_ns(now)
+                    if now == last_now:
+                        stalled += 1
+                        if stalled > stall_limit:
+                            raise self._diverged_stall(stalled, now)
+                    else:
+                        stalled = 0
+                        last_now = now
+                    try:
+                        op = generator.send(value)
+                    except StopIteration:
+                        if now > latest:
+                            latest = now
+                        break
+                    if execute is None:
+                        handler = dispatch_get(op.__class__)
+                        if handler is None:
+                            raise TypeError(f"unknown op {op!r}")
+                        resume, completion = handler(op, now, core, mtp)
+                    else:
+                        resume, completion = execute(op, now, core, mtp)
+                    if completion > latest:
+                        latest = completion
+                    if hw <= resume:
+                        # Switch: queue this thread's entry and let the
+                        # outer loop consume the cached head.  Inline
+                        # push — the engine's pops are monotone, so the
+                        # entry is never behind the cursor, and queue
+                        # size is capped by the thread count, so the
+                        # growth check is dead weight here.
+                        entry = (resume, seq, idx, completion)
+                        seq += 1
+                        ab = int(resume * inv_width)
+                        if ab >= year_end:
+                            heappush(overflow, entry)
+                        else:
+                            b = buckets[ab & mask]
+                            if b and entry < b[-1]:
+                                insort(b, entry)
+                            else:
+                                b.append(entry)
+                            ring += 1
+                        break
+                    now, value = resume, completion
+        finally:
+            self._seq = seq
+            self.events = events
+            q.cur, q.ring_size = cur, ring
+        self.end_time = latest + cfg.launch_overhead_ns
+        return self.end_time
+
     def _run_reference(self):
         """The original pop/execute/push loop (``engine_fast_path=False``).
 
-        Kept verbatim as the semantics oracle: the differential suite
-        asserts the fast path reproduces this loop bit-for-bit.
+        Kept as the semantics oracle: the differential suite asserts
+        both fast loops reproduce it bit-for-bit.  It drives whichever
+        scheduler backend the config selects through the abstract
+        ``pop``/``push`` surface — no peek-ahead, no bound internals —
+        so it also oracles the calendar queue itself.
         """
         cfg = self.config
+        scheduler = self._scheduler
         latest = 0.0
         events = 0
         stalled = 0
         last_now = -1.0
         try:
-            while self._heap:
-                now, _seq, idx, value = heapq.heappop(self._heap)
+            while scheduler:
+                now, _seq, idx, value = scheduler.pop()
                 events += 1
                 if not events & 2047:
                     cutoff = now - 1.0

@@ -68,6 +68,11 @@ INVARIANTS = {
                                "spec stays silent: dead pipelines "
                                "execute nothing, dead DMA engines "
                                "accept no descriptors"),
+    "scheduler-drained": (1, "the event scheduler is empty after a "
+                             "completed run and its size counters "
+                             "match the entries physically present — "
+                             "no stranded or double-counted events in "
+                             "any backend"),
     "dma-request-conservation": (2, "DMA bytes requested by ops equal "
                                     "bytes the engines moved"),
     "dram-byte-ledger": (2, "slice bytes served equal the per-op DRAM "
@@ -215,6 +220,23 @@ class InvariantChecker:
     def after_run(self):
         """Post-run cross-checks against the completed simulator state."""
         sim = self.simulator
+        # A completed run must have consumed every queued event, and the
+        # scheduler's O(1) size counters must agree with the entries
+        # physically present (the calendar queue's bucket ring keeps a
+        # separate ring_size; drift there is the classic lost-event bug
+        # class of bucketed schedulers).
+        scheduler = getattr(sim, "_scheduler", None)
+        if scheduler is not None:
+            counted = len(scheduler)
+            present = scheduler.stranded()
+            if counted or present:
+                raise violation(
+                    "scheduler-drained",
+                    f"{type(scheduler).__name__} reports {counted} "
+                    f"queued entr{'y' if counted == 1 else 'ies'} after "
+                    f"run() with {present} physically present — "
+                    "stranded events or corrupted size accounting",
+                )
         if self.level >= 2:
             # Structural problems first: a corrupted timeline makes the
             # occupancy sums below meaningless, so attribute the failure

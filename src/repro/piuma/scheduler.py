@@ -1,0 +1,380 @@
+"""Event-scheduler backends for the DES main loops.
+
+The engine keeps one queued entry per runnable thread, each a
+``(when, seq, idx, value)`` tuple.  Tuple comparison gives the global
+event order: earliest ``when`` first, ties broken by the strictly
+increasing sequence number (FIFO among simultaneous events).  Every
+scheduler backend must pop entries in exactly that total order — the
+engines' bit-identity contract (DESIGN.md, "Host performance") rests
+on it.
+
+Two backends implement the same ``push`` / ``pop`` / ``peek`` /
+``stranded`` surface:
+
+``HeapScheduler``
+    A thin wrapper over :mod:`heapq` on a plain list.  This is the
+    original backend; the fast-path loop binds the underlying list
+    directly and keeps its fused ``heappushpop`` switch.
+
+``CalendarQueue``
+    A calendar queue (R. Brown, CACM 1988): a power-of-two ring of
+    "day" buckets indexed by quantized timestamp, ``bucket(when) =
+    int(when * inv_width) & mask``.  Pops scan forward from a cursor;
+    because DES pops are monotone in ``when``, the head is almost
+    always within a probe or two of the cursor, making both push and
+    pop O(1) amortized regardless of queue size.  Three mechanisms
+    keep it honest:
+
+    * **FIFO-within-bucket ordering** — buckets are kept sorted
+      ascending on the *full* entry tuple (``insort`` on the rare
+      out-of-order push, plain append otherwise), so equal-``when``
+      entries pop in sequence order and the ``(when, seq)`` total
+      order is preserved exactly.
+    * **Lazy overflow spill** — entries landing a full ring-revolution
+      ("year") or more ahead of the cursor go to a small binary heap
+      instead of aliasing a near-term bucket; they migrate back into
+      the ring as the cursor's year advances.
+    * **Dynamic width resizing** — :meth:`retune` re-fits the bucket
+      width to the observed inter-event deltas of the *queued
+      population* (span / population), rebuilding the ring when the
+      fitted geometry drifts more than 2x.  A rebuild reinserts the
+      sorted entry list, so it is result-transparent.
+
+Correctness does not depend on the geometry: a mis-sized ring only
+costs probes.  Bucket qualification uses the same ``int(when *
+inv_width)`` product as bucket assignment, so an entry can never be
+skipped by float rounding at a bucket boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+
+__all__ = ["SCHEDULERS", "HeapScheduler", "CalendarQueue", "make_scheduler"]
+
+#: Valid ``PIUMAConfig.scheduler`` values.
+SCHEDULERS = ("heap", "calendar")
+
+
+def make_scheduler(name):
+    """Instantiate the scheduler backend named by ``PIUMAConfig.scheduler``."""
+    if name == "calendar":
+        return CalendarQueue()
+    if name == "heap":
+        return HeapScheduler()
+    raise ValueError(
+        f"unknown scheduler backend {name!r}; expected one of {SCHEDULERS}"
+    )
+
+
+class HeapScheduler:
+    """Binary-heap backend: :mod:`heapq` over a plain entry list.
+
+    The fast-path engine loop binds :attr:`entries` directly and keeps
+    its fused ``heappushpop`` switch; this class exists so the
+    reference loop and the sanitizer talk to both backends through one
+    surface.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries = []
+
+    def push(self, entry):
+        heapq.heappush(self.entries, entry)
+
+    def pop(self):
+        return heapq.heappop(self.entries)
+
+    def peek(self):
+        return self.entries[0]
+
+    def stranded(self):
+        """Entries physically present — equals ``len`` for this backend."""
+        return len(self.entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __bool__(self):
+        return bool(self.entries)
+
+
+class CalendarQueue:
+    """Calendar-queue backend (see the module docstring for the design).
+
+    Parameters
+    ----------
+    width:
+        Initial bucket width in simulated ns.  :meth:`retune` re-fits
+        it from observed deltas; the starting value only matters until
+        the first retune.
+    min_buckets / max_buckets:
+        Power-of-two bounds on the ring size.
+
+    Attributes
+    ----------
+    resizes:
+        Ring rebuilds performed (growth or retune).
+    spills:
+        Entries diverted to the overflow heap by :meth:`push`.
+    """
+
+    __slots__ = (
+        "buckets", "n_buckets", "mask", "width", "inv_width",
+        "cur", "ring_size", "overflow", "year_end",
+        "min_buckets", "max_buckets", "resizes", "spills",
+    )
+
+    #: Mean entries per bucket :meth:`retune` aims for.  2 keeps probe
+    #: counts near 1 while bounding the ring at ~population/2 buckets.
+    TARGET_OCCUPANCY = 2.0
+
+    def __init__(self, width=1.0, min_buckets=16, max_buckets=1 << 16):
+        if width <= 0.0:
+            raise ValueError("bucket width must be positive")
+        if min_buckets & (min_buckets - 1) or max_buckets & (max_buckets - 1):
+            raise ValueError("bucket counts must be powers of two")
+        self.min_buckets = min_buckets
+        self.max_buckets = max_buckets
+        self.n_buckets = min_buckets
+        self.mask = min_buckets - 1
+        self.buckets = [[] for _ in range(min_buckets)]
+        self.width = float(width)
+        self.inv_width = 1.0 / self.width
+        self.cur = 0
+        #: First absolute bucket *beyond* the ring's horizon: pushes at
+        #: or past it spill to the overflow heap instead of aliasing a
+        #: near-term ring slot.
+        self.year_end = min_buckets
+        self.ring_size = 0
+        self.overflow = []
+        self.resizes = 0
+        self.spills = 0
+
+    # -- core surface --------------------------------------------------------
+
+    def push(self, entry):
+        """Insert ``entry``; FIFO among equal ``when`` (seq in tuple)."""
+        when = entry[0]
+        ab = int(when * self.inv_width)
+        if ab >= self.year_end:
+            heapq.heappush(self.overflow, entry)
+            self.spills += 1
+            return
+        if ab < self.cur:
+            # Defensive for non-monotone users (unit tests): a push
+            # behind the cursor pulls the cursor back so the scan
+            # revisits it.  The engine's pops are monotone, so this
+            # never fires there.
+            self.cur = ab
+        b = self.buckets[ab & self.mask]
+        # Full-tuple comparison: equal-`when` ties must order by seq
+        # (comparison never reaches the payload — seq is unique).
+        if b and entry < b[-1]:
+            insort(b, entry)
+        else:
+            b.append(entry)
+        self.ring_size += 1
+        if (self.ring_size > self.n_buckets << 1
+                and self.n_buckets < self.max_buckets):
+            self._rebuild(self.width, self.n_buckets << 1)
+
+    def pop(self):
+        """Remove and return the globally minimal entry."""
+        b, entry = self._seek()
+        del b[0]
+        self.ring_size -= 1
+        return entry
+
+    def peek(self):
+        """The globally minimal entry, without removing it."""
+        return self._seek()[1]
+
+    def stranded(self):
+        """Entries physically present in ring + overflow.
+
+        Cross-checks the O(1) size counters: a hot loop that corrupts
+        ``ring_size`` shows up as ``stranded() != len(queue)``, which
+        the ``scheduler-drained`` invariant asserts post-run.
+        """
+        return sum(len(b) for b in self.buckets) + len(self.overflow)
+
+    def __len__(self):
+        return self.ring_size + len(self.overflow)
+
+    def __bool__(self):
+        return bool(self.ring_size or self.overflow)
+
+    # -- ring maintenance ----------------------------------------------------
+
+    def _seek(self):
+        """Advance the cursor to the head bucket; returns ``(bucket, entry)``.
+
+        The scan probes ring slots forward from the cursor.  A bucket's
+        first entry qualifies only if it belongs to day ``i`` or
+        earlier (``int(when * inv_width) <= i`` — the exact product
+        used by assignment, so boundary rounding cannot skip it);
+        later-year aliases in the same slot stay queued.  Crossing
+        ``year_end`` migrates due overflow entries first; a fruitless
+        full revolution jumps straight to the global minimum.
+        """
+        if not self.ring_size:
+            if not self.overflow:
+                raise IndexError("pop from an empty CalendarQueue")
+            ab = int(self.overflow[0][0] * self.inv_width)
+            self.cur = ab
+            self._migrate(ab + self.n_buckets)
+        buckets = self.buckets
+        mask = self.mask
+        inv_width = self.inv_width
+        i = self.cur
+        budget = self.n_buckets
+        while True:
+            if i >= self.year_end:
+                self._migrate(i + self.n_buckets)
+            b = buckets[i & mask]
+            if b:
+                entry = b[0]
+                if int(entry[0] * inv_width) <= i:
+                    self.cur = i
+                    return b, entry
+            i += 1
+            budget -= 1
+            if budget < 0:
+                i = self._jump_min()
+                budget = self.n_buckets
+
+
+    def _jump_min(self):
+        """Point the cursor at the ring's global minimum; returns its day.
+
+        Only called with a non-empty ring.  Ring entries always precede
+        overflow entries (overflow holds ``day >= year_end``; ring
+        holds ``day < year_end``), so the ring minimum is the global
+        minimum.
+        """
+        best = None
+        for b in self.buckets:
+            if b and (best is None or b[0] < best):
+                best = b[0]
+        ab = int(best[0] * self.inv_width)
+        self.cur = ab
+        return ab
+
+    def _migrate(self, horizon):
+        """Advance ``year_end`` to ``horizon``, spilling overflow back in.
+
+        Lazy half of the overflow mechanism: entries whose day has come
+        within the new horizon rejoin the ring (heap pops arrive in
+        ``(when, seq)`` order, so appends preserve FIFO within each
+        bucket).
+        """
+        overflow = self.overflow
+        inv_width = self.inv_width
+        buckets = self.buckets
+        mask = self.mask
+        heappop = heapq.heappop
+        moved = 0
+        while overflow and int(overflow[0][0] * inv_width) < horizon:
+            entry = heappop(overflow)
+            b = buckets[int(entry[0] * inv_width) & mask]
+            if b and entry < b[-1]:
+                insort(b, entry)
+            else:
+                b.append(entry)
+            moved += 1
+        self.ring_size += moved
+        self.year_end = horizon
+
+    def retune(self):
+        """Re-fit bucket width and count to the queued population.
+
+        Estimates the mean inter-event delta as ``span / (population -
+        1)`` over the currently queued entries and targets
+        :data:`TARGET_OCCUPANCY` entries per bucket.  Rebuilds only
+        when the fitted geometry drifts by more than 2x (hysteresis —
+        steady-state workloads rebuild once and settle).  Returns
+        ``True`` when a rebuild happened, so callers holding ring
+        internals in locals know to re-read them.  Result-transparent:
+        the entry population and its total order are unchanged.
+        """
+        size = self.ring_size + len(self.overflow)
+        if size < 8:
+            return False
+        lo = hi = None
+        for b in self.buckets:
+            if b:
+                first = b[0][0]
+                last = b[-1][0]
+                if lo is None or first < lo:
+                    lo = first
+                if hi is None or last > hi:
+                    hi = last
+        for entry in self.overflow:
+            when = entry[0]
+            if lo is None or when < lo:
+                lo = when
+            if hi is None or when > hi:
+                hi = when
+        span = hi - lo
+        if span <= 0.0:
+            return False
+        # Floor the width so absolute day numbers stay far inside
+        # float-exact integer range (day ~ when/width < 2**50): the
+        # assignment product must round-trip through int() losslessly.
+        width = max(
+            span / (size - 1) * self.TARGET_OCCUPANCY,
+            hi * 2.0 ** -50,
+            1e-9,
+        )
+        n_buckets = self.min_buckets
+        while (n_buckets * self.TARGET_OCCUPANCY < size
+                and n_buckets < self.max_buckets):
+            n_buckets <<= 1
+        if n_buckets == self.n_buckets and 0.5 <= width / self.width <= 2.0:
+            return False
+        self._rebuild(width, n_buckets)
+        return True
+
+    def _rebuild(self, width, n_buckets):
+        """Re-bucket every queued entry under a new geometry.
+
+        Entries are drained, sorted (full tuples — the global order),
+        and reinserted: ascending appends keep each bucket sorted and
+        leave the rebuilt overflow a valid heap.  The cursor lands on
+        the minimum entry's day, so the next pop is exact.
+        """
+        entries = [entry for b in self.buckets for entry in b]
+        entries.extend(self.overflow)
+        entries.sort()
+        self.width = float(width)
+        self.inv_width = 1.0 / self.width
+        self.n_buckets = n_buckets
+        self.mask = n_buckets - 1
+        self.buckets = [[] for _ in range(n_buckets)]
+        self.overflow = []
+        self.resizes += 1
+        if not entries:
+            self.cur = 0
+            self.year_end = n_buckets
+            self.ring_size = 0
+            return
+        inv_width = self.inv_width
+        cur = int(entries[0][0] * inv_width)
+        year_end = cur + n_buckets
+        self.cur = cur
+        self.year_end = year_end
+        buckets = self.buckets
+        mask = self.mask
+        overflow = self.overflow
+        ring = 0
+        for entry in entries:
+            if int(entry[0] * inv_width) >= year_end:
+                overflow.append(entry)
+            else:
+                buckets[int(entry[0] * inv_width) & mask].append(entry)
+                ring += 1
+        self.ring_size = ring

@@ -19,6 +19,7 @@ import hashlib
 import json
 import os
 import pathlib
+import warnings
 from dataclasses import dataclass
 
 #: Salt mixed into every cache key.  Bump when the simulator, kernels,
@@ -33,15 +34,28 @@ from dataclasses import dataclass
 #: spec, serialized into the key payload like every other field) and
 #: records run under a non-trivial spec carry a ``"degradation"``
 #: provenance field.
-CODE_VERSION = "runtime-v4"
+#: v5: configs grew ``scheduler`` (the event-queue backend) and records
+#: carry a ``"scheduler"`` provenance field.
+CODE_VERSION = "runtime-v5"
+
+#: Memoized cwd-fallback directory (installed-package use).  Resolved
+#: once so every cache in the process agrees on one directory even if
+#: the working directory changes later, and the accompanying warning
+#: fires once per process.
+_FALLBACK_DIR = None
 
 
 def default_cache_dir():
     """Resolve the cache directory.
 
-    ``$REPRO_CACHE_DIR`` wins; otherwise ``benchmarks/out/.cache``
-    under the repository root (derived from the source tree layout),
-    falling back to the current working directory for installed use.
+    ``$REPRO_CACHE_DIR`` is the supported override and wins
+    unconditionally (checked on every call, so tests and wrappers can
+    redirect per-invocation); otherwise ``benchmarks/out/.cache`` under
+    the repository root (derived from the source tree layout).  When
+    that probe fails — installed-package use, no source tree — the
+    first call resolves ``$PWD/benchmarks/out/.cache`` once, warns
+    which directory was chosen, and every later call returns the same
+    directory regardless of subsequent ``chdir``.
     """
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
@@ -49,7 +63,16 @@ def default_cache_dir():
     root = pathlib.Path(__file__).resolve().parents[3]
     if (root / "benchmarks").is_dir():
         return root / "benchmarks" / "out" / ".cache"
-    return pathlib.Path.cwd() / "benchmarks" / "out" / ".cache"
+    global _FALLBACK_DIR
+    if _FALLBACK_DIR is None:
+        _FALLBACK_DIR = pathlib.Path.cwd() / "benchmarks" / "out" / ".cache"
+        warnings.warn(
+            "no repository source tree found; result cache falls back "
+            f"to {_FALLBACK_DIR} — set $REPRO_CACHE_DIR to choose a "
+            "cache directory explicitly",
+            stacklevel=2,
+        )
+    return _FALLBACK_DIR
 
 
 def cache_key(payload, salt=CODE_VERSION):
@@ -140,6 +163,11 @@ class ResultCache:
 
         ``payload`` is stored alongside for debuggability — a cache file
         is self-describing about which sweep point produced it.
+
+        A crash between the temp write and the rename strands a
+        ``<key>.tmp.<pid>`` file; each ``put`` opportunistically sweeps
+        stale temps left for *its* key by earlier (dead) processes, and
+        :meth:`clear` sweeps all of them.
         """
         if not self.enabled:
             return
@@ -148,19 +176,43 @@ class ResultCache:
                  "record": record}
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True)
-        os.replace(tmp, path)
+        for stale in self.directory.glob(f"{key}.tmp.*"):
+            if stale != tmp:
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            # Don't leave this process's own half-written temp behind.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         self.stats.writes += 1
 
     def clear(self):
-        """Delete every cached record; returns how many were removed."""
+        """Delete every cached record; returns how many were removed.
+
+        Also sweeps stranded ``*.tmp.*`` files from crashed writers —
+        they are not counted (they never became records) but no longer
+        accumulate forever either.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.tmp.*"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

@@ -123,17 +123,28 @@ class ProgressTracker:
         return self.events / host
 
     def slowest(self, n=5):
-        """The ``n`` computed points that took the most host wall-clock.
+        """The ``n`` healthy computed points with the most host wall-clock.
 
-        Cached points are excluded (they cost nothing this run); ties
-        keep submission order.
+        Cached points are excluded (they cost nothing this run), and so
+        are degraded points (``status`` set): their wall-clock is
+        dominated by timeout waits and retry backoff, not simulation,
+        so ranking them here would indict healthy configs.  Ties keep
+        submission order.
         """
-        computed = [p for p in self.points if not p.cached]
+        computed = [
+            p for p in self.points if not p.cached and p.status is None
+        ]
         computed.sort(key=lambda p: -p.wall_s)
         return computed[:n]
 
     def profile_lines(self, n=5):
-        """Host-performance report lines for ``repro sweep --profile``."""
+        """Host-performance report lines for ``repro sweep --profile``.
+
+        Degraded points are excluded from the slowest ranking and
+        reported on their own status-tagged lines instead — their
+        wall-clock measures the error policy (timeouts, retries), not
+        the simulator.
+        """
         lines = [
             f"host perf: {self.events:,} DES events in "
             f"{sum(p.host_wall_s for p in self.points):.2f}s simulator "
@@ -149,6 +160,18 @@ class ProgressTracker:
                     f"  {p.label}: {p.wall_s:.2f}s wall, "
                     f"{p.events:,} events ({rate})"
                 )
+        degraded = [p for p in self.points if p.status is not None]
+        if degraded:
+            lines.append(
+                f"degraded {len(degraded)} point(s) "
+                "(wall dominated by the error policy, not simulation):"
+            )
+            for p in degraded[:n]:
+                lines.append(
+                    f"  {p.label}: {p.wall_s:.2f}s wall [{p.status}]"
+                )
+            if len(degraded) > n:
+                lines.append(f"  ... and {len(degraded) - n} more")
         return lines
 
     def summary(self):

@@ -140,6 +140,19 @@ class SpMMTask:
         merged["degradation"] = spec
         return replace(self, overrides=tuple(sorted(merged.items())))
 
+    def with_scheduler(self, name):
+        """Copy of this task running on a specific scheduler backend.
+
+        Merges ``scheduler=name`` (``"heap"`` or ``"calendar"``) into
+        the override tuple.  Like every config field it participates in
+        the cache key, so records from different backends never alias —
+        and since backends are bit-identical, a mixed cache stays
+        semantically consistent anyway.
+        """
+        merged = dict(self.overrides)
+        merged["scheduler"] = name
+        return replace(self, overrides=tuple(sorted(merged.items())))
+
     def label(self):
         knobs = " ".join(f"{k}={v}" for k, v in self.overrides)
         return (f"{self.dataset}/{self.kernel} K={self.embedding_dim}"
@@ -205,6 +218,11 @@ class SpMMTask:
                 for tag, s in sorted(result.tag_stats.items())
             },
             "source": "simulation",
+            # Provenance: which event-scheduler backend produced the
+            # record.  Backends are bit-identical, but a throughput
+            # number (events_per_s) is only comparable within one
+            # backend, so the record says which one it measured.
+            "scheduler": config.scheduler,
         }
         if config.degradation is not None:
             # Provenance next to "source": a record measured on a
@@ -248,6 +266,7 @@ class SpMMTask:
             "events_per_s": 0.0,
             "tag_stats": {},
             "source": "model_fallback",
+            "scheduler": config.scheduler,
         }
         if config.degradation is not None:
             record["degradation"] = asdict(config.degradation)
@@ -349,7 +368,8 @@ class SweepReport:
 def run_sweep(tasks, workers=None, cache=None, progress=None, *,
               timeout=None, retries=0, backoff_s=0.25, backoff_cap_s=8.0,
               jitter=0.25, on_error="raise", checkpoint=None, resume=False,
-              check_level=None, degradation=None, sleep=time.sleep):
+              check_level=None, degradation=None, scheduler=None,
+              sleep=time.sleep):
     """Run every task; returns a :class:`SweepReport`.
 
     Parameters
@@ -411,6 +431,12 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         cache key and its records' ``"degradation"`` provenance field;
         a :class:`~repro.runtime.errors.HardwareExhausted` point is
         deterministic and never retried.
+    scheduler:
+        When not ``None``, the event-scheduler backend (``"heap"`` or
+        ``"calendar"``) every task runs on (``task.with_scheduler``).
+        Backends are bit-identical in results, so this only moves host
+        wall-clock; it lands in each task's cache key and its records'
+        ``"scheduler"`` provenance field.
     sleep:
         Injectable delay function (tests).
     """
@@ -425,6 +451,12 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         tasks = [
             task.with_degradation(degradation)
             if hasattr(task, "with_degradation") else task
+            for task in tasks
+        ]
+    if scheduler is not None:
+        tasks = [
+            task.with_scheduler(scheduler)
+            if hasattr(task, "with_scheduler") else task
             for task in tasks
         ]
     if on_error not in ON_ERROR_POLICIES:

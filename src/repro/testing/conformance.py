@@ -27,11 +27,16 @@ from repro.testing.metamorphic import metamorphic_failures
 from repro.testing.mutations import MUTATIONS, run_mutation
 from repro.testing.oracle import differential_failures, run_case
 
-#: Engine selections understood by :func:`run_conformance`.
+#: Engine selections understood by :func:`run_conformance`.  Names
+#: resolve through :data:`repro.testing.oracle.ENGINE_BACKENDS`;
+#: ``"both"`` keeps its historical meaning (heap-backed fast vs
+#: reference), ``"all"`` adds the calendar-queue backend on both loops.
 ENGINE_CHOICES = {
     "fast": ("fast",),
     "reference": ("reference",),
+    "calendar": ("calendar",),
     "both": ("fast", "reference"),
+    "all": ("fast", "calendar", "reference", "reference-calendar"),
 }
 
 
@@ -113,9 +118,10 @@ def run_conformance(n_cases=25, seed=0, check_level=2, engine="both", *,
         Sanitizer level armed inside every differential run (the
         metamorphic and mutation stages manage their own levels).
     engine:
-        ``"fast"``, ``"reference"``, or ``"both"``.  Bit-identity is
-        only checkable with both; a single-engine run still exercises
-        the sanitizer and the model envelope.
+        ``"fast"``, ``"reference"``, ``"calendar"``, ``"both"``, or
+        ``"all"`` (every loop x scheduler backend).  Bit-identity
+        needs at least two; a single-engine run still exercises the
+        sanitizer and the model envelope.
     metamorphic / mutations:
         Disable individual stages (the mutation stage patches engine
         classes, so e.g. a profiling run may want it off).
@@ -157,11 +163,13 @@ def run_conformance(n_cases=25, seed=0, check_level=2, engine="both", *,
             emit(f"{case.name}: ok")
 
     if mutations:
+        from repro.testing.oracle import ENGINE_BACKENDS
         for name, mutation in sorted(MUTATIONS.items()):
             for eng in engines:
+                fast_path, scheduler = ENGINE_BACKENDS[eng]
                 report.mutations_run += 1
                 error = run_mutation(
-                    name, engine_fast_path=(eng == "fast")
+                    name, engine_fast_path=fast_path, scheduler=scheduler
                 )
                 if error is None:
                     report.mutation_failures.append({

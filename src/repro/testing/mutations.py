@@ -280,13 +280,16 @@ SMOKE_CASE = ConformanceCase(
 )
 
 
-def run_mutation(name, check_level=None, engine_fast_path=True, case=None):
+def run_mutation(name, check_level=None, engine_fast_path=True, case=None,
+                 scheduler="heap"):
     """Run the smoke case under one mutation.
 
     Returns the :class:`InvariantViolation` the sanitizer raised, or
     ``None`` if the perturbed run completed silently (which the
     conformance harness treats as a failure of the safety net).
     ``check_level`` defaults to the mutation's guaranteed level.
+    ``engine_fast_path`` and ``scheduler`` select the engine backend
+    the mutation runs on, as in :func:`repro.testing.oracle.run_case`.
     """
     mutation = MUTATIONS[name]
     if case is None:
@@ -296,7 +299,8 @@ def run_mutation(name, check_level=None, engine_fast_path=True, case=None):
     with mutation.patch():
         try:
             run_case(case, check_level=level,
-                     engine_fast_path=engine_fast_path)
+                     engine_fast_path=engine_fast_path,
+                     scheduler=scheduler)
         except InvariantViolation as error:
             return error
     return None

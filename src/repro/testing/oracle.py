@@ -35,14 +35,27 @@ ENVELOPES = {
     "vertex": (0.12, 1.35),
 }
 
+#: Engine backends the oracle can drive: name ->
+#: ``(engine_fast_path, scheduler)``.  ``"fast"`` and ``"reference"``
+#: keep their historical meanings (heap-backed); ``"calendar"`` and
+#: ``"reference-calendar"`` run the same loops over the calendar-queue
+#: scheduler.  All four promise bit-identical results.
+ENGINE_BACKENDS = {
+    "fast": (True, "heap"),
+    "calendar": (True, "calendar"),
+    "reference": (False, "heap"),
+    "reference-calendar": (False, "calendar"),
+}
 
-def run_case(case, check_level=0, engine_fast_path=True):
+
+def run_case(case, check_level=0, engine_fast_path=True, scheduler="heap"):
     """Execute one conformance case; returns the ``KernelResult``."""
     return simulate_spmm(
         case.graph(),
         case.embedding_dim,
         config=case.config(
-            check_level=check_level, engine_fast_path=engine_fast_path
+            check_level=check_level, engine_fast_path=engine_fast_path,
+            scheduler=scheduler,
         ),
         kernel=case.kernel,
         window_edges=case.window_edges,
@@ -89,20 +102,25 @@ def model_efficiency(case, result):
 def differential_failures(case, check_level=2, engines=("fast", "reference")):
     """Run the oracle on one case; returns failure records (empty = pass).
 
+    ``engines`` names backends from :data:`ENGINE_BACKENDS`; every
+    result is compared bit-for-bit against the reference engine (or the
+    first backend that completed, when the reference was not requested).
     Each failure is a plain dict: ``{"case", "check", "detail"}`` with
     ``check`` one of ``invariant:<engine>``, ``engine-mismatch``, or
     ``model-envelope:<engine>``.  An ``InvariantViolation`` raised by
-    the sanitizer inside either engine is captured as a failure record
+    the sanitizer inside any engine is captured as a failure record
     rather than propagating — the harness reports, it does not crash.
     """
     failures = []
     results = {}
     for engine in engines:
+        fast_path, scheduler = ENGINE_BACKENDS[engine]
         try:
             results[engine] = run_case(
                 case,
                 check_level=check_level,
-                engine_fast_path=(engine == "fast"),
+                engine_fast_path=fast_path,
+                scheduler=scheduler,
             )
         except InvariantViolation as error:
             failures.append({
@@ -110,25 +128,31 @@ def differential_failures(case, check_level=2, engines=("fast", "reference")):
                 "check": f"invariant:{engine}",
                 "detail": str(error),
             })
-    if len(results) == 2:
-        fast = result_signature(results["fast"])
-        reference = result_signature(results["reference"])
-        if fast != reference:
-            diverged = sorted(
-                key for key in fast if fast[key] != reference[key]
-            )
-            failures.append({
-                "case": case.name,
-                "check": "engine-mismatch",
-                "detail": (
-                    "fast and reference engines disagree on "
-                    f"{', '.join(diverged)}: "
-                    + "; ".join(
-                        f"{key} fast={fast[key]!r} ref={reference[key]!r}"
-                        for key in diverged[:3]
-                    )
-                ),
-            })
+    if len(results) >= 2:
+        base_name = ("reference" if "reference" in results
+                     else next(iter(results)))
+        base = result_signature(results[base_name])
+        for engine, result in results.items():
+            if engine == base_name:
+                continue
+            sig = result_signature(result)
+            if sig != base:
+                diverged = sorted(
+                    key for key in sig if sig[key] != base[key]
+                )
+                failures.append({
+                    "case": case.name,
+                    "check": "engine-mismatch",
+                    "detail": (
+                        f"{engine} and {base_name} engines disagree on "
+                        f"{', '.join(diverged)}: "
+                        + "; ".join(
+                            f"{key} {engine}={sig[key]!r} "
+                            f"{base_name}={base[key]!r}"
+                            for key in diverged[:3]
+                        )
+                    ),
+                })
     low, high = ENVELOPES[case.kernel]
     for engine, result in results.items():
         efficiency = model_efficiency(case, result)

@@ -8,6 +8,13 @@ This suite pins golden numbers on a fixed window and differentially
 fuzzes the two paths across a randomized RMAT grid covering every
 kernel, so any divergence introduced by a hot-path "optimization" fails
 loudly.
+
+The contract extends across the event-scheduler axis
+(``PIUMAConfig.scheduler``): the calendar-queue backend must reproduce
+the heap backend bit-for-bit.  Goldens and every fuzz point also run
+the fast loop over the calendar queue with the runtime sanitizer armed
+(``check_level=1``), so a divergence or a stranded event in the
+bucketed ring fails the same assertions.
 """
 
 import random
@@ -52,6 +59,21 @@ def _both_paths(adj, embedding_dim, kernel="dma", **overrides):
     return fast, ref
 
 
+def _calendar_path(adj, embedding_dim, kernel="dma", **overrides):
+    """Fast loop over the calendar-queue backend, sanitizer armed.
+
+    ``check_level=1`` arms the runtime invariant checker (including the
+    ``scheduler-drained`` post-run check) inside the run; the result it
+    returns must still be bit-identical to the heap backend's.
+    """
+    return simulate_spmm(
+        adj, embedding_dim,
+        PIUMAConfig(engine_fast_path=True, scheduler="calendar",
+                    check_level=1, **overrides),
+        kernel=kernel,
+    )
+
+
 class TestGolden:
     """Pinned results on a fixed window, identical on both paths.
 
@@ -66,6 +88,8 @@ class TestGolden:
     def test_pinned_end_time_and_stats(self, window):
         fast, ref = _both_paths(window, 64, n_cores=4)
         assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        cal = _calendar_path(window, 64, n_cores=4)
+        assert _result_fingerprint(cal) == _result_fingerprint(fast)
         assert fast.sim_time_ns == pytest.approx(41025.25, rel=1e-12)
         assert fast.gflops == pytest.approx(41.67907254057635, rel=1e-9)
         assert fast.events == 28232
@@ -79,6 +103,8 @@ class TestGolden:
     def test_loop_kernel_pinned(self, window):
         fast, ref = _both_paths(window, 64, kernel="loop", n_cores=4)
         assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        cal = _calendar_path(window, 64, kernel="loop", n_cores=4)
+        assert _result_fingerprint(cal) == _result_fingerprint(fast)
         assert fast.sim_time_ns == pytest.approx(42644.5625, rel=1e-12)
         assert fast.events == 15944
 
@@ -120,6 +146,12 @@ class TestDifferential:
             threads_per_mtp=point["threads_per_mtp"],
         )
         assert _result_fingerprint(fast) == _result_fingerprint(ref), point
+        cal = _calendar_path(
+            adj, point["embedding_dim"], kernel=point["kernel"],
+            n_cores=point["n_cores"],
+            threads_per_mtp=point["threads_per_mtp"],
+        )
+        assert _result_fingerprint(cal) == _result_fingerprint(fast), point
 
     def test_dynamic_kernel(self):
         adj = rmat_for_size(1024, 1024 * 8, seed=5)
@@ -131,6 +163,12 @@ class TestDifferential:
             PIUMAConfig(n_cores=2, threads_per_mtp=2, engine_fast_path=False),
         )
         assert _result_fingerprint(fast) == _result_fingerprint(ref)
+        cal = simulate_spmm_dynamic(
+            adj, 32,
+            PIUMAConfig(n_cores=2, threads_per_mtp=2, scheduler="calendar",
+                        check_level=1),
+        )
+        assert _result_fingerprint(cal) == _result_fingerprint(fast)
 
 
 class TestStripeTargets:

@@ -1,0 +1,305 @@
+"""Calendar-queue scheduler backend: unit oracle + engine conformance.
+
+The calendar queue (``repro.piuma.scheduler.CalendarQueue``) must pop
+entries in exactly the ``(when, seq)`` total order a binary heap
+would — that is the engines' bit-identity contract.  The unit half of
+this suite drives the queue against a :mod:`heapq` oracle through
+randomized interleavings, FIFO ties, overflow spills, growth, and
+retune rebuilds.  The engine half runs full SpMM simulations on all
+four loop x scheduler combinations — including under degradation
+specs and watchdog trips — and requires identical results.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.graphs.rmat import rmat_for_size
+from repro.piuma import simulate_spmm
+from repro.piuma.config import PIUMAConfig
+from repro.piuma.degradation import DEGRADATION_PRESETS
+from repro.piuma.engine import Simulator
+from repro.piuma.scheduler import (
+    SCHEDULERS,
+    CalendarQueue,
+    HeapScheduler,
+    make_scheduler,
+)
+from repro.runtime.errors import InvariantViolation, SimulationDiverged
+
+
+def _drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("calendar"), CalendarQueue)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("splay")
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            PIUMAConfig(scheduler="splay")
+        for name in SCHEDULERS:
+            assert PIUMAConfig(scheduler=name).scheduler == name
+
+    def test_calendar_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(min_buckets=12)
+
+
+class TestCalendarUnit:
+    """CalendarQueue against a heapq oracle and its own counters."""
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_fifo_among_equal_when(self):
+        """Equal-``when`` entries must pop in seq order even when the
+        pushes arrive with their seqs interleaved out of order."""
+        q = CalendarQueue(width=1.0)
+        entries = [(5.0, seq, seq, None) for seq in (3, 1, 4, 0, 2)]
+        for entry in entries:
+            q.push(entry)
+        assert _drain(q) == sorted(entries)
+
+    def test_peek_matches_pop(self):
+        q = CalendarQueue(width=0.5)
+        for when in (9.0, 2.5, 7.25, 2.5):
+            q.push((when, q.spills + len(q), 0, None))
+        while q:
+            assert q.peek() == q.pop()
+
+    def test_push_behind_cursor_still_pops_first(self):
+        q = CalendarQueue(width=1.0)
+        for seq, when in enumerate((1.0, 8.0, 9.0)):
+            q.push((when, seq, 0, None))
+        assert q.pop()[0] == 1.0  # cursor now at day 1
+        q.push((0.25, 99, 0, None))  # behind the cursor
+        assert q.pop() == (0.25, 99, 0, None)
+
+    def test_overflow_spill_and_migration(self):
+        """Entries a year+ ahead spill to the heap, then migrate back
+        in ``(when, seq)`` order as the cursor's horizon advances."""
+        q = CalendarQueue(width=1.0, min_buckets=16)
+        near = [(float(i), i, i, None) for i in range(8)]
+        far = [(1000.0 + (i % 3), 100 + i, i, None) for i in range(6)]
+        for entry in near + far:
+            q.push(entry)
+        assert q.spills == len(far)
+        assert len(q.overflow) == len(far)
+        assert _drain(q) == sorted(near + far)
+        assert q.stranded() == 0
+
+    def test_growth_rebuild_preserves_order(self):
+        q = CalendarQueue(width=1.0, min_buckets=16)
+        entries = [(float(i % 13), i, i, None) for i in range(200)]
+        for entry in entries:
+            q.push(entry)
+        assert q.resizes >= 1  # 200 entries > 2x ring at 16 and 32
+        assert q.n_buckets > 16
+        assert _drain(q) == sorted(entries)
+
+    def test_retune_refits_width_and_preserves_order(self):
+        """A ring tuned for ns-scale deltas retunes onto a us-scale
+        population without changing the pop order."""
+        q = CalendarQueue(width=1.0, min_buckets=16)
+        entries = [(i * 500.0, i, i, None) for i in range(64)]
+        for entry in entries:
+            q.push(entry)
+        before = (q.width, q.n_buckets)
+        assert q.retune() is True
+        assert (q.width, q.n_buckets) != before
+        assert q.width > 1.0  # fitted to the ~500 ns deltas
+        assert _drain(q) == sorted(entries)
+
+    def test_retune_degenerate_span_is_noop(self):
+        q = CalendarQueue(width=1.0)
+        for seq in range(16):
+            q.push((4.0, seq, 0, None))
+        assert q.retune() is False  # zero span: nothing to fit
+
+    def test_retune_hysteresis(self):
+        q = CalendarQueue(width=1.0, min_buckets=16)
+        for i in range(64):
+            q.push((i * 500.0, i, i, None))
+        assert q.retune() is True
+        assert q.retune() is False  # geometry already fitted
+
+    def test_len_and_stranded_agree(self):
+        q = CalendarQueue(width=1.0, min_buckets=16)
+        rng = random.Random(7)
+        live = 0
+        for seq in range(300):
+            if live and rng.random() < 0.4:
+                q.pop()
+                live -= 1
+            else:
+                q.push((rng.uniform(0.0, 5000.0), seq, 0, None))
+                live += 1
+            assert len(q) == q.stranded() == live
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_randomized_vs_heapq_oracle(self, trial):
+        """Interleaved push/pop streams — ties, clustered sub-ns
+        values, far-future spikes, mid-stream retunes — must replay
+        the heapq pop sequence exactly."""
+        rng = random.Random(0xCA1 + trial)
+        q = CalendarQueue(
+            width=rng.choice((0.125, 1.0, 64.0)), min_buckets=16
+        )
+        oracle = []
+        got, want = [], []
+        now = 0.0
+        for seq in range(400):
+            roll = rng.random()
+            if oracle and roll < 0.45:
+                got.append(q.pop())
+                want.append(heapq.heappop(oracle))
+                now = want[-1][0]
+            else:
+                if roll > 0.97:
+                    when = now + rng.uniform(1e5, 1e6)  # spill territory
+                elif roll > 0.9:
+                    when = now  # exact tie with the frontier
+                else:
+                    when = now + rng.uniform(0.0, 50.0)
+                entry = (when, seq, seq & 7, None)
+                q.push(entry)
+                heapq.heappush(oracle, entry)
+            if seq % 97 == 0:
+                q.retune()
+        got.extend(_drain(q))
+        while oracle:
+            want.append(heapq.heappop(oracle))
+        assert got == want
+        assert len(q) == q.stranded() == 0
+
+
+def _fingerprint(result):
+    """Everything the loop x scheduler combinations must agree on."""
+    return (
+        result.sim_time_ns,
+        result.gflops,
+        result.projected_time_ns,
+        result.memory_utilization,
+        result.achieved_bandwidth,
+        result.window_edges,
+        result.events,
+        sorted(
+            (tag, s.count, s.bytes, s.wait_ns)
+            for tag, s in result.tag_stats.items()
+        ),
+    )
+
+
+#: Every main-loop x scheduler combination the engine dispatches.
+COMBOS = (
+    (True, "heap"),
+    (True, "calendar"),
+    (False, "heap"),
+    (False, "calendar"),
+)
+
+
+def _all_combos(adj, embedding_dim, kernel="dma", **overrides):
+    return [
+        _fingerprint(
+            simulate_spmm(
+                adj, embedding_dim,
+                PIUMAConfig(
+                    engine_fast_path=fast, scheduler=scheduler, **overrides
+                ),
+                kernel=kernel,
+            )
+        )
+        for fast, scheduler in COMBOS
+    ]
+
+
+class TestEngineConformance:
+    """Full-simulation bit-identity across every backend combination."""
+
+    @pytest.fixture(scope="class")
+    def window(self):
+        return rmat_for_size(2048, 2048 * 8, seed=11)
+
+    @pytest.mark.parametrize("kernel", ("dma", "loop", "vertex"))
+    def test_kernels_identical_across_backends(self, window, kernel):
+        prints = _all_combos(
+            window, 32, kernel=kernel, n_cores=4, check_level=1
+        )
+        assert prints.count(prints[0]) == len(prints), kernel
+
+    @pytest.mark.parametrize("preset", ("moderate", "dma"))
+    def test_degraded_runs_identical(self, window, preset):
+        """Non-trivial fault specs (stalled slices, flaky DMA retries)
+        reorder nothing: the calendar backend tracks the heap exactly."""
+        prints = _all_combos(
+            window, 32, kernel="dma", n_cores=4, check_level=1,
+            degradation=DEGRADATION_PRESETS[preset],
+        )
+        assert prints.count(prints[0]) == len(prints), preset
+
+    def test_watchdog_trips_identically(self, window):
+        """The max_events ceiling must fire on the same event with the
+        same cause on every backend — the watchdogs read the same
+        counters regardless of the queue implementation."""
+        messages = set()
+        for fast, scheduler in COMBOS:
+            config = PIUMAConfig(
+                engine_fast_path=fast, scheduler=scheduler,
+                n_cores=4, max_events=5000,
+            )
+            with pytest.raises(SimulationDiverged) as err:
+                simulate_spmm(window, 32, config, kernel="dma")
+            assert err.value.cause == "max_events"
+            messages.add(str(err.value))
+        assert len(messages) == 1
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_scheduler_drained_invariant_fires(self, scheduler):
+        """A stranded entry after run() must trip the level-1
+        ``scheduler-drained`` invariant on both backends."""
+        from repro.piuma.ops import Compute
+
+        def tiny_thread():
+            yield Compute(16)
+
+        config = PIUMAConfig(n_cores=1, check_level=1, scheduler=scheduler)
+        sim = Simulator(config)
+        sim.spawn(tiny_thread(), 0, 0)
+        sim.run()
+        # Simulate the lost-event bug class: an entry the main loop
+        # never consumed is still queued when the post-run check walks
+        # the scheduler.
+        sim._scheduler.push((1.0, sim._seq, 0, None))
+        sim._seq += 1
+        with pytest.raises(InvariantViolation) as err:
+            sim.checker.after_run()
+        assert err.value.invariant == "scheduler-drained"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_clean_run_passes_drained_invariant(self, scheduler):
+        """The same level-1 run without the seeded bug completes."""
+        from repro.piuma.ops import Compute
+
+        def tiny_thread():
+            yield Compute(16)
+
+        config = PIUMAConfig(n_cores=1, check_level=1, scheduler=scheduler)
+        sim = Simulator(config)
+        sim.spawn(tiny_thread(), 0, 0)
+        assert sim.run() > 0.0
+        assert len(sim._scheduler) == 0

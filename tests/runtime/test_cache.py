@@ -1,10 +1,13 @@
 """Result-cache correctness: keying, invalidation, robustness."""
 
 import json
+import os
 
 import pytest
 
+import repro.runtime.cache as cache_module
 from repro.runtime import ResultCache, cache_key, spmm_task
+from repro.runtime.cache import default_cache_dir
 
 
 @pytest.fixture
@@ -121,3 +124,87 @@ class TestResultCache:
         assert entry["payload"] == {"kernel": "dma"}
         assert entry["record"] == {"gflops": 2.0}
         assert entry["salt"] == cache.salt
+
+
+class TestTempFileHygiene:
+    """Crashed writers must not litter the cache directory forever."""
+
+    def _strand(self, cache, key, pid):
+        """Plant what a writer killed between write and rename leaves."""
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        stale = cache.directory / f"{key}.tmp.{pid}"
+        stale.write_text('{"half": "written')
+        return stale
+
+    def test_put_sweeps_stale_temps_for_its_key(self, cache):
+        stale = self._strand(cache, "k", 99999)
+        cache.put("k", {"v": 1})
+        assert not stale.exists()
+        assert cache.get("k") == {"v": 1}
+
+    def test_put_leaves_other_keys_temps_alone(self, cache):
+        other = self._strand(cache, "other", 99999)
+        cache.put("k", {"v": 1})
+        assert other.exists()  # clear()'s job, not this key's put
+
+    def test_clear_sweeps_all_stranded_temps(self, cache):
+        cache.put("a", {"v": 1})
+        self._strand(cache, "b", 11111)
+        self._strand(cache, "c", 22222)
+        assert cache.clear() == 1  # temps are swept but not counted
+        assert list(cache.directory.glob("*.tmp.*")) == []
+
+    def test_failed_write_removes_own_temp(self, cache):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        with pytest.raises(TypeError):
+            cache.put("k", {"v": object()})  # not JSON-serializable
+        assert list(cache.directory.glob("k.tmp.*")) == []
+        assert cache.get("k") is None
+
+    def test_stranded_temp_never_serves_reads(self, cache):
+        self._strand(cache, "k", os.getpid())
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+
+class TestDefaultCacheDir:
+    @pytest.fixture(autouse=True)
+    def _isolate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setattr(cache_module, "_FALLBACK_DIR", None)
+
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_source_tree_probe(self):
+        path = default_cache_dir()
+        assert path.parts[-3:] == ("benchmarks", "out", ".cache")
+        assert (path.parents[1] / ".." / "src").resolve().is_dir()
+
+    def test_fallback_warns_once_and_memoizes(self, monkeypatch, tmp_path):
+        """Without a source tree the first call resolves the cwd
+        fallback with a warning naming it; later calls reuse the same
+        directory silently even after a chdir."""
+        fake_pkg = tmp_path / "site" / "repro" / "runtime" / "cache.py"
+        monkeypatch.setattr(cache_module, "__file__", str(fake_pkg))
+        first_cwd = tmp_path / "here"
+        first_cwd.mkdir()
+        monkeypatch.chdir(first_cwd)
+        with pytest.warns(UserWarning, match="REPRO_CACHE_DIR"):
+            chosen = default_cache_dir()
+        assert chosen == first_cwd / "benchmarks" / "out" / ".cache"
+        other_cwd = tmp_path / "there"
+        other_cwd.mkdir()
+        monkeypatch.chdir(other_cwd)
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning = a bug
+            assert default_cache_dir() == chosen  # memoized, no re-resolve
+
+    def test_env_beats_memoized_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            cache_module, "_FALLBACK_DIR", tmp_path / "stale"
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fresh"))
+        assert default_cache_dir() == tmp_path / "fresh"

@@ -54,3 +54,54 @@ class TestProgressTracker:
         metrics = tracker.point_done("a", 0.5, 10.0, cached=False)
         assert metrics.label == "a"
         assert metrics.wall_s == 0.5
+
+
+class TestDegradedPointAccounting:
+    """Degraded points (status set) must not pollute host-perf views:
+    their wall-clock measures timeout waits and retry backoff, not the
+    simulator."""
+
+    def _tracker(self):
+        tracker = ProgressTracker(total=5, out=None)
+        tracker.point_done("fast", 0.2, 1e5, cached=False,
+                           events=2000, host_wall_s=0.2)
+        tracker.point_done("slow", 3.0, 9e5, cached=False,
+                           events=9000, host_wall_s=3.0)
+        tracker.point_done("hit", 0.0, 5e5, cached=True)
+        tracker.point_done("stuck", 30.0, 0.0, cached=False,
+                           status="failed")
+        tracker.point_done("derated", 12.0, 2e5, cached=False,
+                           status="model_fallback")
+        return tracker
+
+    def test_slowest_excludes_degraded_and_cached(self):
+        slowest = self._tracker().slowest(5)
+        # "stuck" (30 s) and "derated" (12 s) dwarf every healthy point
+        # but must not appear: their wall is the error policy's.
+        assert [p.label for p in slowest] == ["slow", "fast"]
+
+    def test_degraded_counter(self):
+        assert self._tracker().degraded == 2
+
+    def test_profile_lines_tag_degraded_points(self):
+        lines = self._tracker().profile_lines()
+        slowest_block = [l for l in lines if l.startswith("  ")
+                         and "[" not in l]
+        assert not any("stuck" in l or "derated" in l
+                       for l in slowest_block)
+        tagged = [l for l in lines if "[failed]" in l
+                  or "[model_fallback]" in l]
+        assert len(tagged) == 2
+        assert any("stuck: 30.00s wall [failed]" in l for l in tagged)
+        assert any(l.startswith("degraded 2 point(s)") for l in lines)
+
+    def test_profile_lines_cap_degraded_listing(self):
+        tracker = ProgressTracker(total=8, out=None)
+        for i in range(8):
+            tracker.point_done(f"p{i}", 1.0, 0.0, cached=False,
+                               status="failed")
+        lines = tracker.profile_lines(n=5)
+        assert "  ... and 3 more" in lines
+
+    def test_summary_counts_degraded(self):
+        assert "2 degraded/failed" in self._tracker().summary()
