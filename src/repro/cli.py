@@ -16,6 +16,12 @@ without writing any Python:
 * ``check``     — differential conformance suite + invariant-sanitizer
   mutation smoke-checks (``repro.testing``).
 * ``advise``    — the Fig 2 contour as a decision rule.
+* ``serve``     — the tiered prediction service: a JSON HTTP endpoint
+  answering prediction queries from the analytical models (tier 0),
+  the shared result cache (tier 1), or a scheduled DES run (tier 2),
+  with admission control, coalescing, and a circuit breaker.
+* ``cache``     — inspect / garbage-collect / clear the shared
+  content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -250,6 +256,67 @@ def _build_parser():
                         help="write to a file instead of stdout")
     report.add_argument("--only", nargs="+", default=None,
                         help="subset of experiment ids")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the tiered prediction service (JSON over HTTP): "
+             "analytical tier 0, cached tier 1, simulated tier 2",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="DES worker processes (default: min(4, CPUs), "
+                            "or $REPRO_SWEEP_WORKERS)")
+    serve.add_argument("--max-pending", type=int, default=32,
+                       help="admission bound: pending tier-2 jobs beyond "
+                            "this are rejected with HTTP 429 + Retry-After")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra DES attempts after a worker crash or "
+                            "timeout before degrading to the model")
+    serve.add_argument("--task-timeout", type=float, default=120.0,
+                       metavar="S",
+                       help="per-attempt DES wall-clock budget; hung "
+                            "workers are killed (0 disables)")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                       help="default per-request deadline before the "
+                            "answer degrades to the tier-0 model "
+                            "(queries may override with 'deadline_s')")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive crash/timeout attempts that trip "
+                            "the circuit breaker")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       metavar="S",
+                       help="breaker cooldown before a half-open probe")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared result-cache location (default "
+                            "benchmarks/out/.cache or $REPRO_CACHE_DIR)")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="LRU size budget for the shared cache "
+                            "(default: unbounded)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the shared cache (tiers 0/2 "
+                            "only)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the shared content-addressed result "
+             "cache",
+    )
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: size/hygiene summary; gc: evict LRU "
+                            "entries beyond --max-bytes; clear: delete "
+                            "every record")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache location (default benchmarks/out/.cache "
+                            "or $REPRO_CACHE_DIR)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="size budget for gc (required for gc)")
+    cache.add_argument("--entries", type=int, default=0, metavar="N",
+                       help="stats: also list the N most recently used "
+                            "records")
     return parser
 
 
@@ -771,6 +838,105 @@ def _cmd_report(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    from repro.runtime import (
+        CircuitBreaker,
+        PredictionService,
+        ResultCache,
+        default_workers,
+        make_server,
+    )
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(directory=args.cache_dir,
+                            max_bytes=args.cache_max_bytes)
+    service = PredictionService(
+        cache,
+        workers=args.workers or default_workers(),
+        max_pending=args.max_pending,
+        retries=args.retries,
+        task_timeout_s=args.task_timeout or None,
+        default_deadline_s=args.deadline,
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout_s=args.breaker_reset,
+        ),
+    )
+    server = make_server(service, host=args.host, port=args.port,
+                         out=None if args.quiet else out)
+    host, port = server.server_address[:2]
+    out(f"repro serve listening on http://{host}:{port}")
+    out("endpoints: POST /predict (JSON query), "
+        "GET /predict?dataset=...&k=..., GET /healthz")
+    if cache is not None:
+        out(f"shared cache: {cache.directory}"
+            + (f" (budget {cache.max_bytes:,} bytes)"
+               if cache.max_bytes else ""))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        out("interrupted; shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_cache(args, out):
+    from repro.report.tables import format_table
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(directory=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        out(f"cleared {removed} cached record(s) from {cache.directory} "
+            "(stale tmp files, quarantined entries, and the eviction "
+            "manifest swept too)")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            raise ValueError("cache gc needs --max-bytes (the size "
+                             "budget to evict down to)")
+        evicted = cache.gc(max_bytes=args.max_bytes)
+        out(f"evicted {evicted} least-recently-used record(s); "
+            f"{len(cache)} remaining, {cache.total_bytes():,} bytes "
+            f"(budget {args.max_bytes:,})")
+        return 0
+    entries = cache.entries()
+    out(f"cache directory: {cache.directory}")
+    out(f"{len(entries)} record(s), {cache.total_bytes():,} bytes")
+    quarantined = cache.quarantined()
+    if quarantined:
+        out(f"{quarantined} corrupt entr(ies) quarantined (*.corrupt) — "
+            "inspect or delete them; they are never read again")
+    manifest = cache.read_manifest()
+    if manifest:
+        out(f"last gc: evicted {manifest['evicted_last_gc']} record(s) "
+            f"down to {manifest['bytes']:,} bytes "
+            f"(budget {manifest['max_bytes']:,})")
+    if args.entries and entries:
+        recent = list(reversed(entries))[:args.entries]
+        out(format_table(
+            ["key", "bytes", "age"],
+            [[key[:16] + "…", f"{size:,}", _age(mtime)]
+             for key, size, mtime in recent],
+            title=f"{len(recent)} most recently used",
+        ))
+    return 0
+
+
+def _age(mtime):
+    import time
+
+    seconds = max(0.0, time.time() - mtime)
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "breakdown": _cmd_breakdown,
@@ -785,6 +951,8 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 

@@ -1,30 +1,44 @@
-"""Experiment-execution runtime: sweep runner, cache, resilience.
+"""Experiment-execution runtime: sweeps, jobs, cache, serving.
 
 The paper's figures are all sweeps over the (pure, deterministic)
-discrete-event simulator.  This package makes sweep execution a
-first-class subsystem:
+discrete-event simulator.  This package makes experiment execution a
+first-class subsystem — batch *and* online:
 
 * :mod:`repro.runtime.runner` — fan independent sweep points across a
   process pool with deterministic result ordering, per-task timeouts,
   bounded retries, pool respawn, and skip/fallback error policies;
+* :mod:`repro.runtime.jobs` — the reusable scheduling core under the
+  sweep runner: the worker pool (:class:`ExecPool`) and an online
+  :class:`JobScheduler` with bounded admission, coalescing, and
+  breaker-guarded retries;
+* :mod:`repro.runtime.service` — the tiered prediction frontend
+  (``repro serve``): analytical tier 0, shared-cache tier 1, DES
+  tier 2 with graceful degradation to the model under deadline,
+  saturation, and breaker-open conditions;
+* :mod:`repro.runtime.breaker` — the circuit breaker state machine
+  (closed / open / half-open) guarding the worker pool;
 * :mod:`repro.runtime.cache` — content-addressed on-disk JSON records
-  keyed by (config fields, dataset spec, kernel, point, code salt);
+  keyed by (config fields, dataset spec, kernel, point, code salt),
+  with corrupt-entry quarantine and an LRU ``max_bytes`` budget;
 * :mod:`repro.runtime.checkpoint` — append-only sweep manifests for
   crash-safe resume of interrupted campaigns;
 * :mod:`repro.runtime.errors` — the failure taxonomy (timeouts, worker
-  crashes, diverged simulations) with picklable structured payloads;
+  crashes, diverged simulations, saturation, open circuits) with
+  picklable structured payloads;
 * :mod:`repro.runtime.progress` — per-point wall-clock / simulated-ns /
   cache-hit / degradation instrumentation;
 * :mod:`repro.runtime.faults` — deterministic fault injection for
-  testing every failure path.
+  testing every failure path, batch and service-scoped.
 
-Benchmarks, the ``repro sweep``/``simulate``/``calibrate`` CLI
-commands, and future distributed backends all route through
-:func:`run_sweep`.
+Benchmarks, the ``repro sweep``/``simulate``/``calibrate``/``serve``
+CLI commands, and future distributed backends all route through
+:func:`run_sweep` and :class:`PredictionService`.
 """
 
+from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.cache import (
     CODE_VERSION,
+    MANIFEST_NAME,
     CacheStats,
     ResultCache,
     cache_key,
@@ -32,7 +46,9 @@ from repro.runtime.cache import (
 )
 from repro.runtime.checkpoint import SweepCheckpoint, gc_manifests
 from repro.runtime.errors import (
+    CircuitOpen,
     HardwareExhausted,
+    QueueSaturated,
     SimulationDiverged,
     TaskError,
     TaskTimeout,
@@ -40,7 +56,14 @@ from repro.runtime.errors import (
     failure_record,
     wrap_failure,
 )
-from repro.runtime.faults import FaultyTask
+from repro.runtime.faults import CrashTask, FaultyTask, ServiceFaultInjector
+from repro.runtime.jobs import (
+    ExecPool,
+    Job,
+    JobScheduler,
+    SchedulerStats,
+    backoff_delay,
+)
 from repro.runtime.progress import PointMetrics, ProgressTracker
 from repro.runtime.runner import (
     ON_ERROR_POLICIES,
@@ -50,16 +73,28 @@ from repro.runtime.runner import (
     run_sweep,
     spmm_task,
 )
+from repro.runtime.service import PredictionService, make_server, parse_query
 
 __all__ = [
     "CODE_VERSION",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CrashTask",
+    "ExecPool",
     "FaultyTask",
     "HardwareExhausted",
+    "Job",
+    "JobScheduler",
+    "MANIFEST_NAME",
     "ON_ERROR_POLICIES",
     "PointMetrics",
+    "PredictionService",
     "ProgressTracker",
+    "QueueSaturated",
     "ResultCache",
+    "SchedulerStats",
+    "ServiceFaultInjector",
     "SimulationDiverged",
     "SpMMTask",
     "SweepCheckpoint",
@@ -67,11 +102,14 @@ __all__ = [
     "TaskError",
     "TaskTimeout",
     "WorkerCrash",
+    "backoff_delay",
     "cache_key",
     "default_cache_dir",
     "default_workers",
     "failure_record",
     "gc_manifests",
+    "make_server",
+    "parse_query",
     "run_sweep",
     "spmm_task",
     "wrap_failure",

@@ -1,0 +1,175 @@
+"""Circuit breaker around the DES worker pool.
+
+A long-running prediction service cannot afford to keep feeding work
+into a pool that is structurally failing — a bad deploy, a poisoned
+graph spec, an OOM-ing host — because every doomed submission costs a
+worker respawn and a client its deadline.  The breaker watches the
+*infrastructure* failure signal (consecutive worker crashes and task
+timeouts; deterministic task failures like a diverged simulation say
+nothing about pool health and are ignored) and converts sustained
+failure into fast, structured refusal:
+
+* **closed** — normal operation; failures are counted, successes reset
+  the count.  ``failure_threshold`` consecutive failures trip the
+  breaker.
+* **open** — every :meth:`allow` is refused until ``reset_timeout_s``
+  has elapsed since the trip.  Refusals are O(1) and touch no pool.
+* **half-open** — after the cooldown, up to ``half_open_probes``
+  callers are let through as probes.  A probe success closes the
+  breaker; a probe failure re-opens it and restarts the cooldown.
+
+The clock is injectable so trip/recover sequences are deterministic in
+tests, and :meth:`snapshot` exposes the full state machine for the
+service's ``/healthz`` endpoint.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Breaker states (the values appear verbatim in ``/healthz``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive infrastructure failures that trip the breaker.
+    reset_timeout_s:
+        Cooldown before an open breaker starts admitting probes.
+    half_open_probes:
+        Probe slots available while half-open; outcomes settle the
+        state (success closes, failure re-opens).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, failure_threshold=5, reset_timeout_s=30.0,
+                 half_open_probes=1, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probes_inflight = 0
+        # Lifetime counters for /healthz and tests.
+        self.trips = 0
+        self.successes = 0
+        self.failures = 0
+        self.rejections = 0
+
+    @property
+    def state(self):
+        """Current state, advancing open->half-open if the cooldown passed."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self):
+        # Caller holds the lock.
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout_s):
+            self._state = HALF_OPEN
+            self._probes_inflight = 0
+
+    def allow(self):
+        """May a new unit of work enter the protected pool right now?
+
+        Consumes a probe slot when half-open, so every ``True`` must be
+        settled by exactly one later :meth:`record_success` /
+        :meth:`record_failure` (the scheduler guarantees this).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_inflight < self.half_open_probes:
+                    self._probes_inflight += 1
+                    return True
+            self.rejections += 1
+            return False
+
+    def record_success(self):
+        """A protected unit of work finished healthy."""
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state in (HALF_OPEN, OPEN):
+                # A success while nominally open can happen: work
+                # admitted before the trip finishing late.  Treat it as
+                # evidence of recovery either way.
+                self._state = CLOSED
+                self._opened_at = None
+                self._probes_inflight = 0
+
+    def record_failure(self):
+        """A protected unit of work died on infrastructure (crash/timeout)."""
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: back to a full cooldown.
+                self._trip()
+            elif (self._state == CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+            elif self._state == OPEN:
+                # Stragglers admitted before the trip keep the breaker
+                # open but do not extend the cooldown: the cooldown
+                # measures time since the *decision*, and late echoes
+                # of the same incident should not starve recovery.
+                pass
+
+    def _trip(self):
+        # Caller holds the lock.
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_inflight = 0
+        self.trips += 1
+
+    def retry_after_s(self):
+        """Seconds until the breaker could admit a probe (0 if it can now)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self.reset_timeout_s - (self._clock() - self._opened_at),
+            )
+
+    def snapshot(self):
+        """Structured state for ``/healthz`` (plain JSON)."""
+        with self._lock:
+            self._maybe_half_open()
+            open_for = (None if self._opened_at is None
+                        else self._clock() - self._opened_at)
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+                "half_open_probes": self.half_open_probes,
+                "probes_inflight": self._probes_inflight,
+                "open_for_s": open_for,
+                "trips": self.trips,
+                "successes": self.successes,
+                "failures": self.failures,
+                "rejections": self.rejections,
+            }

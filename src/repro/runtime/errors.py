@@ -150,6 +150,72 @@ class InvariantViolation(TaskError):
         return text
 
 
+class _RetryAfterError(TaskError):
+    """Base for admission-control rejections carrying a retry hint.
+
+    These never come from inside a worker — the scheduler raises them
+    *instead of* accepting work — but they share the taxonomy so CLI
+    output, HTTP handlers, and tests treat every refusal uniformly.
+    ``retry_after_s`` is advice, not a promise: the earliest moment a
+    retry could plausibly be admitted.
+    """
+
+    retryable = True
+
+    def __init__(self, message="", retry_after_s=1.0, label=None,
+                 attempts=0, cause=None):
+        super().__init__(message, label=label, attempts=attempts, cause=cause)
+        self.retry_after_s = float(retry_after_s)
+
+    def payload(self):
+        data = super().payload()
+        data["retry_after_s"] = self.retry_after_s
+        return data
+
+    def with_context(self, label=None, attempts=None):
+        return type(self)(
+            self.message,
+            retry_after_s=self.retry_after_s,
+            label=self.label if label is None else label,
+            attempts=self.attempts if attempts is None else attempts,
+            cause=self.cause,
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.message, self.retry_after_s, self.label, self.attempts,
+             self.cause),
+        )
+
+
+class QueueSaturated(_RetryAfterError):
+    """The bounded request queue is full; the work was *not* accepted.
+
+    Raised by :class:`~repro.runtime.jobs.JobScheduler.submit` (and the
+    prediction service on top of it) when admitting one more job would
+    exceed ``max_pending``.  Explicit backpressure: the caller sees a
+    structured refusal (HTTP 429 with ``Retry-After``) rather than an
+    unbounded queue silently converting overload into latency.
+    """
+
+    kind = "saturated"
+
+
+class CircuitOpen(_RetryAfterError):
+    """The DES worker-pool circuit breaker is open; work was refused.
+
+    Raised at admission while the :class:`~repro.runtime.breaker.
+    CircuitBreaker` protecting the simulation pool is open (consecutive
+    worker crashes / timeouts tripped it) and the caller did not win a
+    half-open probe slot.  The prediction service degrades such
+    requests to the tier-0 analytical answer instead of surfacing the
+    error.
+    """
+
+    kind = "circuit_open"
+
+
 class HardwareExhausted(TaskError):
     """The degraded fabric cannot execute the kernel at all.
 

@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the sweep runner.
+"""Deterministic fault injection for the sweep runner and the service.
 
 Testing the resilience layer needs workers that fail *on demand and on
 schedule*: crash on the first attempt, succeed on the second; hang
@@ -12,12 +12,30 @@ The task implements the full runner protocol (``run`` / ``label`` /
 ``key_payload`` / ``fallback_record``), so every ``run_sweep`` path —
 cache, checkpoint, retry, policy — can be exercised without touching
 the simulator.
+
+The *service-scoped* fault points (:class:`ServiceFaultInjector`,
+consumed by :class:`~repro.runtime.service.PredictionService`) inject
+failures at the tier boundaries rather than inside one task:
+
+* ``queue_full`` — the next N admissions see a saturated queue
+  (backpressure / 429 paths without actually filling the queue);
+* ``worker_crash_burst`` — the next N scheduled tasks are replaced by
+  hard worker-killers (:class:`CrashTask`), driving consecutive
+  :class:`~repro.runtime.errors.WorkerCrash` outcomes into the circuit
+  breaker deterministically;
+* ``slow_cache_io`` — every shared-cache read/write sleeps for the
+  armed duration (deadline and degradation paths around tier 1).
+
+All three are count- or toggle-armed from the test, consumed
+atomically, and observable (:meth:`ServiceFaultInjector.fired`), so
+breaker trip/recover sequences replay exactly.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import threading
 import time
 from dataclasses import dataclass
 
@@ -114,3 +132,113 @@ class FaultyTask:
             "sim_time_ns": 0.0,
             "error": None if error is None else error.payload(),
         }
+
+
+@dataclass(frozen=True)
+class CrashTask:
+    """A picklable task that kills its worker process immediately.
+
+    Wraps a victim task's identity (label/key payload/fallback pass
+    through) so the service's coalescing, cache keying, and tier-0
+    degradation all behave exactly as they would for the real task —
+    only the worker-side execution is sabotaged.  Used by the
+    ``worker_crash_burst`` service fault point.
+    """
+
+    victim: object
+
+    def label(self):
+        inner = getattr(self.victim, "label", None)
+        base = inner() if callable(inner) else "task"
+        return f"crash-burst:{base}"
+
+    def key_payload(self):
+        return self.victim.key_payload()
+
+    def fallback_record(self, error=None):
+        return self.victim.fallback_record(error)
+
+    def run(self):
+        # Hard worker death: skips all interpreter cleanup, so the
+        # parent sees BrokenProcessPool, exactly like a segfault.
+        os._exit(23)
+
+
+#: Service-scoped fault points (:class:`ServiceFaultInjector.arm`).
+SERVICE_FAULT_POINTS = ("queue_full", "worker_crash_burst",
+                        "slow_cache_io")
+
+
+class ServiceFaultInjector:
+    """Deterministic fault points at the prediction service's seams.
+
+    Thread-safe: the service consults it from request threads and the
+    scheduler pump concurrently.  Disarmed points cost one lock-free
+    dictionary miss, so a default (never-armed) injector is free.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._armed = {}
+        #: Per-point count of injections actually delivered.
+        self._fired = {point: 0 for point in SERVICE_FAULT_POINTS}
+
+    def arm(self, point, value):
+        """Arm ``point``.
+
+        ``queue_full`` / ``worker_crash_burst`` take a count (the next
+        N events are faulted); ``slow_cache_io`` takes a duration in
+        seconds (every cache I/O sleeps that long until disarmed with
+        ``0``).
+        """
+        if point not in SERVICE_FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; "
+                f"expected one of {SERVICE_FAULT_POINTS}"
+            )
+        if value < 0:
+            raise ValueError("fault value must be non-negative")
+        with self._lock:
+            if value:
+                self._armed[point] = value
+            else:
+                self._armed.pop(point, None)
+
+    def fired(self, point):
+        """How many times ``point`` actually injected."""
+        with self._lock:
+            return self._fired[point]
+
+    def _consume(self, point):
+        """Consume one count-armed injection; True if it fires."""
+        with self._lock:
+            remaining = self._armed.get(point, 0)
+            if not remaining:
+                return False
+            remaining -= 1
+            if remaining:
+                self._armed[point] = remaining
+            else:
+                del self._armed[point]
+            self._fired[point] += 1
+            return True
+
+    def queue_full(self):
+        """Should this admission be rejected as saturated?"""
+        return self._consume("queue_full")
+
+    def sabotage(self, task):
+        """Possibly replace ``task`` with a worker-killer (crash burst)."""
+        if self._consume("worker_crash_burst"):
+            return CrashTask(task)
+        return task
+
+    def cache_delay(self):
+        """Sleep the armed ``slow_cache_io`` duration (0 when disarmed)."""
+        with self._lock:
+            delay = self._armed.get("slow_cache_io", 0.0)
+            if delay:
+                self._fired["slow_cache_io"] += 1
+        if delay:
+            time.sleep(delay)
+        return delay

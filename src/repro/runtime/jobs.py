@@ -1,0 +1,572 @@
+"""Reusable job-execution primitives shared by batch sweeps and the
+online prediction service.
+
+PR 1-5 grew :func:`repro.runtime.runner.run_sweep` a robust inner
+machine — windowed submission into a process pool, per-task wall-clock
+timeouts enforced by killing hung workers, pool respawn on
+``BrokenProcessPool``, bounded retries with deterministic backoff.
+That machine was welded into one batch-shaped loop ("run this finite
+grid, return when done").  This module extracts it into pieces an
+*online* frontend can also use:
+
+* :func:`backoff_delay` — the retry-delay policy (exponential with
+  deterministic jitter), shared verbatim with the batch runner;
+* :class:`ExecPool` — a lazily spawned, kill-capable, respawnable
+  ``ProcessPoolExecutor`` wrapper (the only sanctioned way to stop a
+  hung worker is to kill its process, which takes the pool with it);
+* :class:`Job` — one admitted unit of work with a thread-safe
+  completion latch, shared by however many callers coalesced onto it;
+* :class:`JobScheduler` — a persistent streaming scheduler: bounded
+  admission with explicit :class:`~repro.runtime.errors.QueueSaturated`
+  backpressure, coalescing of identical in-flight work by content key,
+  per-job timeouts, bounded retries, automatic pool respawn, and an
+  optional :class:`~repro.runtime.breaker.CircuitBreaker` consulted at
+  admission and fed by infrastructure outcomes (crashes / timeouts).
+
+The batch runner keeps its own drain loop (batch semantics — strict
+submission-order results, checkpoint integration — are different
+enough that sharing the *loop* would help neither) but now builds on
+:class:`ExecPool` and :func:`backoff_delay`, so pool lifecycle and
+retry policy have exactly one implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.runtime.errors import (
+    CircuitOpen,
+    QueueSaturated,
+    TaskError,
+    TaskTimeout,
+    WorkerCrash,
+    wrap_failure,
+)
+
+
+def backoff_delay(attempt, backoff_s, backoff_cap_s, jitter, rng):
+    """Exponential backoff with multiplicative jitter for one retry."""
+    if backoff_s <= 0:
+        return 0.0
+    base = min(backoff_cap_s, backoff_s * (2 ** max(0, attempt - 1)))
+    if jitter > 0:
+        base += rng.uniform(0.0, jitter * base)
+    return base
+
+
+def run_task(task):
+    """Module-level trampoline so tasks pickle into worker processes."""
+    return task.run()
+
+
+class ExecPool:
+    """Lazily spawned, kill-capable, respawnable process pool.
+
+    ``ProcessPoolExecutor`` cannot cancel a running call; the only way
+    to stop a hung or wedged worker is to kill its process, which
+    breaks the whole pool.  This wrapper owns that lifecycle: the pool
+    spawns on first :meth:`submit`, :meth:`close` optionally kills the
+    worker processes first, and a closed pool transparently respawns on
+    the next submit — so callers express "kill and respawn" as
+    ``close(kill=True)`` followed by business as usual.
+    """
+
+    def __init__(self, max_workers):
+        self.max_workers = max(1, int(max_workers))
+        self._pool = None
+        #: Lifetime respawn count (observability: /healthz, tests).
+        self.spawns = 0
+
+    @property
+    def active(self):
+        return self._pool is not None
+
+    def submit(self, fn, *args):
+        """Submit a call, spawning the pool if needed.
+
+        Propagates whatever the executor raises (e.g. submitting into a
+        pool that broke between completions) — the caller decides
+        whether to close-and-retry.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.spawns += 1
+        return self._pool.submit(fn, *args)
+
+    def close(self, kill=False):
+        """Shut the pool down (``kill=True`` hard-kills workers first).
+
+        Idempotent; a later :meth:`submit` respawns a fresh pool.
+        """
+        if self._pool is None:
+            return
+        if kill:
+            # The only way to stop a hung (or wedged) worker: the
+            # executor API cannot cancel a running call.
+            processes = getattr(self._pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+
+class Job:
+    """One admitted unit of work, shared by every coalesced waiter.
+
+    Created by :meth:`JobScheduler.submit`; callers block on
+    :meth:`wait` / :meth:`result`.  A job always reaches exactly one
+    terminal state — a record or a :class:`TaskError` — even if every
+    waiter gave up long ago (the scheduler never drops accepted work).
+    """
+
+    __slots__ = ("task", "key", "waiters", "attempts", "accepted_at",
+                 "record", "error", "_done")
+
+    def __init__(self, task, key, clock=time.monotonic):
+        self.task = task
+        self.key = key
+        self.waiters = 1
+        self.attempts = 0
+        self.accepted_at = clock()
+        self.record = None
+        self.error = None
+        self._done = threading.Event()
+
+    @property
+    def done(self):
+        return self._done.is_set()
+
+    def wait(self, timeout=None):
+        """Block until the job is terminal; False on wait timeout.
+
+        A ``False`` return does *not* cancel the job — it keeps
+        running, and its record still lands wherever the scheduler's
+        ``on_result`` callback puts it (the service's shared cache).
+        """
+        return self._done.wait(timeout)
+
+    def result(self, timeout=None):
+        """The job's record; raises its :class:`TaskError` on failure.
+
+        Raises :class:`TimeoutError` if the job is not terminal within
+        ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.key or id(self)} not done after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.record
+
+    def _finish(self, record):
+        self.record = record
+        self._done.set()
+
+    def _fail(self, error):
+        self.error = error
+        self._done.set()
+
+
+class SchedulerStats:
+    """Lifetime counters of one :class:`JobScheduler` (plain ints)."""
+
+    FIELDS = ("accepted", "coalesced", "rejected_full", "rejected_open",
+              "completed", "failed", "retried", "crashes", "timeouts")
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+class JobScheduler:
+    """Persistent streaming job scheduler over a process pool.
+
+    The online counterpart of :func:`~repro.runtime.runner.run_sweep`:
+    work arrives one job at a time from concurrent frontends instead of
+    as a finite grid, so admission control, coalescing, and breaker
+    integration live here rather than result ordering and checkpoints.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width (also the submission window: at most this
+        many jobs execute concurrently, so a job's ``timeout`` measures
+        execution, not queueing).
+    timeout:
+        Per-attempt wall-clock budget in seconds; on expiry the worker
+        processes are killed, the pool respawned, the expired job
+        charged a :class:`TaskTimeout` attempt, and in-flight innocents
+        resubmitted uncharged.  ``None`` disables.
+    retries:
+        Extra attempts per job after a retryable failure.
+    max_pending:
+        Bound on accepted-but-unfinished jobs (queued + retrying +
+        in-flight).  :meth:`submit` raises
+        :class:`~repro.runtime.errors.QueueSaturated` beyond it —
+        explicit backpressure instead of unbounded queueing.
+    breaker:
+        Optional :class:`~repro.runtime.breaker.CircuitBreaker`.
+        Consulted at admission (refusal raises
+        :class:`~repro.runtime.errors.CircuitOpen`); fed
+        ``record_failure`` on every crash/timeout *attempt* and
+        ``record_success`` on every completion.  Deterministic task
+        failures (diverged simulation, invariant violation, a plain
+        exception inside ``task.run()``) say nothing about pool health
+        and do not touch it.
+    on_result / on_failure:
+        Callbacks ``(job, record)`` / ``(job, error)`` invoked from the
+        scheduler thread when a job turns terminal — the service uses
+        ``on_result`` to backfill the shared cache *before* waiters
+        wake.  Exceptions are swallowed with a warning: a bookkeeping
+        callback must not kill the pump.
+    backoff_s / backoff_cap_s / jitter / rng_seed:
+        Retry-delay policy (:func:`backoff_delay`).
+    poll_s:
+        Pump granularity: how often the scheduler re-checks queues and
+        timeouts while work is in flight.
+    """
+
+    def __init__(self, workers=2, *, timeout=None, retries=0,
+                 max_pending=64, breaker=None, on_result=None,
+                 on_failure=None, backoff_s=0.25, backoff_cap_s=8.0,
+                 jitter=0.0, rng_seed=1729, poll_s=0.05,
+                 clock=time.monotonic):
+        import random
+
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.max_pending = int(max_pending)
+        self.breaker = breaker
+        self.on_result = on_result
+        self.on_failure = on_failure
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = jitter
+        self.poll_s = poll_s
+        self._rng = random.Random(rng_seed)
+        self._clock = clock
+        self.pool = ExecPool(self.workers)
+        self.stats = SchedulerStats()
+
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._queue = deque()      # admitted jobs awaiting submission
+        self._retry = []           # heap of (ready_at, seq, job)
+        self._retry_seq = 0
+        self._jobs = {}            # key -> live job (coalescing index)
+        self._inflight = {}        # future -> (job, started_at)
+        self._pending = 0          # queued + retrying + in-flight
+        self._closed = False
+        self._drain = False
+        self._thread = threading.Thread(
+            target=self._run, name="job-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Frontend API (any thread)
+
+    @property
+    def pending(self):
+        """Accepted-but-unfinished jobs (queued + retrying + in-flight)."""
+        with self._lock:
+            return self._pending
+
+    def submit(self, task, key=None):
+        """Admit ``task``; returns its (possibly shared) :class:`Job`.
+
+        ``key`` is the coalescing identity — normally the task's
+        content-cache key.  If a live job with the same key is already
+        accepted, no new work is created: the caller becomes one more
+        waiter on that job (one DES run fans out to all of them).
+        ``key=None`` disables coalescing for this submission.
+
+        Raises
+        ------
+        QueueSaturated
+            The bounded queue is full.  Carries ``retry_after_s``.
+        CircuitOpen
+            The breaker is open and no probe slot was available.
+        RuntimeError
+            The scheduler has been closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if key is not None:
+                job = self._jobs.get(key)
+                if job is not None:
+                    job.waiters += 1
+                    self.stats.coalesced += 1
+                    return job
+            if self._pending >= self.max_pending:
+                self.stats.rejected_full += 1
+                raise QueueSaturated(
+                    f"job queue full ({self._pending}/{self.max_pending} "
+                    "pending)",
+                    retry_after_s=self._retry_after_estimate(),
+                    label=self._label(task),
+                )
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.rejected_open += 1
+                raise CircuitOpen(
+                    "worker-pool circuit breaker is open",
+                    retry_after_s=max(1.0, self.breaker.retry_after_s()),
+                    label=self._label(task),
+                )
+            job = Job(task, key, clock=self._clock)
+            if key is not None:
+                self._jobs[key] = job
+            self._queue.append(job)
+            self._pending += 1
+            self.stats.accepted += 1
+        self._wake.set()
+        return job
+
+    def snapshot(self):
+        """Structured queue state for ``/healthz``."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "max_pending": self.max_pending,
+                "pending": self._pending,
+                "queued": len(self._queue),
+                "retrying": len(self._retry),
+                "inflight": len(self._inflight),
+                "pool_active": self.pool.active,
+                "pool_spawns": self.pool.spawns,
+                "counters": self.stats.snapshot(),
+            }
+
+    def close(self, drain=False, timeout=30.0):
+        """Stop the scheduler.
+
+        ``drain=True`` finishes every accepted job first; ``False``
+        (default) fails queued/retrying/in-flight jobs with a
+        structured :class:`TaskError` and kills the pool — shutdown is
+        the one path allowed to interrupt accepted work, and it does so
+        loudly, never silently.
+        """
+        with self._lock:
+            self._closed = True
+            self._drain = drain
+        self._wake.set()
+        self._thread.join(timeout)
+        self.pool.close(kill=True)
+
+    # ------------------------------------------------------------------
+    # Pump internals (scheduler thread only)
+
+    def _label(self, task):
+        label = getattr(task, "label", None)
+        return label() if callable(label) else None
+
+    def _retry_after_estimate(self):
+        # Crude but honest: pending work divided by pool width, scaled
+        # by the per-attempt budget (or a 1s floor when unbounded).
+        per_job = self.timeout if self.timeout else 1.0
+        return max(1.0, self._pending * per_job / self.workers)
+
+    def _run(self):
+        while True:
+            with self._lock:
+                now = self._clock()
+                while self._retry and self._retry[0][0] <= now:
+                    _ready, _seq, job = heapq.heappop(self._retry)
+                    self._queue.append(job)
+                if self._closed and not self._drain:
+                    break
+                while self._queue and len(self._inflight) < self.workers:
+                    job = self._queue.popleft()
+                    try:
+                        future = self.pool.submit(run_task, job.task)
+                    except Exception:
+                        # Pool broke between completions; respawn on
+                        # the next pass and try again.
+                        self._queue.appendleft(job)
+                        self.pool.close(kill=False)
+                        break
+                    self._inflight[future] = (job, time.monotonic())
+                inflight = dict(self._inflight)
+                idle = not inflight and not self._queue
+                done_draining = (self._closed and self._drain and idle
+                                 and not self._retry)
+                next_retry = self._retry[0][0] if self._retry else None
+            if done_draining:
+                break
+            if not inflight:
+                delay = self.poll_s
+                if idle and next_retry is None:
+                    delay = 1.0  # nothing to do until a submit wakes us
+                elif next_retry is not None:
+                    delay = min(1.0, max(0.0, next_retry - self._clock()))
+                self._wake.wait(delay)
+                self._wake.clear()
+                continue
+            self._pump_inflight(inflight)
+        self._abort_remaining()
+
+    def _pump_inflight(self, inflight):
+        wait_s = self.poll_s
+        if self.timeout is not None:
+            oldest = min(at for _job, at in inflight.values())
+            wait_s = min(
+                wait_s, max(0.0, oldest + self.timeout - time.monotonic())
+            )
+        done, _pending = wait(list(inflight), timeout=wait_s,
+                              return_when=FIRST_COMPLETED)
+        pool_broken = False
+        for future in done:
+            with self._lock:
+                job, started_at = self._inflight.pop(future)
+            try:
+                record = future.result()
+            except BrokenProcessPool:
+                pool_broken = True
+                self._attempt_failed(job, WorkerCrash(
+                    "worker process died",
+                    label=self._label(job.task),
+                    attempts=job.attempts + 1,
+                    cause="BrokenProcessPool",
+                ), infra=True)
+            except Exception as raw:
+                error = wrap_failure(
+                    raw, self._label(job.task), job.attempts + 1
+                )
+                self._attempt_failed(
+                    job, error,
+                    infra=isinstance(error, (WorkerCrash, TaskTimeout)),
+                )
+            else:
+                job.attempts += 1
+                self._job_done(job, record)
+        if pool_broken:
+            # Every sibling future died with the pool; the culprit is
+            # indistinguishable, so each in-flight job is charged a
+            # crash attempt and the pool respawns for the rest.
+            with self._lock:
+                orphans = list(self._inflight.values())
+                self._inflight.clear()
+            for job, _started_at in orphans:
+                self._attempt_failed(job, WorkerCrash(
+                    "worker process died",
+                    label=self._label(job.task),
+                    attempts=job.attempts + 1,
+                    cause="BrokenProcessPool",
+                ), infra=True)
+            self.pool.close(kill=False)
+            return
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                (future, job, started_at)
+                for future, (job, started_at) in self._inflight.items()
+                if now - started_at >= self.timeout
+            ]
+            if not expired:
+                return
+            for future, _job, _at in expired:
+                del self._inflight[future]
+            # Killing the hung worker kills the whole pool; in-flight
+            # innocents are re-queued without being charged an attempt.
+            innocents = [job for job, _at in self._inflight.values()]
+            self._inflight.clear()
+            self._queue.extendleft(reversed(innocents))
+        for _future, job, _started_at in expired:
+            self._attempt_failed(job, TaskTimeout(
+                f"no result after {self.timeout:.1f}s",
+                label=self._label(job.task),
+                attempts=job.attempts + 1,
+                cause=f"timeout={self.timeout}",
+            ), infra=True)
+        self.pool.close(kill=True)
+
+    def _attempt_failed(self, job, error, infra):
+        job.attempts = error.attempts
+        if isinstance(error, WorkerCrash):
+            self.stats.crashes += 1
+        elif isinstance(error, TaskTimeout):
+            self.stats.timeouts += 1
+        if infra and self.breaker is not None:
+            self.breaker.record_failure()
+        if error.retryable and job.attempts <= self.retries:
+            delay = backoff_delay(job.attempts, self.backoff_s,
+                                  self.backoff_cap_s, self.jitter, self._rng)
+            with self._lock:
+                heapq.heappush(
+                    self._retry,
+                    (self._clock() + delay, self._retry_seq, job),
+                )
+                self._retry_seq += 1
+            self.stats.retried += 1
+            return
+        self._job_terminal(job)
+        self.stats.failed += 1
+        if self.on_failure is not None:
+            try:
+                self.on_failure(job, error)
+            except Exception as exc:  # pragma: no cover - defensive
+                warnings.warn(f"on_failure callback raised: {exc!r}",
+                              RuntimeWarning)
+        job._fail(error)
+
+    def _job_done(self, job, record):
+        if self.breaker is not None:
+            self.breaker.record_success()
+        self._job_terminal(job)
+        self.stats.completed += 1
+        if self.on_result is not None:
+            # Backfill callbacks run *before* waiters wake, so a waiter
+            # that immediately re-queries the shared cache hits.
+            try:
+                self.on_result(job, record)
+            except Exception as exc:
+                warnings.warn(f"on_result callback raised: {exc!r}",
+                              RuntimeWarning)
+        job._finish(record)
+
+    def _job_terminal(self, job):
+        with self._lock:
+            if job.key is not None and self._jobs.get(job.key) is job:
+                del self._jobs[job.key]
+            self._pending -= 1
+
+    def _abort_remaining(self):
+        """Closed without drain: fail leftovers loudly, kill the pool."""
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            leftovers.extend(job for _r, _s, job in self._retry)
+            self._retry = []
+            leftovers.extend(job for job, _at in self._inflight.values())
+            self._inflight.clear()
+        for job in leftovers:
+            self._job_terminal(job)
+            self.stats.failed += 1
+            job._fail(TaskError(
+                "scheduler closed before the job finished",
+                label=self._label(job.task),
+                attempts=job.attempts,
+                cause="shutdown",
+            ))
+        self.pool.close(kill=True)

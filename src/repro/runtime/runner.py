@@ -37,7 +37,7 @@ import random
 import time
 import warnings
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 
@@ -48,6 +48,7 @@ from repro.runtime.errors import (
     failure_record,
     wrap_failure,
 )
+from repro.runtime.jobs import ExecPool, backoff_delay
 from repro.runtime.progress import ProgressTracker
 
 #: Valid ``on_error`` policies of :func:`run_sweep`.
@@ -319,16 +320,6 @@ def default_workers():
     return max(1, min(4, os.cpu_count() or 1))
 
 
-def _backoff_delay(attempt, backoff_s, backoff_cap_s, jitter, rng):
-    """Exponential backoff with multiplicative jitter for one retry."""
-    if backoff_s <= 0:
-        return 0.0
-    base = min(backoff_cap_s, backoff_s * (2 ** max(0, attempt - 1)))
-    if jitter > 0:
-        base += rng.uniform(0.0, jitter * base)
-    return base
-
-
 @dataclass
 class SweepReport:
     """Outcome of one :func:`run_sweep` call.
@@ -584,8 +575,8 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
                     error = wrap_failure(raw, tasks[index].label(), attempts)
                     wall_s = time.perf_counter() - point_start
                     if error.retryable and attempts <= retries:
-                        sleep(_backoff_delay(attempts, backoff_s,
-                                             backoff_cap_s, jitter, rng))
+                        sleep(backoff_delay(attempts, backoff_s,
+                                            backoff_cap_s, jitter, rng))
                         continue
                     _resolve_failure(index, error, wall_s)
                 else:
@@ -599,28 +590,16 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         retry_heap = []  # (ready_at, seq, index)
         retry_seq = 0
         inflight = {}  # future -> (index, started_at)
-        pool = None
-
-        def _shutdown_pool(kill):
-            nonlocal pool
-            if pool is None:
-                return
-            if kill:
-                # The only way to stop a hung (or wedged) worker: the
-                # executor API cannot cancel a running call.
-                processes = getattr(pool, "_processes", None) or {}
-                for process in list(processes.values()):
-                    try:
-                        process.kill()
-                    except Exception:
-                        pass
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = None
+        # Kill-capable respawnable pool wrapper shared with the online
+        # JobScheduler (repro.runtime.jobs): spawns lazily on the first
+        # submit, close(kill=True) hard-kills hung workers, and the
+        # next submit transparently respawns.
+        pool = ExecPool(pool_workers)
 
         def _schedule_retry(index):
             nonlocal retry_seq
-            delay = _backoff_delay(attempts[index], backoff_s,
-                                   backoff_cap_s, jitter, rng)
+            delay = backoff_delay(attempts[index], backoff_s,
+                                  backoff_cap_s, jitter, rng)
             heapq.heappush(
                 retry_heap,
                 (time.perf_counter() + delay, retry_seq, index),
@@ -640,13 +619,11 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
                 while retry_heap and retry_heap[0][0] <= now:
                     _ready, _seq, index = heapq.heappop(retry_heap)
                     queue.append(index)
-                if queue and pool is None:
-                    pool = ProcessPoolExecutor(max_workers=pool_workers)
                 # Windowed submission: at most pool_workers points in
                 # flight, so a submitted point starts (nearly)
                 # immediately and its timeout measures execution, not
                 # queueing behind the rest of the grid.
-                while pool is not None and queue and len(inflight) < pool_workers:
+                while queue and len(inflight) < pool_workers:
                     index = queue.popleft()
                     try:
                         future = pool.submit(_execute_task, tasks[index])
@@ -654,7 +631,7 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
                         # Pool broke between completions; respawn on
                         # the next iteration and try again.
                         queue.appendleft(index)
-                        _shutdown_pool(kill=False)
+                        pool.close(kill=False)
                         break
                     inflight[future] = (index, time.perf_counter())
                 if not inflight:
@@ -704,7 +681,7 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
                             cause="BrokenProcessPool",
                         ), now - started_at)
                     inflight.clear()
-                    _shutdown_pool(kill=False)
+                    pool.close(kill=False)
                     continue
                 if timeout is not None and inflight:
                     now = time.perf_counter()
@@ -728,11 +705,11 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
                         for future, (index, _at) in inflight.items():
                             queue.append(index)
                         inflight.clear()
-                        _shutdown_pool(kill=True)
+                        pool.close(kill=True)
         finally:
             # Abnormal exit (on_error="raise" mid-flight) may leave
             # running workers; kill only then, else close gracefully.
-            _shutdown_pool(kill=bool(inflight))
+            pool.close(kill=bool(inflight))
 
     if checkpoint is not None:
         # The sweep ran to completion: compact the append-only manifest

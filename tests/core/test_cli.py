@@ -140,3 +140,72 @@ class TestRooflineCommand:
         assert code == 0
         assert "ridge" in text
         assert "spmm" in text
+
+
+class TestCacheCommand:
+    def seed(self, tmp_path, monkeypatch, n=3):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        import os
+
+        from repro.runtime import ResultCache
+
+        cache = ResultCache()
+        for i in range(n):
+            cache.put(f"{i:064x}", {"fill": "x" * 300})
+            path = cache.directory / f"{i:064x}.json"
+            os.utime(path, (1_000 + i, 1_000 + i))
+        return cache
+
+    def test_stats_reports_size_and_entries(self, tmp_path, monkeypatch):
+        self.seed(tmp_path, monkeypatch)
+        code, text = run_cli(["cache", "stats", "--entries", "2"])
+        assert code == 0
+        assert "3 record(s)" in text
+        assert "most recently used" in text
+
+    def test_stats_counts_quarantined(self, tmp_path, monkeypatch):
+        cache = self.seed(tmp_path, monkeypatch)
+        (cache.directory / f"{0:064x}.json").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(f"{0:064x}") is None
+        code, text = run_cli(["cache", "stats"])
+        assert code == 0
+        assert "1 corrupt" in text
+
+    def test_gc_requires_budget(self, tmp_path, monkeypatch):
+        self.seed(tmp_path, monkeypatch)
+        code, text = run_cli(["cache", "gc"])
+        assert code == 2
+        assert "--max-bytes" in text
+
+    def test_gc_evicts_and_reports(self, tmp_path, monkeypatch):
+        cache = self.seed(tmp_path, monkeypatch)
+        size = (cache.directory / f"{0:064x}.json").stat().st_size
+        code, text = run_cli(
+            ["cache", "gc", "--max-bytes", str(int(size * 1.5))]
+        )
+        assert code == 0
+        assert "evicted 2" in text
+        # The stats view now shows the recorded gc pass.
+        code, text = run_cli(["cache", "stats"])
+        assert "last gc: evicted 2" in text
+
+    def test_clear_removes_records(self, tmp_path, monkeypatch):
+        self.seed(tmp_path, monkeypatch)
+        code, text = run_cli(["cache", "clear"])
+        assert code == 0
+        assert "cleared 3" in text
+        code, text = run_cli(["cache", "stats"])
+        assert "0 record(s)" in text
+
+
+class TestServeParser:
+    def test_serve_is_registered_with_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.max_pending == 32
+        assert args.deadline == 30.0
+        assert args.breaker_threshold == 5
+        assert not args.no_cache

@@ -1,0 +1,140 @@
+"""Circuit-breaker state machine, driven by a fake clock.
+
+Every transition — trip, cooldown, half-open probe, recovery, re-trip —
+is exercised deterministically: the breaker takes an injectable clock,
+so no test sleeps.
+"""
+
+import pytest
+
+from repro.runtime.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0,
+                          half_open_probes=1, clock=clock)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_success_resets_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_rejections_counted(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.allow()
+        breaker.allow()
+        assert breaker.snapshot()["rejections"] == 2
+
+
+class TestRecovery:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_half_open_after_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_budget_is_bounded(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(10.1)
+        assert breaker.allow()       # the single probe slot
+        assert not breaker.allow()   # no second concurrent probe
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # The re-trip restarts the cooldown from the probe failure.
+        clock.advance(10.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_full_cycle_counts_two_trips(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(10.1)
+        breaker.allow()
+        breaker.record_failure()
+        clock.advance(10.1)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.snapshot()["trips"] == 2
+
+
+class TestObservability:
+    def test_retry_after_counts_down(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.retry_after_s() == pytest.approx(6.0)
+
+    def test_retry_after_zero_when_closed(self, breaker):
+        assert breaker.retry_after_s() == 0.0
+
+    def test_snapshot_shape(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["failure_threshold"] == 3
+        assert snap["failures"] == 3
+        assert snap["open_for_s"] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)

@@ -94,13 +94,15 @@ class TestResultCache:
         cache.put("k", {"v": 1})
         path = cache.directory / "k.json"
         path.write_text("{not json")
-        assert cache.get("k") is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get("k") is None
 
     def test_entry_missing_record_field_is_a_miss(self, cache):
         cache.put("k", {"v": 1})
         path = cache.directory / "k.json"
         path.write_text(json.dumps({"salt": "x"}))
-        assert cache.get("k") is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get("k") is None
 
     def test_clear_removes_everything(self, cache):
         cache.put("a", {"v": 1})

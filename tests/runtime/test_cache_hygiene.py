@@ -1,0 +1,202 @@
+"""Crash-safety and size hygiene of the shared result cache.
+
+The serving tier shares one cache directory across sweep workers, the
+prediction service, and possibly a SIGKILL'd previous incarnation of
+any of them.  These tests pin the two hygiene mechanisms that makes
+that safe: corrupt-entry *quarantine* (a truncated or garbage entry
+becomes a miss plus an inert ``*.corrupt`` file, never an exception)
+and the *LRU size budget* (``max_bytes`` eviction with an atomic
+summary manifest).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import ResultCache
+from repro.runtime.cache import MANIFEST_NAME
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=tmp_path / "cache")
+
+
+def entry_path(cache, key):
+    return cache.directory / f"{key}.json"
+
+
+class TestQuarantine:
+    def test_truncated_entry_quarantined(self, cache):
+        """Regression: a writer SIGKILL'd mid-``os.replace`` window (or a
+        torn filesystem) leaves a half-written JSON file; reading it
+        must degrade to a miss and move the file aside."""
+        cache.put("k", {"payload": "x" * 256})
+        path = entry_path(cache, "k")
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get("k") is None
+        assert not path.exists()
+        assert (cache.directory / "k.json.corrupt").exists()
+        assert cache.stats.corrupt == 1
+        assert cache.quarantined() == 1
+
+    def test_empty_entry_quarantined(self, cache):
+        cache.put("k", {"v": 1})
+        entry_path(cache, "k").write_text("")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get("k") is None
+        assert cache.quarantined() == 1
+
+    def test_entry_without_record_field_quarantined(self, cache):
+        cache.put("k", {"v": 1})
+        entry_path(cache, "k").write_text(json.dumps({"salt": "x"}))
+        with pytest.warns(RuntimeWarning):
+            assert cache.get("k") is None
+        assert cache.quarantined() == 1
+
+    def test_warns_once_then_silent(self, cache):
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        for key in ("a", "b"):
+            entry_path(cache, key).write_text("garbage")
+        with pytest.warns(RuntimeWarning) as caught:
+            assert cache.get("a") is None
+            assert cache.get("b") is None
+        quarantine_warnings = [
+            w for w in caught if "quarantined" in str(w.message)
+        ]
+        assert len(quarantine_warnings) == 1
+        assert cache.stats.corrupt == 2
+
+    def test_quarantined_entry_can_be_rewritten(self, cache):
+        cache.put("k", {"v": 1})
+        entry_path(cache, "k").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            cache.get("k")
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+
+    def test_plain_miss_is_not_a_quarantine(self, cache):
+        assert cache.get("never-written") is None
+        assert cache.stats.corrupt == 0
+        assert cache.quarantined() == 0
+
+    def test_corrupt_files_never_count_as_entries(self, cache):
+        cache.put("k", {"v": 1})
+        entry_path(cache, "k").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            cache.get("k")
+        assert len(cache) == 0
+        assert cache.entries() == []
+
+    def test_clear_sweeps_quarantined_files(self, cache):
+        cache.put("k", {"v": 1})
+        entry_path(cache, "k").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            cache.get("k")
+        cache.clear()
+        assert cache.quarantined() == 0
+
+
+def fill_entries(cache, keys, mtime_base=1_000):
+    """Write same-shaped entries with strictly increasing mtimes.
+
+    Returns the (uniform) per-entry file size, so tests can express
+    budgets as entry multiples instead of guessing byte overheads.
+    """
+    for i, key in enumerate(keys):
+        cache.put(key, {"fill": "x" * 300})
+        os.utime(entry_path(cache, key),
+                 (mtime_base + i, mtime_base + i))
+    return entry_path(cache, keys[0]).stat().st_size
+
+
+class TestSizeBudget:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(directory=tmp_path, max_bytes=0)
+
+    def test_put_evicts_least_recently_used(self, cache):
+        size = fill_entries(cache, ("old", "mid", "new"))
+        # Room for three and a half entries: the fourth put must evict
+        # exactly the least recently used one.
+        cache.max_bytes = int(size * 3.5)
+        cache.put("newest", {"fill": "x" * 300})
+        assert cache.get("old") is None
+        assert cache.get("newest") is not None
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_hit_refreshes_recency(self, cache):
+        size = fill_entries(cache, ("a", "b", "c"))
+        # Touch the oldest: it must survive the next eviction pass.
+        assert cache.get("a") is not None
+        os.utime(entry_path(cache, "b"), (900, 900))
+        cache.max_bytes = int(size * 3.5)
+        cache.put("d", {"fill": "x" * 300})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_just_written_key_is_protected(self, tmp_path):
+        # A record bigger than the whole budget still lands; the cache
+        # ends over budget rather than evicting what it just wrote.
+        cache = ResultCache(directory=tmp_path / "c", max_bytes=100)
+        cache.put("big", {"fill": "x" * 500})
+        assert cache.get("big") is not None
+
+    def test_explicit_gc_with_budget_argument(self, cache):
+        size = fill_entries(cache, tuple(f"k{i}" for i in range(4)))
+        assert cache.gc(max_bytes=int(size * 2.5)) == 2
+        assert cache.total_bytes() <= int(size * 2.5)
+
+    def test_gc_without_budget_is_a_noop(self, cache):
+        cache.put("k", {"v": 1})
+        assert cache.gc() == 0
+        assert cache.get("k") is not None
+
+
+class TestManifest:
+    def test_written_after_eviction_and_readable(self, cache):
+        size = fill_entries(cache, tuple(f"k{i}" for i in range(4)))
+        budget = int(size * 2.5)
+        cache.gc(max_bytes=budget)
+        manifest = cache.read_manifest()
+        assert manifest is not None
+        assert manifest["max_bytes"] == budget
+        assert manifest["evicted_last_gc"] == 2
+        assert manifest["bytes"] <= budget
+
+    def test_manifest_is_not_an_entry(self, cache):
+        size = fill_entries(cache, tuple(f"k{i}" for i in range(4)))
+        cache.gc(max_bytes=int(size * 2.5))
+        assert MANIFEST_NAME in os.listdir(cache.directory)
+        assert all(key.startswith("k") for key, _s, _m in cache.entries())
+        assert len(cache) == 2
+
+    def test_corrupt_manifest_reads_as_none(self, cache):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache.manifest_path.write_text("{torn")
+        assert cache.read_manifest() is None
+
+    def test_clear_removes_manifest(self, cache):
+        size = fill_entries(cache, tuple(f"k{i}" for i in range(4)))
+        cache.gc(max_bytes=int(size * 2.5))
+        cache.clear()
+        assert cache.read_manifest() is None
+
+
+class TestStatsString:
+    def test_mentions_hygiene_counters_only_when_nonzero(self, cache):
+        assert "quarantined" not in str(cache.stats)
+        assert "evicted" not in str(cache.stats)
+        size = fill_entries(cache, tuple(f"k{i}" for i in range(4)))
+        cache.gc(max_bytes=int(size * 2.5))
+        cache.put("bad", {"v": 1})
+        entry_path(cache, "bad").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            cache.get("bad")
+        text = str(cache.stats)
+        assert "quarantined" in text
+        assert "evicted" in text

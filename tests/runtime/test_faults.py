@@ -160,3 +160,61 @@ class TestFaultHarness:
         task = make_task("counted", ("raise", "raise", "ok"))
         run_sweep([task, make_task("b")], workers=2, retries=2, **FAST)
         assert task.attempts_made() == 3
+
+
+class TestServiceFaultInjector:
+    def test_unknown_point_rejected(self):
+        from repro.runtime import ServiceFaultInjector
+
+        injector = ServiceFaultInjector()
+        with pytest.raises(ValueError, match="unknown fault point"):
+            injector.arm("cosmic_rays", 1)
+        with pytest.raises(ValueError):
+            injector.arm("queue_full", -1)
+
+    def test_count_armed_points_consume_exactly(self):
+        from repro.runtime import ServiceFaultInjector
+
+        injector = ServiceFaultInjector()
+        injector.arm("queue_full", 2)
+        assert injector.queue_full()
+        assert injector.queue_full()
+        assert not injector.queue_full()
+        assert injector.fired("queue_full") == 2
+
+    def test_disarm_with_zero(self):
+        from repro.runtime import ServiceFaultInjector
+
+        injector = ServiceFaultInjector()
+        injector.arm("queue_full", 5)
+        injector.arm("queue_full", 0)
+        assert not injector.queue_full()
+        assert injector.fired("queue_full") == 0
+
+    def test_sabotage_wraps_identity_transparently(self, make_task):
+        from repro.runtime import CrashTask, ServiceFaultInjector
+
+        injector = ServiceFaultInjector()
+        victim = make_task("victim")
+        assert injector.sabotage(victim) is victim
+        injector.arm("worker_crash_burst", 1)
+        wrapped = injector.sabotage(victim)
+        assert isinstance(wrapped, CrashTask)
+        assert wrapped.key_payload() == victim.key_payload()
+        assert wrapped.fallback_record() == victim.fallback_record()
+        assert "crash-burst" in wrapped.label()
+        # Burst exhausted: back to passing tasks through untouched.
+        assert injector.sabotage(victim) is victim
+
+    def test_cache_delay_disarmed_is_free(self):
+        import time
+
+        from repro.runtime import ServiceFaultInjector
+
+        injector = ServiceFaultInjector()
+        started = time.perf_counter()
+        assert injector.cache_delay() == 0
+        assert time.perf_counter() - started < 0.05
+        injector.arm("slow_cache_io", 0.05)
+        assert injector.cache_delay() == pytest.approx(0.05)
+        assert injector.fired("slow_cache_io") == 1

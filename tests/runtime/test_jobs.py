@@ -1,0 +1,269 @@
+"""Online job scheduler: admission, coalescing, retries, breaker feed.
+
+Uses :class:`FaultyTask` throughout — cheap, picklable, and scripted —
+so every path (success, crash, hang, saturation) runs in real worker
+processes without touching the simulator.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime import (
+    CircuitBreaker,
+    FaultyTask,
+    JobScheduler,
+    QueueSaturated,
+    TaskError,
+    WorkerCrash,
+    cache_key,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def task_for(tmp_path, name, plan=("ok",), hang_s=3600.0):
+    return FaultyTask(name=name, scratch=str(tmp_path), plan=tuple(plan),
+                      hang_s=hang_s)
+
+
+def key_of(task):
+    return cache_key(task.key_payload())
+
+
+class TestBasics:
+    def test_submit_and_result(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        try:
+            job = scheduler.submit(task_for(tmp_path, "a"))
+            record = job.result(timeout=60)
+            assert record["source"] == "simulation"
+            assert scheduler.stats.completed == 1
+        finally:
+            scheduler.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobScheduler(max_pending=0)
+        with pytest.raises(ValueError):
+            JobScheduler(retries=-1)
+
+    def test_submit_after_close_refused(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(task_for(tmp_path, "late"))
+
+    def test_close_fails_pending_jobs_loudly(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        slow = task_for(tmp_path, "slow", plan=("hang",), hang_s=30.0)
+        job = scheduler.submit(slow)
+        scheduler.close(drain=False)
+        assert job.done
+        with pytest.raises(TaskError):
+            job.result()
+
+    def test_close_drain_finishes_accepted_work(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        jobs = [scheduler.submit(task_for(tmp_path, f"d{i}"))
+                for i in range(3)]
+        scheduler.close(drain=True, timeout=60)
+        assert all(job.record is not None for job in jobs)
+
+
+class TestCoalescing:
+    def test_same_key_shares_one_job(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        try:
+            slow = task_for(tmp_path, "co", plan=("hang",), hang_s=1.0)
+            key = key_of(slow)
+            first = scheduler.submit(slow, key=key)
+            second = scheduler.submit(slow, key=key)
+            assert second is first
+            assert first.waiters == 2
+            assert scheduler.stats.coalesced == 1
+            assert first.result(timeout=60)["source"] == "simulation"
+            assert slow.attempts_made() == 1
+        finally:
+            scheduler.close()
+
+    def test_key_none_never_coalesces(self, tmp_path):
+        scheduler = JobScheduler(workers=2)
+        try:
+            task = task_for(tmp_path, "nc")
+            a = scheduler.submit(task, key=None)
+            b = scheduler.submit(task, key=None)
+            assert a is not b
+            a.result(timeout=60)
+            b.result(timeout=60)
+            assert task.attempts_made() == 2
+        finally:
+            scheduler.close()
+
+    def test_finished_key_starts_a_fresh_job(self, tmp_path):
+        scheduler = JobScheduler(workers=1)
+        try:
+            task = task_for(tmp_path, "re")
+            key = key_of(task)
+            scheduler.submit(task, key=key).result(timeout=60)
+            again = scheduler.submit(task, key=key)
+            again.result(timeout=60)
+            assert task.attempts_made() == 2
+        finally:
+            scheduler.close()
+
+
+class TestAdmission:
+    def test_saturation_raises_with_retry_after(self, tmp_path):
+        scheduler = JobScheduler(workers=1, max_pending=2)
+        try:
+            slow = [task_for(tmp_path, f"s{i}", plan=("hang",), hang_s=0.5)
+                    for i in range(3)]
+            accepted = [scheduler.submit(t, key=key_of(t)) for t in slow[:2]]
+            with pytest.raises(QueueSaturated) as excinfo:
+                scheduler.submit(slow[2], key=key_of(slow[2]))
+            assert excinfo.value.retry_after_s >= 1.0
+            assert excinfo.value.kind == "saturated"
+            assert scheduler.stats.rejected_full == 1
+            # The accepted requests are never dropped.
+            for job in accepted:
+                assert job.result(timeout=60)["source"] == "simulation"
+        finally:
+            scheduler.close()
+
+    def test_coalescing_bypasses_a_full_queue(self, tmp_path):
+        # A duplicate of an in-flight config adds no work, so it is
+        # admitted even at the pending bound.
+        scheduler = JobScheduler(workers=1, max_pending=1)
+        try:
+            slow = task_for(tmp_path, "dup", plan=("hang",), hang_s=0.5)
+            key = key_of(slow)
+            first = scheduler.submit(slow, key=key)
+            second = scheduler.submit(slow, key=key)
+            assert second is first
+            first.result(timeout=60)
+        finally:
+            scheduler.close()
+
+
+class TestFailures:
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        scheduler = JobScheduler(workers=1, retries=1, backoff_s=0.01)
+        try:
+            task = task_for(tmp_path, "cr", plan=("crash", "ok"))
+            record = scheduler.submit(task, key=key_of(task)).result(timeout=60)
+            assert record["source"] == "simulation"
+            assert scheduler.stats.crashes == 1
+            assert scheduler.stats.retried == 1
+        finally:
+            scheduler.close()
+
+    def test_crash_without_retries_is_terminal(self, tmp_path):
+        scheduler = JobScheduler(workers=1, retries=0)
+        try:
+            task = task_for(tmp_path, "dead", plan=("crash",))
+            job = scheduler.submit(task, key=key_of(task))
+            with pytest.raises(WorkerCrash):
+                job.result(timeout=60)
+            assert scheduler.stats.failed == 1
+        finally:
+            scheduler.close()
+
+    def test_timeout_kills_and_charges_the_hung_job(self, tmp_path):
+        scheduler = JobScheduler(workers=1, timeout=0.5, retries=0,
+                                 poll_s=0.02)
+        try:
+            task = task_for(tmp_path, "hung", plan=("hang",), hang_s=60.0)
+            job = scheduler.submit(task, key=key_of(task))
+            with pytest.raises(TaskError) as excinfo:
+                job.result(timeout=60)
+            assert excinfo.value.kind == "timeout"
+            assert scheduler.stats.timeouts == 1
+        finally:
+            scheduler.close()
+
+    def test_deterministic_failure_does_not_feed_breaker(self, tmp_path):
+        breaker = CircuitBreaker(failure_threshold=1)
+        scheduler = JobScheduler(workers=1, breaker=breaker)
+        try:
+            task = task_for(tmp_path, "div", plan=("diverge",))
+            job = scheduler.submit(task, key=key_of(task))
+            with pytest.raises(TaskError):
+                job.result(timeout=60)
+            # A diverged simulation says nothing about pool health.
+            assert breaker.state == "closed"
+            assert breaker.failures == 0
+        finally:
+            scheduler.close()
+
+    def test_crashes_feed_and_trip_the_breaker(self, tmp_path):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=300.0)
+        scheduler = JobScheduler(workers=1, breaker=breaker, retries=0)
+        try:
+            for i in range(2):
+                task = task_for(tmp_path, f"burst{i}", plan=("crash",))
+                job = scheduler.submit(task, key=key_of(task))
+                job.wait(60)
+            assert breaker.state == "open"
+            from repro.runtime import CircuitOpen
+
+            with pytest.raises(CircuitOpen) as excinfo:
+                scheduler.submit(task_for(tmp_path, "refused"))
+            assert excinfo.value.retry_after_s >= 1.0
+            assert scheduler.stats.rejected_open == 1
+        finally:
+            scheduler.close()
+
+
+class TestCallbacksAndSnapshot:
+    def test_on_result_runs_before_waiters_wake(self, tmp_path):
+        landed = []
+        seen_at_wake = []
+
+        def on_result(job, record):
+            landed.append(job.key)
+
+        scheduler = JobScheduler(workers=1, on_result=on_result)
+        try:
+            task = task_for(tmp_path, "cb")
+            job = scheduler.submit(task, key=key_of(task))
+
+            def waiter():
+                job.wait(60)
+                seen_at_wake.append(list(landed))
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            thread.join(60)
+            assert seen_at_wake == [[job.key]]
+        finally:
+            scheduler.close()
+
+    def test_callback_exception_does_not_kill_the_pump(self, tmp_path):
+        def explode(job, record):
+            raise RuntimeError("bookkeeping bug")
+
+        scheduler = JobScheduler(workers=1, on_result=explode)
+        try:
+            with pytest.warns(RuntimeWarning, match="bookkeeping bug"):
+                first = scheduler.submit(task_for(tmp_path, "x1"))
+                assert first.result(timeout=60)["source"] == "simulation"
+            # The pump survived and runs the next job.
+            with pytest.warns(RuntimeWarning):
+                second = scheduler.submit(task_for(tmp_path, "x2"))
+                assert second.result(timeout=60)["source"] == "simulation"
+        finally:
+            scheduler.close()
+
+    def test_snapshot_shape(self, tmp_path):
+        scheduler = JobScheduler(workers=2, max_pending=5)
+        try:
+            scheduler.submit(task_for(tmp_path, "snap")).result(timeout=60)
+            snap = scheduler.snapshot()
+            assert snap["workers"] == 2
+            assert snap["max_pending"] == 5
+            assert snap["pending"] == 0
+            assert snap["counters"]["accepted"] == 1
+            assert snap["counters"]["completed"] == 1
+        finally:
+            scheduler.close()
