@@ -73,6 +73,13 @@ def _build_parser():
                           default="heap",
                           help="event-scheduler backend of the DES loop "
                                "(bit-identical results; host speed only)")
+    simulate.add_argument("--engine",
+                          choices=("auto", "fast", "calendar", "vector",
+                                   "reference"),
+                          default="auto",
+                          help="DES main loop (bit-identical results; "
+                               "host speed only); \"auto\" resolves from "
+                               "the legacy --scheduler knob")
     simulate.add_argument("--no-cache", action="store_true",
                           help="bypass the on-disk result cache")
 
@@ -126,6 +133,13 @@ def _build_parser():
     sweep.add_argument("--profile", action="store_true",
                        help="report host DES throughput (events/s) and "
                             "the slowest computed points")
+    sweep.add_argument("--engine",
+                       choices=("fast", "calendar", "vector", "reference"),
+                       default=None,
+                       help="run every point on this DES main loop "
+                            "(bit-identical results; host speed only; "
+                            "records carry an \"engine\" provenance "
+                            "field)")
     sweep.add_argument("--scheduler", choices=("heap", "calendar"),
                        default=None,
                        help="run every point on this event-scheduler "
@@ -161,6 +175,13 @@ def _build_parser():
                             choices=(0, 1, 2),
                             help="invariant sanitizer level armed inside "
                                  "every point (default 1)")
+    resilience.add_argument("--engine",
+                            choices=("auto", "fast", "calendar", "vector",
+                                     "reference"),
+                            default="auto",
+                            help="DES main loop for the curve "
+                                 "(bit-identical results; host speed "
+                                 "only)")
     resilience.add_argument("--scheduler", choices=("heap", "calendar"),
                             default="heap",
                             help="event-scheduler backend for the curve "
@@ -188,10 +209,11 @@ def _build_parser():
     check.add_argument("--seed", type=int, default=0,
                        help="case-population seed")
     check.add_argument("--engine",
-                       choices=("fast", "reference", "calendar",
+                       choices=("fast", "reference", "calendar", "vector",
                                 "both", "all"),
                        default="both",
-                       help="engine path(s) to run (default both)")
+                       help="engine path(s) to run (default both; "
+                            "\"all\" spans every backend incl. vector)")
     check.add_argument("--no-metamorphic", action="store_true",
                        help="skip the metamorphic relations")
     check.add_argument("--no-mutations", action="store_true",
@@ -397,6 +419,7 @@ def _cmd_simulate(args, out):
         dram_bandwidth_scale=args.bandwidth_scale,
         threads_per_mtp=args.threads_per_mtp,
         scheduler=args.scheduler,
+        engine=args.engine,
     )
     cache = ResultCache(enabled=not args.no_cache)
     report = run_sweep([task], workers=1, cache=cache)
@@ -478,6 +501,8 @@ def _cmd_sweep(args, out):
         # Same ordering rule as --degrade: the backend is part of each
         # task's identity (cache key + checkpoint manifest).
         tasks = [task.with_scheduler(args.scheduler) for task in tasks]
+    if args.engine:
+        tasks = [task.with_engine(args.engine) for task in tasks]
     cache = ResultCache(directory=args.cache_dir,
                         enabled=not args.no_cache)
     if args.clear_cache:
@@ -535,6 +560,9 @@ def _cmd_sweep(args, out):
     if args.scheduler:
         out(f"event scheduler: --scheduler {args.scheduler} "
             "(bit-identical results; host speed only)")
+    if args.engine:
+        out(f"DES engine: --engine {args.engine} "
+            "(bit-identical results; host speed only)")
     # The sweep ran to completion (possibly degraded): its manifest has
     # served its purpose.  Failed points are deliberately not recorded
     # in it, so a later --resume rerun would retry exactly those.
@@ -567,10 +595,14 @@ def _cmd_resilience(args, out):
         raise ValueError("--severities must be non-decreasing")
 
     def task_for(severity, fast_path=True):
+        # The primary curve runs on --engine; the --verify-engines leg
+        # pins the reference loop through the unified knob (the legacy
+        # fast_path flag spelled the same request before it existed).
+        engine = args.engine if fast_path else "reference"
         task = spmm_task(
             args.dataset, args.hidden, kernel=args.kernel,
             max_vertices=args.max_vertices, seed=args.seed,
-            n_cores=args.cores, engine_fast_path=fast_path,
+            n_cores=args.cores, engine=engine,
             scheduler=args.scheduler,
         )
         if severity > 0.0:

@@ -17,6 +17,11 @@ from dataclasses import dataclass, replace
 from repro.piuma.degradation import DegradationSpec
 from repro.piuma.scheduler import SCHEDULERS
 
+#: Valid values of :attr:`PIUMAConfig.engine`.  ``"auto"`` defers to the
+#: legacy ``engine_fast_path``/``scheduler`` knobs (back-compat); the
+#: named engines select a main loop directly.
+ENGINES = ("auto", "fast", "calendar", "vector", "reference")
+
 
 @dataclass(frozen=True)
 class PIUMAConfig:
@@ -110,6 +115,16 @@ class PIUMAConfig:
     #: bit-identical in results and event accounting.
     scheduler: str = "heap"
 
+    #: Unified main-loop selector: ``"fast"`` (peek-ahead loop over the
+    #: binary heap), ``"calendar"`` (same loop over the calendar queue),
+    #: ``"vector"`` (compiled op-program replay,
+    #: ``repro.piuma.vector_engine``), or ``"reference"`` (the plain
+    #: pop/execute/push oracle, honoring :attr:`scheduler`).  The
+    #: default ``"auto"`` preserves the historical knobs: it resolves
+    #: from :attr:`engine_fast_path` and :attr:`scheduler`.  All engines
+    #: are bit-identical in results and event accounting.
+    engine: str = "auto"
+
     #: Runtime invariant sanitizer level (``repro.piuma.invariants``):
     #: 0 disables all checking (the default — zero overhead), 1 enables
     #: the cheap per-event checks (event-time monotonicity, thread
@@ -158,6 +173,10 @@ class PIUMAConfig:
                 f"scheduler must be one of {SCHEDULERS}, "
                 f"got {self.scheduler!r}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.degradation is not None and not isinstance(
             self.degradation, DegradationSpec
         ):
@@ -167,6 +186,36 @@ class PIUMAConfig:
             )
 
     # -- derived quantities -------------------------------------------------
+
+    @property
+    def resolved_engine(self):
+        """The main loop :meth:`~repro.piuma.engine.Simulator.run` uses.
+
+        ``"auto"`` maps the legacy knobs onto the named engines:
+        ``engine_fast_path=False`` is the reference loop, otherwise the
+        fast loop over whichever scheduler backend is selected.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if not self.engine_fast_path:
+            return "reference"
+        return "calendar" if self.scheduler == "calendar" else "fast"
+
+    @property
+    def resolved_scheduler(self):
+        """Event-queue backend implied by the resolved engine.
+
+        The fast and vector loops require the heap (the vector loop
+        drains the initial population into its own sorted pending list),
+        the calendar loop its bucket ring; only the reference loop
+        honors :attr:`scheduler` as an independent axis.
+        """
+        engine = self.resolved_engine
+        if engine == "calendar":
+            return "calendar"
+        if engine == "reference":
+            return self.scheduler
+        return "heap"
 
     @property
     def n_dies(self):

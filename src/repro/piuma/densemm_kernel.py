@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass
 
 from repro.piuma.engine import Simulator
-from repro.piuma.ops import Compute, DMAOp, PhaseMarker
+from repro.piuma.ops import Compute, DMAOp, OpProgram, PhaseMarker
 from repro.piuma.spmm_loop import owner_core
 
 #: Scalar instructions per MAC: PIUMA's pipelines have no SIMD, so one
@@ -70,6 +70,10 @@ def dense_thread(rows, in_dim, out_dim, config, core_of_row):
         yield op
 
 
+#: Static op stream: safe to compile into an OpProgram (vector engine).
+dense_thread.program_safe = True
+
+
 def simulate_dense_mm(n_rows, in_dim, out_dim, config, window_rows=None):
     """Run the Dense MM kernel on a row window and project.
 
@@ -93,6 +97,11 @@ def simulate_dense_mm(n_rows, in_dim, out_dim, config, window_rows=None):
     n_threads = config.n_threads
     per_thread = max(1, window_rows // n_threads)
     hashed = config.hashed_placement
+    # Dense MM's op stream is static (see dense_thread.program_safe):
+    # under the vector engine, drain each generator into an OpProgram.
+    compile_programs = (
+        config.resolved_engine == "vector" and dense_thread.program_safe
+    )
     spawned_rows = 0
     for t in range(n_threads):
         start = t * per_thread
@@ -102,13 +111,16 @@ def simulate_dense_mm(n_rows, in_dim, out_dim, config, window_rows=None):
         spawned_rows += len(rows)
         core = t // config.threads_per_core
         mtp = (t % config.threads_per_core) // config.threads_per_mtp
-        simulator.spawn(
-            dense_thread(
-                rows, in_dim, out_dim, config,
-                core_of_row=lambda r: owner_core(r, config.n_cores, hashed),
-            ),
-            core, mtp,
+        generator = dense_thread(
+            rows, in_dim, out_dim, config,
+            core_of_row=lambda r: owner_core(r, config.n_cores, hashed),
         )
+        if compile_programs:
+            simulator.spawn_program(
+                OpProgram.from_generator(generator), core, mtp
+            )
+        else:
+            simulator.spawn(generator, core, mtp)
     end = simulator.run()
     steady = max(end - config.launch_overhead_ns - simulator.setup_end, 1e-9)
     flops = 2.0 * spawned_rows * in_dim * out_dim

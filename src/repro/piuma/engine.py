@@ -159,10 +159,25 @@ class Simulator:
         # loops and the sanitizer talk to it through push/pop/peek;
         # `_heap` stays bound to the heap backend's raw entry list so
         # the fast-path loop keeps its fused heappushpop switch.
-        self._scheduler = make_scheduler(config.scheduler)
+        self._scheduler = make_scheduler(config.resolved_scheduler)
         self._heap = getattr(self._scheduler, "entries", [])
         self._seq = 0
         self._threads = []
+        # Compiled op programs by thread index (repro.piuma.ops
+        # .OpProgram, registered via spawn_program).  The vector engine
+        # replays these directly; every other engine drives the
+        # program's generator view, so a program-backed thread behaves
+        # identically under all main loops.
+        self._programs = {}
+        # Vector-engine compile state (repro.piuma.vector_engine
+        # .compile_thread): per-(op, core, mtp) plan-closure cache,
+        # deferred-counter table, and per-thread replay rows, built
+        # incrementally at spawn_program time so run() only replays.
+        self._vector_state = None
+        # Vector-engine replay cursors (thread index -> next step),
+        # populated by _run_vector for the sanitizer's post-run
+        # completeness check.
+        self._program_pcs = None
         # Memoized topology tables: stripe-target core lists and the
         # matching (slice, core) pairs for DMA, both keyed by
         # (base_core, stripe count) — recomputing them per edge was a
@@ -208,6 +223,27 @@ class Simulator:
             raise ValueError("mtp out of range")
         idx = len(self._threads)
         self._threads.append((generator, core, mtp))
+        self._push(0.0, idx, None)
+
+    def spawn_program(self, program, core, mtp):
+        """Register a compiled :class:`~repro.piuma.ops.OpProgram`.
+
+        The program's generator view goes into the thread table, so the
+        fast/calendar/reference loops run it unchanged; the vector loop
+        recognizes the registered program and replays it without
+        generator resumption.
+        """
+        if not 0 <= core < self.config.n_cores:
+            raise ValueError("core out of range")
+        if not 0 <= mtp < self.config.mtps_per_core:
+            raise ValueError("mtp out of range")
+        idx = len(self._threads)
+        self._threads.append((program.replay(), core, mtp))
+        self._programs[idx] = program
+        if self.config.resolved_engine == "vector":
+            from repro.piuma.vector_engine import compile_thread
+
+            compile_thread(self, idx, program, core, mtp)
         self._push(0.0, idx, None)
 
     def _push(self, when, idx, value):
@@ -552,6 +588,11 @@ class Simulator:
             record.bytes += nbytes
             return issued, done
 
+        # The vector engine's plan assembly shares this cache (and its
+        # builder) so DMA plans are resolved once per (op, core) no
+        # matter which main loop touches them first.
+        exec_dma.plans = plans
+        exec_dma.build_plan = build_plan
         return exec_dma
 
     def _execute(self, op, now, core, mtp):
@@ -589,11 +630,13 @@ class Simulator:
         """
         started = time.perf_counter()
         try:
-            if self.config.engine_fast_path:
-                if self.config.scheduler == "calendar":
-                    result = self._run_calendar()
-                else:
-                    result = self._run_fast()
+            engine = self.config.resolved_engine
+            if engine == "fast":
+                result = self._run_fast()
+            elif engine == "vector":
+                result = self._run_vector()
+            elif engine == "calendar":
+                result = self._run_calendar()
             else:
                 result = self._run_reference()
             if self.checker is not None:
@@ -725,6 +768,20 @@ class Simulator:
             self.events = events
         self.end_time = latest + cfg.launch_overhead_ns
         return self.end_time
+
+    def _run_vector(self):
+        """Compiled-program replay loop (``engine="vector"``).
+
+        Implemented in :mod:`repro.piuma.vector_engine`: threads
+        registered with :meth:`spawn_program` replay precompiled op
+        programs through per-(op, core, mtp) execution plans; plain
+        generator threads (e.g. the dynamic work-stealing kernel) run
+        exactly as under :meth:`_run_fast`.  Bit-identical to
+        :meth:`_run_reference` in results and event accounting.
+        """
+        from repro.piuma.vector_engine import run_vector
+
+        return run_vector(self)
 
     def _run_calendar(self):
         """Calendar-queue main loop (``scheduler="calendar"`` fast path).

@@ -21,6 +21,7 @@ import numpy as np
 from repro.piuma.degradation import thread_placements
 from repro.piuma.engine import Simulator
 from repro.piuma.invariants import verify_kernel_result
+from repro.piuma.ops import OpProgram
 from repro.sparse.spmm import spmm_traffic
 
 
@@ -198,6 +199,16 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
     shared = {} if accepts_shared else None
+    # Under the vector engine, factories that declare their op stream
+    # static (`program_safe`) are compiled by draining the generator
+    # into an OpProgram the replay loop executes without resumption.
+    # Factories without the marker (e.g. the dynamic work-stealing
+    # kernel, whose stream depends on runtime interleaving) stay
+    # generator-driven — the vector loop runs both kinds side by side.
+    compile_programs = (
+        config.resolved_engine == "vector"
+        and getattr(thread_factory, "program_safe", False)
+    )
     for work in work_items:
         if accepts_shared:
             generator = thread_factory(
@@ -205,7 +216,12 @@ def run_spmm_kernel(adj, embedding_dim, config, thread_factory,
             )
         else:
             generator = thread_factory(work, embedding_dim, config)
-        simulator.spawn(generator, work.core, work.mtp)
+        if compile_programs:
+            simulator.spawn_program(
+                OpProgram.from_generator(generator), work.core, work.mtp
+            )
+        else:
+            simulator.spawn(generator, work.core, work.mtp)
     end = simulator.run()
     # Steady state excludes the per-thread setup (binary search): in a
     # full run it is amortized over thousands of edges per thread; a

@@ -18,6 +18,11 @@ later occurrence.  The simulator only ever reads them.
 
 from __future__ import annotations
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+    _np = None
+
 
 class _Op:
     """Shared value semantics (repr/eq/hash over the slot fields)."""
@@ -167,6 +172,155 @@ class DMAOp(_Op):
         self.nbytes = nbytes
         self.target_core = target_core
         self.tag = tag
+
+
+#: Numeric op-kind codes of :class:`OpProgram`'s struct-of-arrays view.
+#: ``read``/``write``/``internal`` DMA paths get distinct codes so the
+#: replay engine can group descriptors without touching ``op.kind``.
+OP_PHASE = 0
+OP_COMPUTE = 1
+OP_LOAD = 2
+OP_SEQUENTIAL = 3
+OP_STORE = 4
+OP_ATOMIC = 5
+OP_DMA_INTERNAL = 6
+OP_DMA_READ = 7
+OP_DMA_WRITE = 8
+
+
+def _op_kind_code(op):
+    cls = type(op)
+    if cls is DMAOp:
+        if op.kind == "internal":
+            return OP_DMA_INTERNAL
+        return OP_DMA_READ if op.kind == "read" else OP_DMA_WRITE
+    if cls is Load:
+        return OP_LOAD
+    if cls is SequentialAccess:
+        return OP_SEQUENTIAL
+    if cls is Store:
+        return OP_STORE
+    if cls is AtomicUpdate:
+        return OP_ATOMIC
+    if cls is Compute:
+        return OP_COMPUTE
+    if cls is PhaseMarker:
+        return OP_PHASE
+    raise TypeError(f"unknown op {op!r}")
+
+
+class OpProgram:
+    """Struct-of-arrays compiled form of one thread's op stream.
+
+    The vector engine (``repro.piuma.vector_engine``) replays programs
+    instead of resuming generators: a *table* of the thread's unique op
+    instances (the kernels intern their op shapes, so the table is tiny)
+    plus a per-step ``codes`` array indexing into it.  The table itself
+    is mirrored into parallel numpy arrays — op-kind code, payload
+    bytes, target core, tag code — so batch passes (plan assembly,
+    per-kind grouping, accounting summaries) read flat arrays instead of
+    walking Python attributes.  When numpy is unavailable the arrays
+    degrade to plain lists; semantics are unchanged.
+
+    Programs are *static by contract*: a generator may be compiled into
+    one only when its op stream does not depend on the values the
+    simulator sends back or on other threads' execution timing (true
+    for the static SpMM/dense kernels, not for the dynamic work-stealing
+    kernel, which stays generator-driven under every engine).
+    """
+
+    __slots__ = (
+        "table", "codes", "kind_codes", "nbytes", "target_cores",
+        "tags", "tag_codes",
+    )
+
+    def __init__(self, table, codes):
+        self.table = list(table)
+        kinds = []
+        nbytes = []
+        targets = []
+        tag_index = {}
+        tags = []
+        tag_codes = []
+        for op in self.table:
+            kind = _op_kind_code(op)
+            kinds.append(kind)
+            if kind == OP_SEQUENTIAL:
+                nbytes.append(op.n_rounds * op.bytes_per_round)
+            elif kind == OP_COMPUTE:
+                nbytes.append(op.n_instrs)
+            elif kind == OP_PHASE:
+                nbytes.append(0)
+            else:
+                nbytes.append(op.nbytes)
+            targets.append(getattr(op, "target_core", -1))
+            tag = getattr(op, "tag", None)
+            code = tag_index.get(tag)
+            if code is None:
+                code = tag_index[tag] = len(tags)
+                tags.append(tag)
+            tag_codes.append(code)
+        self.tags = tuple(tags)
+        if _np is not None:
+            self.codes = _np.asarray(codes, dtype=_np.int32)
+            self.kind_codes = _np.asarray(kinds, dtype=_np.int8)
+            self.nbytes = _np.asarray(nbytes, dtype=_np.int64)
+            self.target_cores = _np.asarray(targets, dtype=_np.int32)
+            self.tag_codes = _np.asarray(tag_codes, dtype=_np.int16)
+        else:
+            self.codes = list(codes)
+            self.kind_codes = kinds
+            self.nbytes = nbytes
+            self.target_cores = targets
+            self.tag_codes = tag_codes
+
+    def __len__(self):
+        return len(self.codes)
+
+    @classmethod
+    def from_generator(cls, generator):
+        """Compile a generator's op stream by draining it.
+
+        Ops are deduplicated by *identity* (the kernels re-yield interned
+        instances), so the table stays small and a plan computed for one
+        table entry covers every occurrence.  The drained generator is
+        consumed; callers pass a fresh one.
+        """
+        table = []
+        index = {}
+        index_get = index.get
+        codes = []
+        append = codes.append
+        for op in generator:
+            code = index_get(id(op))
+            if code is None:
+                code = index[id(op)] = len(table)
+                table.append(op)
+            append(code)
+        return cls(table, codes)
+
+    def replay(self):
+        """Generator view: yields the op sequence (ignores sent values).
+
+        Lets the non-vector engines run a compiled program unchanged —
+        a program-backed thread is indistinguishable from its source
+        generator, which is what keeps the differential oracle honest.
+        """
+        table = self.table
+        for code in self.step_codes():
+            yield table[code]
+
+    def step_codes(self):
+        """Per-step table indices as a plain Python list."""
+        codes = self.codes
+        if _np is not None and isinstance(codes, _np.ndarray):
+            return codes.tolist()
+        return list(codes)
+
+    def op_sequence(self):
+        """The full op stream as a list (tests and checked replay)."""
+        table = self.table
+        return [table[code] for code in self.step_codes()]
 
 
 def dram_bytes(op):

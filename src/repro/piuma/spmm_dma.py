@@ -102,3 +102,7 @@ def dma_thread(work, embedding_dim, config, shared=None):
                 nbytes=row_bytes, target_core=current_core, tag="atomic_write"
             )
         yield op
+
+
+#: Static op stream: safe to compile into an OpProgram (vector engine).
+dma_thread.program_safe = True

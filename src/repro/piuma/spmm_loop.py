@@ -168,3 +168,7 @@ def loop_unrolled_thread(work, embedding_dim, config, shared=None):
                 nbytes=row_bytes, target_core=current_core, tag="atomic_write"
             )
         yield op
+
+
+#: Static op stream: safe to compile into an OpProgram (vector engine).
+loop_unrolled_thread.program_safe = True

@@ -133,3 +133,7 @@ def vertex_parallel_thread(work, embedding_dim, config, shared=None):
                 tag="dma_write",
             )
         yield op
+
+
+#: Static op stream: safe to compile into an OpProgram (vector engine).
+vertex_parallel_thread.program_safe = True

@@ -37,7 +37,9 @@ from dataclasses import dataclass
 #: provenance field.
 #: v5: configs grew ``scheduler`` (the event-queue backend) and records
 #: carry a ``"scheduler"`` provenance field.
-CODE_VERSION = "runtime-v5"
+#: v6: configs grew ``engine`` (the unified main-loop selector) and
+#: records carry an ``"engine"`` provenance field.
+CODE_VERSION = "runtime-v6"
 
 #: Memoized cwd-fallback directory (installed-package use).  Resolved
 #: once so every cache in the process agrees on one directory even if

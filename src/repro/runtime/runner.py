@@ -154,6 +154,20 @@ class SpMMTask:
         merged["scheduler"] = name
         return replace(self, overrides=tuple(sorted(merged.items())))
 
+    def with_engine(self, name):
+        """Copy of this task running on a specific DES main loop.
+
+        Merges ``engine=name`` (``"fast"``, ``"calendar"``,
+        ``"vector"``, ``"reference"``, or ``"auto"``) into the override
+        tuple.  Engines are bit-identical in results, so this only
+        moves host wall-clock; like every config field it participates
+        in the cache key, and the record's ``"engine"`` provenance
+        field says which loop measured it.
+        """
+        merged = dict(self.overrides)
+        merged["engine"] = name
+        return replace(self, overrides=tuple(sorted(merged.items())))
+
     def label(self):
         knobs = " ".join(f"{k}={v}" for k, v in self.overrides)
         return (f"{self.dataset}/{self.kernel} K={self.embedding_dim}"
@@ -224,6 +238,10 @@ class SpMMTask:
             # number (events_per_s) is only comparable within one
             # backend, so the record says which one it measured.
             "scheduler": config.scheduler,
+            # Same story one level up: the resolved DES main loop
+            # (fast / calendar / vector / reference) that produced the
+            # record's host-throughput numbers.
+            "engine": config.resolved_engine,
         }
         if config.degradation is not None:
             # Provenance next to "source": a record measured on a
@@ -268,6 +286,7 @@ class SpMMTask:
             "tag_stats": {},
             "source": "model_fallback",
             "scheduler": config.scheduler,
+            "engine": config.resolved_engine,
         }
         if config.degradation is not None:
             record["degradation"] = asdict(config.degradation)
@@ -360,7 +379,7 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
               timeout=None, retries=0, backoff_s=0.25, backoff_cap_s=8.0,
               jitter=0.25, on_error="raise", checkpoint=None, resume=False,
               check_level=None, degradation=None, scheduler=None,
-              sleep=time.sleep):
+              engine=None, sleep=time.sleep):
     """Run every task; returns a :class:`SweepReport`.
 
     Parameters
@@ -428,6 +447,12 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         Backends are bit-identical in results, so this only moves host
         wall-clock; it lands in each task's cache key and its records'
         ``"scheduler"`` provenance field.
+    engine:
+        When not ``None``, the DES main loop (``"fast"``,
+        ``"calendar"``, ``"vector"``, or ``"reference"``) every task
+        runs on (``task.with_engine``).  Engines are bit-identical in
+        results; the choice lands in each task's cache key and its
+        records' ``"engine"`` provenance field.
     sleep:
         Injectable delay function (tests).
     """
@@ -448,6 +473,12 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
         tasks = [
             task.with_scheduler(scheduler)
             if hasattr(task, "with_scheduler") else task
+            for task in tasks
+        ]
+    if engine is not None:
+        tasks = [
+            task.with_engine(engine)
+            if hasattr(task, "with_engine") else task
             for task in tasks
         ]
     if on_error not in ON_ERROR_POLICIES:

@@ -30,13 +30,16 @@ from repro.testing.oracle import differential_failures, run_case
 #: Engine selections understood by :func:`run_conformance`.  Names
 #: resolve through :data:`repro.testing.oracle.ENGINE_BACKENDS`;
 #: ``"both"`` keeps its historical meaning (heap-backed fast vs
-#: reference), ``"all"`` adds the calendar-queue backend on both loops.
+#: reference), ``"all"`` adds the vector replay engine and the
+#: calendar-queue backend on both legacy loops.
 ENGINE_CHOICES = {
     "fast": ("fast",),
     "reference": ("reference",),
     "calendar": ("calendar",),
+    "vector": ("vector",),
     "both": ("fast", "reference"),
-    "all": ("fast", "calendar", "reference", "reference-calendar"),
+    "all": ("fast", "calendar", "vector", "reference",
+            "reference-calendar"),
 }
 
 
@@ -163,14 +166,10 @@ def run_conformance(n_cases=25, seed=0, check_level=2, engine="both", *,
             emit(f"{case.name}: ok")
 
     if mutations:
-        from repro.testing.oracle import ENGINE_BACKENDS
         for name, mutation in sorted(MUTATIONS.items()):
             for eng in engines:
-                fast_path, scheduler = ENGINE_BACKENDS[eng]
                 report.mutations_run += 1
-                error = run_mutation(
-                    name, engine_fast_path=fast_path, scheduler=scheduler
-                )
+                error = run_mutation(name, engine=eng)
                 if error is None:
                     report.mutation_failures.append({
                         "mutation": name,

@@ -280,16 +280,18 @@ SMOKE_CASE = ConformanceCase(
 )
 
 
-def run_mutation(name, check_level=None, engine_fast_path=True, case=None,
-                 scheduler="heap"):
+def run_mutation(name, check_level=None, engine_fast_path=None, case=None,
+                 scheduler=None, engine=None):
     """Run the smoke case under one mutation.
 
     Returns the :class:`InvariantViolation` the sanitizer raised, or
     ``None`` if the perturbed run completed silently (which the
     conformance harness treats as a failure of the safety net).
     ``check_level`` defaults to the mutation's guaranteed level.
-    ``engine_fast_path`` and ``scheduler`` select the engine backend
-    the mutation runs on, as in :func:`repro.testing.oracle.run_case`.
+    ``engine`` names a backend from
+    :data:`repro.testing.oracle.ENGINE_BACKENDS`; the legacy
+    ``engine_fast_path``/``scheduler`` knobs are still honored, as in
+    :func:`repro.testing.oracle.run_case`.
     """
     mutation = MUTATIONS[name]
     if case is None:
@@ -300,7 +302,7 @@ def run_mutation(name, check_level=None, engine_fast_path=True, case=None,
         try:
             run_case(case, check_level=level,
                      engine_fast_path=engine_fast_path,
-                     scheduler=scheduler)
+                     scheduler=scheduler, engine=engine)
         except InvariantViolation as error:
             return error
     return None

@@ -35,28 +35,41 @@ ENVELOPES = {
     "vertex": (0.12, 1.35),
 }
 
-#: Engine backends the oracle can drive: name ->
-#: ``(engine_fast_path, scheduler)``.  ``"fast"`` and ``"reference"``
-#: keep their historical meanings (heap-backed); ``"calendar"`` and
-#: ``"reference-calendar"`` run the same loops over the calendar-queue
-#: scheduler.  All four promise bit-identical results.
+#: Engine backends the oracle can drive: name -> PIUMAConfig knob
+#: overrides.  ``"fast"``, ``"calendar"``, ``"vector"``, and
+#: ``"reference"`` select main loops through the unified ``engine``
+#: knob; ``"reference-calendar"`` exercises the legacy knob pair
+#: (reference loop over the calendar queue), which doubles as the
+#: back-compat regression for ``engine="auto"`` resolution.  All five
+#: promise bit-identical results.
 ENGINE_BACKENDS = {
-    "fast": (True, "heap"),
-    "calendar": (True, "calendar"),
-    "reference": (False, "heap"),
-    "reference-calendar": (False, "calendar"),
+    "fast": {"engine": "fast"},
+    "calendar": {"engine": "calendar"},
+    "vector": {"engine": "vector"},
+    "reference": {"engine": "reference"},
+    "reference-calendar": {"engine_fast_path": False,
+                           "scheduler": "calendar"},
 }
 
 
-def run_case(case, check_level=0, engine_fast_path=True, scheduler="heap"):
-    """Execute one conformance case; returns the ``KernelResult``."""
+def run_case(case, check_level=0, engine_fast_path=None, scheduler=None,
+             engine=None):
+    """Execute one conformance case; returns the ``KernelResult``.
+
+    ``engine`` names a backend from :data:`ENGINE_BACKENDS`; the
+    legacy ``engine_fast_path``/``scheduler`` keywords are still
+    honored (and compose with it) for callers predating the unified
+    knob.
+    """
+    knobs = dict(ENGINE_BACKENDS[engine]) if engine else {}
+    if engine_fast_path is not None:
+        knobs["engine_fast_path"] = engine_fast_path
+    if scheduler is not None:
+        knobs["scheduler"] = scheduler
     return simulate_spmm(
         case.graph(),
         case.embedding_dim,
-        config=case.config(
-            check_level=check_level, engine_fast_path=engine_fast_path,
-            scheduler=scheduler,
-        ),
+        config=case.config(check_level=check_level, **knobs),
         kernel=case.kernel,
         window_edges=case.window_edges,
     )
@@ -114,13 +127,11 @@ def differential_failures(case, check_level=2, engines=("fast", "reference")):
     failures = []
     results = {}
     for engine in engines:
-        fast_path, scheduler = ENGINE_BACKENDS[engine]
+        if engine not in ENGINE_BACKENDS:
+            raise KeyError(f"unknown engine backend {engine!r}")
         try:
             results[engine] = run_case(
-                case,
-                check_level=check_level,
-                engine_fast_path=fast_path,
-                scheduler=scheduler,
+                case, check_level=check_level, engine=engine,
             )
         except InvariantViolation as error:
             failures.append({

@@ -359,12 +359,13 @@ class TestSimulatorUnderFaults:
 
 
 class TestDifferentialUnderFaults:
-    """Randomized fast-vs-reference fuzz with degradation armed.
+    """Randomized engine-matrix fuzz with degradation armed.
 
     The degraded mirror of ``test_engine_fastpath.TestDifferential``:
     21 points spanning kernels, core counts, and randomized fault specs
-    — every fingerprint field must match exactly, and the level-1
-    sanitizer runs inside both paths.
+    run through the fast, reference, and vector-replay main loops —
+    every fingerprint field must match exactly, and the level-1
+    sanitizer runs inside every path.
     """
 
     def _grid(self):
@@ -409,24 +410,31 @@ class TestDifferentialUnderFaults:
             seed=point["graph_seed"],
         )
         results = {}
-        for fast_path in (True, False):
+        for name, engine in (
+            ("fast", "fast"), ("reference", "reference"),
+            ("vector", "vector"),
+        ):
             try:
-                results[fast_path] = simulate_spmm(
+                results[name] = simulate_spmm(
                     adj, point["embedding_dim"],
                     PIUMAConfig(
                         n_cores=point["n_cores"],
                         threads_per_mtp=point["threads_per_mtp"],
-                        engine_fast_path=fast_path,
+                        engine=engine,
                         check_level=1,
                         degradation=point["spec"],
                     ),
                     kernel=point["kernel"],
                 )
             except HardwareExhausted as error:
-                results[fast_path] = ("exhausted", error.cause)
-        fast, ref = results[True], results[False]
-        if isinstance(fast, tuple) or isinstance(ref, tuple):
-            # Structured exhaustion must be engine-independent too.
-            assert fast == ref, point
-        else:
-            assert _fingerprint(fast) == _fingerprint(ref), point
+                results[name] = ("exhausted", error.cause)
+        fast = results["fast"]
+        for name in ("reference", "vector"):
+            other = results[name]
+            if isinstance(fast, tuple) or isinstance(other, tuple):
+                # Structured exhaustion must be engine-independent too.
+                assert fast == other, (name, point)
+            else:
+                assert _fingerprint(fast) == _fingerprint(other), (
+                    name, point,
+                )

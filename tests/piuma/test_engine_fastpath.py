@@ -15,6 +15,12 @@ the heap backend bit-for-bit.  Goldens and every fuzz point also run
 the fast loop over the calendar queue with the runtime sanitizer armed
 (``check_level=1``), so a divergence or a stranded event in the
 bucketed ring fails the same assertions.
+
+And across the main-loop axis (``PIUMAConfig.engine``): the vector
+replay engine — op programs compiled at spawn time, deferred integral
+counters settled post-run — joins the goldens, the full 21-point fuzz
+grid, and the dynamic-kernel point, also with the sanitizer armed, so
+its batched bookkeeping is held to the same exact fingerprint.
 """
 
 import random
@@ -74,6 +80,20 @@ def _calendar_path(adj, embedding_dim, kernel="dma", **overrides):
     )
 
 
+def _vector_path(adj, embedding_dim, kernel="dma", **overrides):
+    """Vector replay engine, sanitizer armed.
+
+    ``check_level=1`` keeps the runtime invariant hooks live on the
+    batched path (the deferred counters must settle to *exactly* what
+    the sanitizer recomputes from raw simulator state post-run).
+    """
+    return simulate_spmm(
+        adj, embedding_dim,
+        PIUMAConfig(engine="vector", check_level=1, **overrides),
+        kernel=kernel,
+    )
+
+
 class TestGolden:
     """Pinned results on a fixed window, identical on both paths.
 
@@ -90,6 +110,8 @@ class TestGolden:
         assert _result_fingerprint(fast) == _result_fingerprint(ref)
         cal = _calendar_path(window, 64, n_cores=4)
         assert _result_fingerprint(cal) == _result_fingerprint(fast)
+        vec = _vector_path(window, 64, n_cores=4)
+        assert _result_fingerprint(vec) == _result_fingerprint(fast)
         assert fast.sim_time_ns == pytest.approx(41025.25, rel=1e-12)
         assert fast.gflops == pytest.approx(41.67907254057635, rel=1e-9)
         assert fast.events == 28232
@@ -105,6 +127,8 @@ class TestGolden:
         assert _result_fingerprint(fast) == _result_fingerprint(ref)
         cal = _calendar_path(window, 64, kernel="loop", n_cores=4)
         assert _result_fingerprint(cal) == _result_fingerprint(fast)
+        vec = _vector_path(window, 64, kernel="loop", n_cores=4)
+        assert _result_fingerprint(vec) == _result_fingerprint(fast)
         assert fast.sim_time_ns == pytest.approx(42644.5625, rel=1e-12)
         assert fast.events == 15944
 
@@ -152,6 +176,12 @@ class TestDifferential:
             threads_per_mtp=point["threads_per_mtp"],
         )
         assert _result_fingerprint(cal) == _result_fingerprint(fast), point
+        vec = _vector_path(
+            adj, point["embedding_dim"], kernel=point["kernel"],
+            n_cores=point["n_cores"],
+            threads_per_mtp=point["threads_per_mtp"],
+        )
+        assert _result_fingerprint(vec) == _result_fingerprint(fast), point
 
     def test_dynamic_kernel(self):
         adj = rmat_for_size(1024, 1024 * 8, seed=5)
@@ -169,6 +199,15 @@ class TestDifferential:
                         check_level=1),
         )
         assert _result_fingerprint(cal) == _result_fingerprint(fast)
+        # The work-stealing kernel is not program_safe: under the
+        # vector engine its threads stay generator-driven and run in
+        # the general loop, still bit-identical.
+        vec = simulate_spmm_dynamic(
+            adj, 32,
+            PIUMAConfig(n_cores=2, threads_per_mtp=2, engine="vector",
+                        check_level=1),
+        )
+        assert _result_fingerprint(vec) == _result_fingerprint(fast)
 
 
 class TestStripeTargets:

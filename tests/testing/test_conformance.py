@@ -23,7 +23,7 @@ from repro.testing import (
     shrink,
 )
 from repro.testing.metamorphic import metamorphic_failures
-from repro.testing.oracle import ENVELOPES, model_efficiency
+from repro.testing.oracle import ENGINE_BACKENDS, ENVELOPES, model_efficiency
 
 
 class TestCaseGeneration:
@@ -91,15 +91,18 @@ class TestMutationsCaught:
     def test_at_least_four_level1_mutations(self):
         assert sum(1 for m in MUTATIONS.values() if m.level == 1) >= 4
 
-    @pytest.mark.parametrize("fast", [True, False],
-                             ids=["fast-engine", "reference-engine"])
+    @pytest.mark.parametrize("engine", sorted(ENGINE_BACKENDS))
     @pytest.mark.parametrize("name", sorted(MUTATIONS))
-    def test_sanitizer_fires_with_exact_attribution(self, name, fast):
+    def test_sanitizer_fires_with_exact_attribution(self, name, engine):
+        # The full backend matrix: every seeded perturbation must be
+        # caught by its named invariant on every main loop, including
+        # the vector replay engine (whose deferred bookkeeping must not
+        # route around the sanitizer).
         mutation = MUTATIONS[name]
         assert mutation.level >= 1
-        error = run_mutation(name, engine_fast_path=fast)
+        error = run_mutation(name, engine=engine)
         assert isinstance(error, InvariantViolation), (
-            f"sanitizer missed mutation {name!r}"
+            f"sanitizer missed mutation {name!r} on {engine}"
         )
         assert error.invariant == mutation.invariant
 
@@ -136,6 +139,17 @@ class TestOracle:
             case, check_level=1, engines=("fast",)
         ) == []
 
+    def test_vector_in_engine_matrix(self):
+        case = generate_cases(1, seed=0)[0]
+        assert differential_failures(
+            case, check_level=1, engines=("fast", "vector")
+        ) == []
+
+    def test_unknown_engine_rejected(self):
+        case = generate_cases(1, seed=0)[0]
+        with pytest.raises(KeyError):
+            differential_failures(case, engines=("warp",))
+
 
 def test_metamorphic_relations_hold_on_smoke_case():
     case = generate_cases(1, seed=0)[0]
@@ -163,6 +177,14 @@ class TestRunConformance:
             metamorphic=False, mutations=False,
         )
         assert report.engines == ("reference",)
+        assert report.passed
+
+    def test_vector_engine_selection(self):
+        report = run_conformance(
+            n_cases=1, seed=0, check_level=1, engine="vector",
+            metamorphic=False, mutations=False,
+        )
+        assert report.engines == ("vector",)
         assert report.passed
 
     def test_progress_callback_sees_every_case(self):
