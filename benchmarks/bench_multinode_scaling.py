@@ -1,0 +1,132 @@
+"""Strong-scaling characterization of the sharded multi-node DES.
+
+Shards the ``papers`` window (the paper's largest dataset, 111M
+vertices at full scale) across {1, 2, 4, 8} simulated PIUMA nodes with
+both partitioning strategies and assembles the bulk-synchronous
+end-to-end estimate per point, asserting the sharded runner's contracts
+on the way (DESIGN.md §12):
+
+* **1-node bit-identity** — the single-shard task's DES observables
+  equal the plain monolithic :class:`SpMMTask` record exactly;
+* **exact conservation** — summed shard counters reproduce the
+  monolithic totals at every node count and strategy;
+* **Eq.5 DGAS envelope** — every assembled time stays inside the
+  calibrated multi-node envelope of ``repro.ext.distributed``;
+* **strategy comparison** — the degree-aware partition never balances
+  worse than the equal-vertex blocks on this skewed graph.
+
+The per-strategy scaling rows (communication volume, cut fraction,
+load balance, speedup, DGAS ratio) go to
+``benchmarks/out/BENCH_multinode.json`` — the CI ``multinode`` lane
+uploads it as an artifact — and the speedup curves render as the
+strong-scaling figure.
+"""
+
+import json
+import os
+import time
+
+from conftest import OUT_DIR
+
+from repro.ext.distributed import MULTINODE_ENVELOPES
+from repro.piuma.multinode import scaling_figure, strong_scaling
+from repro.runtime import ResultCache, spmm_task
+from repro.runtime.shard import conserved_counters, shard_tasks
+
+DATASET = "papers"
+K = 128  # the dataset's feature dim
+NODES = (1, 2, 4, 8)
+STRATEGIES = ("block", "degree")
+PAPERS_WINDOW = {"max_vertices": 16384, "seed": 7}
+
+#: DES observables that must be bit-equal between the 1-shard task and
+#: the monolithic task (host-clock fields excluded by construction).
+BIT_FIELDS = (
+    "n_vertices", "n_edges", "gflops", "projected_time_ns", "sim_time_ns",
+    "window_edges", "total_edges", "memory_utilization",
+    "achieved_bandwidth", "events", "tag_stats", "scheduler", "engine",
+)
+
+
+def test_multinode_scaling(emit):
+    cache = ResultCache(
+        enabled=os.environ.get("REPRO_SWEEP_CACHE", "1") != "0"
+    )
+    started = time.perf_counter()
+
+    # 1-node bit-identity: sharding adds no numerical surface.
+    mono = spmm_task(DATASET, K, **PAPERS_WINDOW).run()
+    one = shard_tasks(DATASET, K, 1, **PAPERS_WINDOW)[0].run()
+    for field in BIT_FIELDS:
+        assert one[field] == mono[field], (
+            f"1-shard task diverged from monolithic on {field}"
+        )
+
+    study = strong_scaling(
+        DATASET, nodes=NODES, strategies=STRATEGIES, embedding_dim=K,
+        sweep_kwargs={"cache": cache, "retries": 1},
+        **PAPERS_WINDOW,
+    )
+    rows = study["rows"]
+
+    low, high = MULTINODE_ENVELOPES["dma"]
+    whole = conserved_counters(
+        mono["n_vertices"], mono["n_edges"], K,
+        shard_tasks(DATASET, K, 1, **PAPERS_WINDOW)[0].config(),
+    )
+    for row in rows:
+        # Exact conservation at every (strategy, node-count) point.
+        assert row["conserved"] == whole, (
+            f"{row['strategy']}@{row['n_nodes']}: shard counters do not "
+            "sum to the monolithic totals"
+        )
+        assert low <= row["dgas_ratio"] <= high, (
+            f"{row['strategy']}@{row['n_nodes']}: {row['dgas_ratio']:.3f}x "
+            f"the Eq.5 DGAS time, outside [{low}, {high}]"
+        )
+        assert row["failures"] == 0
+
+    by = {(r["strategy"], r["n_nodes"]): r for r in rows}
+    for n in NODES[1:]:
+        # The Accel-GCN argument: equal-edge-load blocks bound the
+        # straggler, equal-vertex blocks pay the skew.
+        assert by[("degree", n)]["balance"] <= by[("block", n)]["balance"], (
+            f"degree-aware partition balanced worse at {n} nodes"
+        )
+
+    figure = scaling_figure(rows, NODES)
+    wall = time.perf_counter() - started
+
+    payload = {
+        "point": {
+            "dataset": DATASET,
+            **PAPERS_WINDOW,
+            "embedding_dim": K,
+            "kernel": "dma",
+        },
+        "nodes": list(NODES),
+        "strategies": list(STRATEGIES),
+        "envelope": [low, high],
+        "rows": rows,
+        "bench_wall_s": wall,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_multinode.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    emit(
+        "multinode_scaling",
+        "\n".join(
+            [f"point: {DATASET} {PAPERS_WINDOW} K={K} dma, "
+             f"nodes={list(NODES)}, strategies={list(STRATEGIES)}"]
+            + [f"{r['strategy']:>6} @ {r['n_nodes']} node(s): "
+               f"{r['time_ns']:>12,.0f} ns  speedup {r['speedup']:.2f}x  "
+               f"eff {r['efficiency']:.2f}  comm {100 * r['comm_share']:.1f}%"
+               f"  cut {100 * r['cut_fraction']:.1f}%  "
+               f"balance {r['balance']:.3f}  "
+               f"halo {r['halo_bytes'] / 1e6:.2f} MB  "
+               f"dgas {r['dgas_ratio']:.2f}x"
+               for r in rows]
+            + ["", figure, f"[written to {path}]"]
+        ),
+    )

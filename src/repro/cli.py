@@ -11,6 +11,9 @@ without writing any Python:
 * ``sweep``     — run a DES grid through the cached, process-parallel
   sweep runner (``repro.runtime``); ``--degrade`` runs the whole grid
   on a deterministically faulted fabric.
+* ``multinode`` — partition-aware multi-node scale-out: shard a graph
+  (block or degree-aware blocks), simulate every shard as its own DES
+  task, assemble the halo-exchange estimate and strong-scaling curve.
 * ``resilience`` — graceful-degradation curve: SpMM slowdown vs the
   fraction of degraded fabric, against the derated Eq.5 envelope.
 * ``check``     — differential conformance suite + invariant-sanitizer
@@ -149,6 +152,74 @@ def _build_parser():
                        help="run the whole grid on a degraded fabric: a "
                             "preset name (mild, moderate, severe, links, "
                             "slices, dma, compute) or a JSON spec file")
+
+    multinode = sub.add_parser(
+        "multinode",
+        help="partition-aware multi-node scale-out: shard the graph, "
+             "simulate every shard as its own DES task, assemble the "
+             "halo-exchange estimate and the strong-scaling curve",
+    )
+    multinode.add_argument("--dataset", default="papers")
+    multinode.add_argument("--nodes", type=int, nargs="+",
+                           default=[1, 2, 4, 8],
+                           help="node counts of the strong-scaling study "
+                                "(one shard per node)")
+    multinode.add_argument("--strategy",
+                           choices=("block", "degree", "both"),
+                           default="both",
+                           help="partitioning strategy: equal-vertex "
+                                "blocks, degree-aware equal-edge-load "
+                                "blocks, or a side-by-side comparison")
+    multinode.add_argument("--kernel", choices=("dma", "loop", "vertex"),
+                           default="dma")
+    multinode.add_argument("--hidden", type=int, default=None,
+                           help="embedding dimension (default: the "
+                                "dataset's feature dim)")
+    multinode.add_argument("--max-vertices", type=int, default=16384,
+                           help="down-scale the graph to this many "
+                                "vertices before sharding")
+    multinode.add_argument("--seed", type=int, default=0)
+    multinode.add_argument("--workers", type=int, default=None,
+                           help="process-pool size across shard tasks")
+    multinode.add_argument("--no-cache", action="store_true",
+                           help="bypass the on-disk result cache")
+    multinode.add_argument("--cache-dir", default=None,
+                           help="cache location (default "
+                                "benchmarks/out/.cache or $REPRO_CACHE_DIR)")
+    multinode.add_argument("--timeout", type=float, default=None,
+                           metavar="S",
+                           help="per-shard wall-clock budget in seconds")
+    multinode.add_argument("--retries", type=int, default=0,
+                           help="extra attempts per shard after a timeout, "
+                                "worker crash, or exception")
+    multinode.add_argument("--on-error",
+                           choices=("raise", "skip", "fallback"),
+                           default="raise",
+                           help="policy once retries are exhausted; "
+                                "\"fallback\" degrades lost shards to the "
+                                "Eq.5 model so the assembly still closes")
+    multinode.add_argument("--check-level", type=int, default=None,
+                           choices=(0, 1, 2),
+                           help="run every shard under the runtime "
+                                "invariant sanitizer at this level")
+    multinode.add_argument("--resume", action="store_true",
+                           help="resume interrupted runs from their "
+                                "per-shard checkpoint manifests")
+    multinode.add_argument("--engine",
+                           choices=("fast", "calendar", "vector",
+                                    "reference"),
+                           default=None,
+                           help="DES main loop for every shard "
+                                "(bit-identical results; host speed only)")
+    multinode.add_argument("--scheduler", choices=("heap", "calendar"),
+                           default=None,
+                           help="event-scheduler backend for every shard "
+                                "(bit-identical results)")
+    multinode.add_argument("--degrade", default=None, metavar="SPEC",
+                           help="run every shard on a degraded fabric: a "
+                                "preset name or a JSON spec file")
+    multinode.add_argument("--json", default=None, metavar="PATH",
+                           help="write the scaling rows as a JSON artifact")
 
     resilience = sub.add_parser(
         "resilience",
@@ -571,6 +642,92 @@ def _cmd_sweep(args, out):
     return 0
 
 
+def _cmd_multinode(args, out):
+    import json
+    import pathlib
+
+    from repro.ext.distributed import MULTINODE_ENVELOPES
+    from repro.piuma.multinode import scaling_figure, strong_scaling
+    from repro.report.tables import format_table, format_time_ns
+    from repro.runtime import ResultCache
+
+    nodes = sorted(set(args.nodes))
+    if any(n < 1 for n in nodes):
+        raise ValueError("--nodes must be positive")
+    strategies = (("block", "degree") if args.strategy == "both"
+                  else (args.strategy,))
+    cache = ResultCache(directory=args.cache_dir,
+                        enabled=not args.no_cache)
+    sweep_kwargs = {
+        "workers": args.workers,
+        "cache": cache,
+        "timeout": args.timeout,
+        "retries": args.retries,
+        "on_error": args.on_error,
+        "check_level": args.check_level,
+        "engine": args.engine,
+        "scheduler": args.scheduler,
+    }
+    if args.degrade:
+        sweep_kwargs["degradation"] = _resolve_degradation(args.degrade)
+    result = strong_scaling(
+        args.dataset, nodes=tuple(nodes), strategies=strategies,
+        embedding_dim=args.hidden, kernel=args.kernel,
+        max_vertices=args.max_vertices, seed=args.seed,
+        sweep_kwargs=sweep_kwargs, checkpoint_dir=cache.directory,
+        resume=args.resume,
+    )
+    rows = result["rows"]
+    out(format_table(
+        ["strategy", "nodes", "time", "speedup", "eff",
+         "comm%", "cut%", "balance", "halo MB", "dgas x"],
+        [[r["strategy"], r["n_nodes"], format_time_ns(r["time_ns"]),
+          f"{r['speedup']:.2f}x", f"{r['efficiency']:.2f}",
+          f"{100 * r['comm_share']:.1f}", f"{100 * r['cut_fraction']:.1f}",
+          f"{r['balance']:.3f}", f"{r['halo_bytes'] / 1e6:.2f}",
+          f"{r['dgas_ratio']:.2f}"]
+         for r in rows],
+        title=f"{args.dataset}/{args.kernel} multi-node strong scaling "
+              f"({args.max_vertices:,}-vertex window per study)",
+    ))
+    out(scaling_figure(rows, nodes))
+    full = next((r for r in rows if r["n_nodes"] == max(nodes)), None)
+    if full is not None and full["full_time_ns"] != full["time_ns"]:
+        out(f"full-scale projection ({args.dataset}): "
+            f"{format_time_ns(full['full_time_ns'])} per SpMM at "
+            f"{max(nodes)} nodes ({full['strategy']})")
+    low, high = MULTINODE_ENVELOPES[args.kernel]
+    if args.degrade:
+        # Same exemption as the conformance oracle: the analytical DGAS
+        # aggregate knows nothing of fault derating.
+        breaches = []
+        out(f"Eq.5 DGAS envelope [{low}, {high}]: skipped "
+            f"(degraded fabric '{args.degrade}')")
+    else:
+        breaches = [r for r in rows if not low <= r["dgas_ratio"] <= high]
+        out(f"Eq.5 DGAS envelope [{low}, {high}]: "
+            + ("held at every point" if not breaches
+               else f"VIOLATED at {len(breaches)} point(s)"))
+    failures = sum(r["failures"] for r in rows)
+    if failures:
+        out(f"{failures} shard(s) degraded to the Eq.5 fallback")
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "dataset": args.dataset,
+            "kernel": args.kernel,
+            "max_vertices": args.max_vertices,
+            "seed": args.seed,
+            "nodes": nodes,
+            "strategies": list(strategies),
+            "envelope": [low, high],
+            "rows": rows,
+        }, indent=2, sort_keys=True) + "\n")
+        out(f"scaling rows written to {path}")
+    return 0 if not breaches else 1
+
+
 #: Record fields that must be bit-identical across the fast and
 #: reference engines (``repro resilience --verify-engines``).
 _ENGINE_IDENTITY_FIELDS = (
@@ -975,6 +1132,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "multinode": _cmd_multinode,
     "resilience": _cmd_resilience,
     "check": _cmd_check,
     "advise": _cmd_advise,

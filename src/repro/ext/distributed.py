@@ -12,9 +12,34 @@ materialization of the actual graph.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.graphs.partition import block_vertex_partition, evaluate_partition
+from repro.graphs.partition import evaluate_partition, partition_graph
+
+
+class ClusterConfigError(ValueError):
+    """A :class:`ClusterConfig` field failed validation.
+
+    A structured ``ValueError``: ``field``/``value``/``reason`` survive
+    as attributes and :meth:`payload` serializes them for sweep
+    reports and CLI output, matching the runtime error taxonomy's
+    plain-JSON convention.
+    """
+
+    def __init__(self, field, value, reason):
+        super().__init__(f"ClusterConfig.{field}={value!r}: {reason}")
+        self.field = field
+        self.value = value
+        self.reason = reason
+
+    def payload(self):
+        return {
+            "kind": "cluster-config",
+            "field": self.field,
+            "value": repr(self.value),
+            "reason": self.reason,
+        }
 
 
 @dataclass(frozen=True)
@@ -27,10 +52,31 @@ class ClusterConfig:
     messages_per_layer: int = 2       # halo exchange: post + reduce
 
     def __post_init__(self):
-        if self.n_nodes < 1:
-            raise ValueError("n_nodes must be positive")
-        if self.interconnect_gbps <= 0:
-            raise ValueError("interconnect bandwidth must be positive")
+        # Validation is exhaustive on purpose: an inf bandwidth or NaN
+        # latency used to flow straight through the estimate arithmetic
+        # and come back as a confidently nonsensical number (NaN time,
+        # zero communication at any cut) instead of an error.
+        if not isinstance(self.n_nodes, int) or self.n_nodes < 1:
+            raise ClusterConfigError(
+                "n_nodes", self.n_nodes, "must be a positive integer"
+            )
+        if not math.isfinite(self.interconnect_gbps) \
+                or self.interconnect_gbps <= 0:
+            raise ClusterConfigError(
+                "interconnect_gbps", self.interconnect_gbps,
+                "bisection bandwidth must be finite and positive",
+            )
+        if not math.isfinite(self.mpi_latency_us) or self.mpi_latency_us < 0:
+            raise ClusterConfigError(
+                "mpi_latency_us", self.mpi_latency_us,
+                "message latency must be finite and non-negative",
+            )
+        if not isinstance(self.messages_per_layer, int) \
+                or self.messages_per_layer < 0:
+            raise ClusterConfigError(
+                "messages_per_layer", self.messages_per_layer,
+                "must be a non-negative integer",
+            )
 
 
 @dataclass(frozen=True)
@@ -50,11 +96,16 @@ class DistributedSpMMEstimate:
         return self.communication_ns / self.time_ns if self.time_ns else 0.0
 
 
-def measure_cut_fraction(adj, n_nodes):
-    """Edge-cut fraction of a block vertex partition of ``adj``."""
+def measure_cut_fraction(adj, n_nodes, strategy="block"):
+    """Edge-cut fraction of an ``n_nodes``-way partition of ``adj``.
+
+    ``strategy`` names a :data:`repro.graphs.partition.PARTITION_STRATEGIES`
+    entry; the historical default is the equal-vertex block partition.
+    Always in ``[0, 1]`` and exactly ``0.0`` for a single node.
+    """
     if n_nodes == 1:
         return 0.0
-    part = block_vertex_partition(adj.n_rows, n_nodes)
+    part = partition_graph(adj, n_nodes, strategy=strategy)
     report = evaluate_partition(adj, part)
     return report.edge_cut / adj.nnz if adj.nnz else 0.0
 
@@ -108,3 +159,58 @@ def piuma_multinode_spmm_time(n_vertices, n_edges, embedding_dim,
         read_bandwidth=bandwidth, write_bandwidth=bandwidth,
     )
     return model.time_ns / spmm_efficiency
+
+
+#: Tier-3 oracle bounds for the *sharded* multi-node simulation
+#: (``repro.piuma.multinode``), per kernel, expressed as the allowed
+#: ratio of the assembled end-to-end estimate over the Eq.5-derived
+#: DGAS time of :func:`piuma_multinode_spmm_time`.  A partitioned
+#: bulk-synchronous system can never beat the no-partition DGAS
+#: aggregate by much (the DGAS path already assumes perfectly scaled
+#: bandwidth; the floor absorbs per-shard DES windows landing *above*
+#: the analytical model), while halo exchange plus load imbalance slow
+#: it down boundedly.  The spread mirrors the per-kernel single-node
+#: ``ENVELOPES`` of ``repro.testing.oracle``: the dma kernel tracks the
+#: bandwidth-bound model closely, the loop kernel is latency-bound and
+#: lands a large factor above it (its single-node efficiency floor is
+#: 0.03, i.e. ~33x the model's time, before imbalance), the vertex
+#: kernel sits between.  Calibrated on the seeded sharded case
+#: population (healthy fabric, 200-case pool) with >= 1.5x headroom
+#: above the observed extremes; the high ceilings are honest — tiny
+#: conformance shards pay a per-shard launch overhead and never reach
+#: the steady state the bandwidth model assumes, a regime the
+#: realistic 16k-vertex ``repro multinode`` windows (observed < 4x)
+#: never enter.
+MULTINODE_ENVELOPES = {
+    "dma": (0.3, 60.0),
+    "loop": (0.3, 90.0),
+    "vertex": (0.3, 24.0),
+}
+
+#: Back-compat / default bounds (the dma kernel, the paper's winner).
+MULTINODE_ENVELOPE = MULTINODE_ENVELOPES["dma"]
+
+
+def multinode_envelope_failure(time_ns, n_vertices, n_edges, embedding_dim,
+                               piuma_node_config, n_nodes, kernel="dma"):
+    """Tier-3 check: assembled multi-node time vs the Eq.5 DGAS envelope.
+
+    Returns ``None`` when ``time_ns`` is within the kernel's
+    :data:`MULTINODE_ENVELOPES` bounds of the analytical
+    :func:`piuma_multinode_spmm_time`, else a human-readable detail
+    string (the conformance suite's failure record body).
+    """
+    analytical = piuma_multinode_spmm_time(
+        n_vertices, n_edges, embedding_dim, piuma_node_config, n_nodes
+    )
+    low, high = MULTINODE_ENVELOPES[kernel]
+    if analytical <= 0:
+        return f"analytical multi-node time {analytical} ns is not positive"
+    ratio = time_ns / analytical
+    if low <= ratio <= high:
+        return None
+    return (
+        f"assembled {n_nodes}-node {kernel} time {time_ns:,.0f} ns is "
+        f"{ratio:.3f}x the Eq.5 DGAS time {analytical:,.0f} ns, "
+        f"outside [{low}, {high}]"
+    )

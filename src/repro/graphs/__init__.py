@@ -25,6 +25,17 @@ from repro.graphs.generators import (
     stochastic_block_model,
 )
 from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.partition import (
+    PARTITION_STRATEGIES,
+    PartitionReport,
+    block_vertex_partition,
+    degree_aware_partition,
+    degree_balance_bound,
+    edge_cut_matrix,
+    evaluate_partition,
+    partition_bounds,
+    partition_graph,
+)
 from repro.graphs.rmat import RMATParams, rmat_edges, rmat_graph
 from repro.graphs.stats import (
     clustering_coefficient,
@@ -34,20 +45,29 @@ from repro.graphs.stats import (
 
 __all__ = [
     "OGB_TABLE_I",
+    "PARTITION_STRATEGIES",
     "DatasetSpec",
     "DegreeStats",
+    "PartitionReport",
     "RMATParams",
     "barabasi_albert",
+    "block_vertex_partition",
     "clustering_coefficient",
     "community_features",
     "connected_components",
+    "degree_aware_partition",
+    "degree_balance_bound",
     "degree_stats",
+    "edge_cut_matrix",
     "erdos_renyi",
+    "evaluate_partition",
     "get_dataset",
     "largest_component_fraction",
     "list_datasets",
     "load_edge_list",
     "load_npz",
+    "partition_bounds",
+    "partition_graph",
     "power_graph_spec",
     "reuse_distance_proxy",
     "rmat_edges",

@@ -22,6 +22,13 @@ from repro.piuma.densemm import DenseMMEstimate, dense_mm_time, peak_mac_gflops
 from repro.piuma.engine import Simulator
 from repro.piuma.gcn import gcn_breakdown as piuma_gcn_breakdown
 from repro.piuma.kernels import KernelResult, auto_window, run_spmm_kernel
+from repro.piuma.multinode import (
+    HaloFabric,
+    MultinodeEstimate,
+    assemble_multinode,
+    run_multinode,
+    strong_scaling,
+)
 from repro.piuma.spmm_dma import dma_thread
 from repro.piuma.spmm_loop import loop_unrolled_thread
 
@@ -30,10 +37,13 @@ __all__ = [
     "DegradationModel",
     "DegradationSpec",
     "DenseMMEstimate",
+    "HaloFabric",
     "KernelResult",
     "ModelResult",
+    "MultinodeEstimate",
     "PIUMAConfig",
     "Simulator",
+    "assemble_multinode",
     "auto_window",
     "dense_mm_time",
     "dma_thread",
@@ -41,11 +51,13 @@ __all__ = [
     "loop_unrolled_thread",
     "peak_mac_gflops",
     "piuma_gcn_breakdown",
+    "run_multinode",
     "run_spmm_kernel",
     "simulate_dense_mm",
     "simulate_gcn",
     "simulate_spmm",
     "spmm_model",
+    "strong_scaling",
     "thread_placements",
 ]
 

@@ -7,6 +7,9 @@ first-class subsystem — batch *and* online:
 * :mod:`repro.runtime.runner` — fan independent sweep points across a
   process pool with deterministic result ordering, per-task timeouts,
   bounded retries, pool respawn, and skip/fallback error policies;
+* :mod:`repro.runtime.shard` — sharded sweep points for the multi-node
+  scale-out scenario: one DES task per graph partition, with exact
+  conservation counters and a bit-identity contract at one shard;
 * :mod:`repro.runtime.jobs` — the reusable scheduling core under the
   sweep runner: the worker pool (:class:`ExecPool`) and an online
   :class:`JobScheduler` with bounded admission, coalescing, and
@@ -73,6 +76,14 @@ from repro.runtime.runner import (
     run_sweep,
     spmm_task,
 )
+from repro.runtime.shard import (
+    ShardTask,
+    aggregate_conserved,
+    conserved_counters,
+    shard_geometry,
+    shard_subgraph,
+    shard_tasks,
+)
 from repro.runtime.service import PredictionService, make_server, parse_query
 
 __all__ = [
@@ -95,6 +106,7 @@ __all__ = [
     "ResultCache",
     "SchedulerStats",
     "ServiceFaultInjector",
+    "ShardTask",
     "SimulationDiverged",
     "SpMMTask",
     "SweepCheckpoint",
@@ -102,8 +114,10 @@ __all__ = [
     "TaskError",
     "TaskTimeout",
     "WorkerCrash",
+    "aggregate_conserved",
     "backoff_delay",
     "cache_key",
+    "conserved_counters",
     "default_cache_dir",
     "default_workers",
     "failure_record",
@@ -111,6 +125,9 @@ __all__ = [
     "make_server",
     "parse_query",
     "run_sweep",
+    "shard_geometry",
+    "shard_subgraph",
+    "shard_tasks",
     "spmm_task",
     "wrap_failure",
 ]

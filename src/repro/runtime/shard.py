@@ -1,0 +1,342 @@
+"""Sharded sweep points: one DES task per graph partition.
+
+The multi-node scale-out scenario (``repro.piuma.multinode``) shards a
+graph with :mod:`repro.graphs.partition` and simulates every shard as
+its own discrete-event task on one PIUMA node's worth of hardware.  A
+:class:`ShardTask` is exactly an :class:`~repro.runtime.runner.SpMMTask`
+plus the partition coordinates ``(n_shards, shard, strategy)`` — it
+rides the same process pool, content-addressed cache, checkpoint
+manifest, retry and fallback machinery, and its record keeps the full
+monolithic schema so every downstream consumer (figures, calibration,
+the CLI) reads it unchanged.
+
+Two contracts make the sharding trustworthy (enforced by
+``tests/runtime/test_shard.py``):
+
+* **1-shard identity** — a single-shard task simulates the *identical*
+  CSR (same arrays, same auto window, same config), so its DES
+  observables are bit-identical to the monolithic task on every engine
+  backend;
+* **conservation** — shards partition rows and edges exactly, so the
+  :func:`conserved_counters` (edges, bytes, DMA descriptors, flops)
+  summed over any K-shard decomposition equal the monolithic totals,
+  whatever the strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.runner import SpMMTask, _materialized
+
+
+def shard_subgraph(adj, row_start, row_end):
+    """CSR of rows ``[row_start, row_end)`` with *global* column ids.
+
+    Column indices stay in the full graph's vertex space (they name
+    feature rows, local or ghost), so the shard matrix keeps the full
+    column count.  For the whole-graph range this reproduces ``adj``
+    element for element — the 1-shard identity contract.
+    """
+    from repro.sparse.csr import CSRMatrix
+
+    lo = int(adj.indptr[row_start])
+    hi = int(adj.indptr[row_end])
+    indptr = adj.indptr[row_start : row_end + 1] - adj.indptr[row_start]
+    return CSRMatrix(
+        indptr,
+        adj.indices[lo:hi],
+        adj.data[lo:hi],
+        (int(row_end - row_start), adj.n_cols),
+    )
+
+
+def shard_geometry(adj, n_shards, shard, strategy="block"):
+    """Partition ``adj`` and slice out one shard with halo accounting.
+
+    Returns ``(sub, info)``: the shard's CSR (global column ids) and a
+    plain-JSON geometry dict — row range, owned/local/cut edge counts,
+    and the per-owner halo arrays (``recv_edges_by_owner`` counts cut
+    edges by remote owner; ``ghosts_by_owner`` counts *distinct* remote
+    vertices, i.e. the deduplicated feature rows a halo exchange
+    actually ships).
+    """
+    from repro.graphs.partition import partition_bounds, partition_graph
+
+    part = partition_graph(adj, n_shards, strategy=strategy)
+    bounds = partition_bounds(part, n_shards)
+    lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+    sub = shard_subgraph(adj, lo, hi)
+    dst_owner = part[sub.indices] if sub.nnz else np.empty(0, np.int64)
+    local = int(np.count_nonzero(dst_owner == shard))
+    cut = sub.nnz - local
+    recv_edges = np.bincount(dst_owner, minlength=n_shards).astype(np.int64)
+    recv_edges[shard] = 0
+    # Deduplicated halo: one ghost feature row per distinct remote
+    # vertex per exchange (what a real halo actually ships).
+    ghosts = np.zeros(n_shards, dtype=np.int64)
+    if cut:
+        remote = sub.indices[dst_owner != shard]
+        unique = np.unique(remote)
+        owners = part[unique]
+        ghosts = np.bincount(owners, minlength=n_shards).astype(np.int64)
+    return sub, {
+        "n_shards": int(n_shards),
+        "shard": int(shard),
+        "strategy": strategy,
+        "row_start": lo,
+        "row_end": hi,
+        "rows": hi - lo,
+        "edges": int(sub.nnz),
+        "local_edges": local,
+        "cut_edges": int(cut),
+        "ghost_vertices": int(ghosts.sum()),
+        "recv_edges_by_owner": [int(x) for x in recv_edges],
+        "ghosts_by_owner": [int(x) for x in ghosts],
+    }
+
+
+def conserved_counters(n_rows, n_edges, embedding_dim, config):
+    """Exactly-additive traffic counters of one SpMM (shard or whole).
+
+    Every term is linear in ``(n_rows, n_edges)``, so summing the
+    counters of a disjoint row/edge decomposition reproduces the
+    monolithic numbers exactly — the conservation oracle of the sharded
+    runner.  ``dma_requests`` counts the DMA kernel's fused
+    multiply-read descriptors (one per edge, see
+    :mod:`repro.piuma.spmm_dma`).
+    """
+    feature = embedding_dim * config.feature_bytes
+    return {
+        "rows": int(n_rows),
+        "edges": int(n_edges),
+        "nnz_bytes": int(n_edges * (config.index_bytes + config.value_bytes)),
+        "feature_read_bytes": int(n_edges * feature),
+        "output_write_bytes": int(n_rows * feature),
+        "dma_requests": int(n_edges),
+        "flops": int(2 * n_edges * embedding_dim),
+    }
+
+
+def aggregate_conserved(records):
+    """Sum the ``"conserved"`` counters across shard records."""
+    totals = {}
+    for record in records:
+        for key, value in record["conserved"].items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _zero_kernel_fields(model, total_edges):
+    """Record fields of a shard that owns no edges (nothing to simulate)."""
+    return {
+        "gflops": 0.0,
+        "projected_time_ns": 0.0,
+        "sim_time_ns": 0.0,
+        "window_edges": 0,
+        "total_edges": int(total_edges),
+        "memory_utilization": 0.0,
+        "achieved_bandwidth": 0.0,
+        "model_gflops": float(model.gflops) if model is not None else 0.0,
+        "model_time_ns": float(model.time_ns) if model is not None else 0.0,
+        "efficiency": 0.0,
+        "events": 0,
+        "host_wall_s": 0.0,
+        "events_per_s": 0.0,
+        "tag_stats": {},
+    }
+
+
+@dataclass(frozen=True)
+class ShardTask(SpMMTask):
+    """One shard of a partitioned graph as a sweep point.
+
+    Attributes (beyond :class:`SpMMTask`)
+    -------------------------------------
+    n_shards:
+        Partition count — one simulated PIUMA node per shard.
+    shard:
+        This task's shard index in ``[0, n_shards)``.
+    strategy:
+        Partitioning strategy name
+        (:data:`repro.graphs.partition.PARTITION_STRATEGIES`).
+    """
+
+    n_shards: int = 1
+    shard: int = 0
+    strategy: str = "block"
+
+    def __post_init__(self):
+        from repro.graphs.partition import PARTITION_STRATEGIES
+
+        super().__post_init__()
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if not 0 <= self.shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {self.shard}"
+            )
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {PARTITION_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+
+    def label(self):
+        base = super().label()
+        return f"{base} [shard {self.shard + 1}/{self.n_shards} " \
+               f"{self.strategy}]"
+
+    def key_payload(self):
+        """Monolithic payload plus the partition coordinates.
+
+        The extra keys keep shard records from ever aliasing monolithic
+        ones in the content cache, even for ``n_shards=1`` (the records
+        carry different schemas).
+        """
+        payload = super().key_payload()
+        payload["partition"] = {
+            "n_shards": self.n_shards,
+            "shard": self.shard,
+            "strategy": self.strategy,
+        }
+        return payload
+
+    def _shard_geometry(self, adj):
+        """Partition the materialized graph; returns this shard's slice
+        and its halo accounting against the other shards."""
+        return shard_geometry(adj, self.n_shards, self.shard, self.strategy)
+
+    def run(self):
+        """Simulate this shard; returns the monolithic record schema
+        plus ``"shard"`` (partition/halo geometry) and ``"conserved"``
+        (exactly-additive traffic counters)."""
+        from repro.piuma import simulate_spmm, spmm_model
+
+        adj = _materialized(self.dataset, self.max_vertices, self.seed)
+        config = self.config()
+        sub, shard_info = self._shard_geometry(adj)
+        conserved = conserved_counters(
+            sub.n_rows, sub.nnz, self.embedding_dim, config
+        )
+        if sub.nnz == 0:
+            # A legal (if degenerate) shard: nothing to aggregate, so
+            # no window to simulate — the record is structurally
+            # complete with zero kernel observables.
+            record = {
+                "n_vertices": int(sub.n_rows),
+                "n_edges": 0,
+                "embedding_dim": int(self.embedding_dim),
+                "kernel": self.kernel,
+                **_zero_kernel_fields(None, 0),
+                "source": "simulation",
+                "scheduler": config.scheduler,
+                "engine": config.resolved_engine,
+            }
+        else:
+            result = simulate_spmm(
+                sub, self.embedding_dim, config, kernel=self.kernel,
+                window_edges=self.window_edges,
+            )
+            model = spmm_model(
+                sub.n_rows, sub.nnz, self.embedding_dim, config
+            )
+            record = {
+                "n_vertices": int(sub.n_rows),
+                "n_edges": int(sub.nnz),
+                "embedding_dim": int(self.embedding_dim),
+                "kernel": self.kernel,
+                "gflops": float(result.gflops),
+                "projected_time_ns": float(result.projected_time_ns),
+                "sim_time_ns": float(result.sim_time_ns),
+                "window_edges": int(result.window_edges),
+                "total_edges": int(result.total_edges),
+                "memory_utilization": float(result.memory_utilization),
+                "achieved_bandwidth": float(result.achieved_bandwidth),
+                "model_gflops": float(model.gflops),
+                "model_time_ns": float(model.time_ns),
+                "efficiency": (float(result.gflops / model.gflops)
+                               if model.gflops > 0 else 0.0),
+                "events": int(result.events),
+                "host_wall_s": float(result.host_wall_s),
+                "events_per_s": float(result.events_per_s),
+                "tag_stats": {
+                    tag: {"count": int(s.count), "bytes": float(s.bytes),
+                          "wait_ns": float(s.wait_ns)}
+                    for tag, s in sorted(result.tag_stats.items())
+                },
+                "source": "simulation",
+                "scheduler": config.scheduler,
+                "engine": config.resolved_engine,
+            }
+        if config.degradation is not None:
+            from dataclasses import asdict
+
+            record["degradation"] = asdict(config.degradation)
+        record["shard"] = shard_info
+        record["conserved"] = conserved
+        return record
+
+    def fallback_record(self, error=None):
+        """Eq.5 stand-in for a failed shard, with shard geometry intact
+        (the assembly still needs the halo volumes)."""
+        from repro.piuma import spmm_model
+
+        adj = _materialized(self.dataset, self.max_vertices, self.seed)
+        config = self.config()
+        sub, shard_info = self._shard_geometry(adj)
+        model = (spmm_model(sub.n_rows, sub.nnz, self.embedding_dim, config)
+                 if sub.nnz else None)
+        record = {
+            "n_vertices": int(sub.n_rows),
+            "n_edges": int(sub.nnz),
+            "embedding_dim": int(self.embedding_dim),
+            "kernel": self.kernel,
+            **_zero_kernel_fields(model, sub.nnz),
+            "source": "model_fallback",
+            "scheduler": config.scheduler,
+            "engine": config.resolved_engine,
+        }
+        if model is not None:
+            record.update({
+                "gflops": float(model.gflops),
+                "projected_time_ns": float(model.time_ns),
+                "efficiency": 1.0,
+            })
+        if config.degradation is not None:
+            from dataclasses import asdict
+
+            record["degradation"] = asdict(config.degradation)
+        if error is not None:
+            record["error"] = error.payload()
+        record["shard"] = shard_info
+        record["conserved"] = conserved_counters(
+            sub.n_rows, sub.nnz, self.embedding_dim, config
+        )
+        return record
+
+
+def shard_tasks(dataset, embedding_dim, n_shards, strategy="block",
+                kernel="dma", max_vertices=16384, seed=0,
+                window_edges=None, **config_overrides):
+    """Build the ``n_shards`` :class:`ShardTask` list of one multi-node
+    run (keyword config overrides canonically sorted, like
+    :func:`~repro.runtime.runner.spmm_task`)."""
+    overrides = tuple(sorted(config_overrides.items()))
+    return [
+        ShardTask(
+            dataset=dataset,
+            embedding_dim=embedding_dim,
+            kernel=kernel,
+            max_vertices=max_vertices,
+            seed=seed,
+            window_edges=window_edges,
+            overrides=overrides,
+            n_shards=n_shards,
+            shard=shard,
+            strategy=strategy,
+        )
+        for shard in range(n_shards)
+    ]

@@ -24,7 +24,11 @@ without hand-written expectations.  This package packages that idea:
 from repro.testing.cases import ConformanceCase, generate_cases, shrink
 from repro.testing.conformance import ConformanceReport, run_conformance
 from repro.testing.mutations import MUTATIONS, run_mutation
-from repro.testing.oracle import differential_failures, run_case
+from repro.testing.oracle import (
+    differential_failures,
+    run_case,
+    run_sharded_case,
+)
 
 __all__ = [
     "ConformanceCase",
@@ -35,5 +39,6 @@ __all__ = [
     "run_case",
     "run_conformance",
     "run_mutation",
+    "run_sharded_case",
     "shrink",
 ]

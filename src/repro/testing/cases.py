@@ -55,6 +55,17 @@ _DEGRADATION_POOL = (
                     dma_retry_backoff_ns=100.0),
 )
 
+#: Shard counts a case may carry (the multi-node sharded oracle).
+#: Drawn after every historical knob *and* after the degradation draw —
+#: the same trailing-draw rule that kept old populations stable when
+#: the degradation axis landed — and mostly 1 (monolithic stays the
+#: dominant regime; sharded cases exercise the partition/halo path and
+#: the Eq.5 multi-node envelope).
+_SHARD_POOL = (1, 1, 1, 1, 2, 4)
+
+#: Partitioning strategies a sharded case may use (drawn last of all).
+_STRATEGY_POOL = ("block", "degree")
+
 
 @dataclass(frozen=True)
 class ConformanceCase:
@@ -76,6 +87,13 @@ class ConformanceCase:
     #: Appended after the original fields so positional construction
     #: of historical cases is unchanged.
     degradation: DegradationSpec | None = None
+    #: Shard the case's graph across this many simulated nodes
+    #: (1 = the historical monolithic case).  Appended after
+    #: ``degradation`` under the same trailing-draw compatibility rule.
+    n_shards: int = 1
+    #: Partitioning strategy of a sharded case
+    #: (:data:`repro.graphs.partition.PARTITION_STRATEGIES`).
+    partition_strategy: str = "block"
 
     def config(self, check_level=0, engine_fast_path=True, **overrides):
         """The :class:`PIUMAConfig` this case runs under."""
@@ -137,14 +155,20 @@ def generate_cases(n, seed=0):
         rng = random.Random(f"{seed}:{index}")
         knobs = {key: rng.choice(pool) for key, pool in _POOLS.items()}
         graph_seed = rng.randrange(1 << 16)
-        # Drawn last, after every historical knob, so the degradation
-        # axis changed no previously generated case population.
+        # Drawn after every historical knob, so the degradation axis
+        # changed no previously generated case population.
         degradation = rng.choice(_DEGRADATION_POOL)
+        # Drawn after the degradation draw, same compatibility rule:
+        # the shard axes changed no case generated before they existed.
+        n_shards = rng.choice(_SHARD_POOL)
+        partition_strategy = rng.choice(_STRATEGY_POOL)
         cases.append(
             ConformanceCase(
                 name=f"case{index:03d}-s{seed}",
                 graph_seed=graph_seed,
                 degradation=degradation,
+                n_shards=n_shards,
+                partition_strategy=partition_strategy,
                 **knobs,
             )
         )
@@ -168,6 +192,11 @@ def _shrink_candidates(case):
         # the fault spec is a plain engine bug, which is the simpler
         # (and more alarming) reproduction.
         emit(degradation=None)
+    if case.n_shards > 1:
+        # Same idea for the shard axis: a failure that survives
+        # monolithic is not a partition/halo bug.
+        emit(n_shards=1, partition_strategy="block")
+        emit(n_shards=max(1, case.n_shards // 2))
     if case.scale > 6:
         emit(scale=case.scale - 1)
     if case.edge_factor > 2:

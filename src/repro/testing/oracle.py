@@ -92,6 +92,88 @@ def result_signature(result):
     }
 
 
+def run_sharded_case(case, check_level=0, engine_fast_path=None,
+                     scheduler=None, engine=None):
+    """Simulate every shard of a sharded case on one engine backend.
+
+    The case's graph is partitioned ``case.n_shards`` ways with
+    ``case.partition_strategy`` (the exact code path of the multi-node
+    runner, via :func:`repro.runtime.shard.shard_geometry`) and each
+    non-empty shard runs its own ``simulate_spmm``.  Returns a list of
+    ``(KernelResult | None, geometry)`` pairs, shard order.
+    """
+    from repro.runtime.shard import shard_geometry
+
+    knobs = dict(ENGINE_BACKENDS[engine]) if engine else {}
+    if engine_fast_path is not None:
+        knobs["engine_fast_path"] = engine_fast_path
+    if scheduler is not None:
+        knobs["scheduler"] = scheduler
+    adj = case.graph()
+    config = case.config(check_level=check_level, **knobs)
+    shards = []
+    for index in range(case.n_shards):
+        sub, info = shard_geometry(
+            adj, case.n_shards, index, case.partition_strategy
+        )
+        result = None
+        if sub.nnz:
+            result = simulate_spmm(
+                sub, case.embedding_dim, config=config, kernel=case.kernel,
+                window_edges=case.window_edges,
+            )
+        shards.append((result, info))
+    return shards
+
+
+def case_signature(case, outcome):
+    """Bit-identity signature of a case outcome, monolithic or sharded.
+
+    Monolithic outcomes (a ``KernelResult``) keep the historical flat
+    signature; sharded outcomes (the list from :func:`run_sharded_case`)
+    nest one signature per shard, so a divergence report names the
+    offending shard.
+    """
+    if case.n_shards <= 1:
+        return result_signature(outcome)
+    return {
+        f"shard{index}": (result_signature(result)
+                          if result is not None else None)
+        for index, (result, _info) in enumerate(outcome)
+    }
+
+
+def assembled_case_estimate(case, shards):
+    """Assemble a sharded case's end-to-end multi-node estimate.
+
+    Runs the same bulk-synchronous assembly as the ``repro multinode``
+    runner (slowest shard + halo exchange on the inter-node tier), so
+    the tier-3 envelope below checks the code path users see.
+    """
+    from repro.piuma.multinode import HaloFabric, assemble_multinode
+    from repro.runtime.shard import conserved_counters
+
+    config = case.config()
+    records = [
+        {
+            "projected_time_ns": (float(result.projected_time_ns)
+                                  if result is not None else 0.0),
+            "shard": info,
+            "conserved": conserved_counters(
+                info["rows"], info["edges"], case.embedding_dim, config
+            ),
+        }
+        for result, info in shards
+    ]
+    return assemble_multinode(
+        records,
+        dataset=case.name,
+        strategy=case.partition_strategy,
+        embedding_dim=case.embedding_dim,
+        fabric=HaloFabric.from_config(config),
+    )
+
+
 def model_efficiency(case, result):
     """DES gflops as a fraction of the Eq. 5 model's prediction.
 
@@ -124,15 +206,21 @@ def differential_failures(case, check_level=2, engines=("fast", "reference")):
     the sanitizer inside any engine is captured as a failure record
     rather than propagating — the harness reports, it does not crash.
     """
+    sharded = case.n_shards > 1
     failures = []
     results = {}
     for engine in engines:
         if engine not in ENGINE_BACKENDS:
             raise KeyError(f"unknown engine backend {engine!r}")
         try:
-            results[engine] = run_case(
-                case, check_level=check_level, engine=engine,
-            )
+            if sharded:
+                results[engine] = run_sharded_case(
+                    case, check_level=check_level, engine=engine,
+                )
+            else:
+                results[engine] = run_case(
+                    case, check_level=check_level, engine=engine,
+                )
         except InvariantViolation as error:
             failures.append({
                 "case": case.name,
@@ -142,11 +230,11 @@ def differential_failures(case, check_level=2, engines=("fast", "reference")):
     if len(results) >= 2:
         base_name = ("reference" if "reference" in results
                      else next(iter(results)))
-        base = result_signature(results[base_name])
+        base = case_signature(case, results[base_name])
         for engine, result in results.items():
             if engine == base_name:
                 continue
-            sig = result_signature(result)
+            sig = case_signature(case, result)
             if sig != base:
                 diverged = sorted(
                     key for key in sig if sig[key] != base[key]
@@ -164,6 +252,32 @@ def differential_failures(case, check_level=2, engines=("fast", "reference")):
                         )
                     ),
                 })
+    if sharded:
+        # Tier-3 oracle of the sharded path: the assembled end-to-end
+        # multi-node time must live inside the Eq.5-derived DGAS
+        # envelope of ``repro.ext.distributed``.  Degraded-fabric cases
+        # are exempt (the analytical DGAS aggregate knows nothing of
+        # fault derating) — their load-bearing check is the per-shard
+        # bit-identity leg above.
+        if case.degradation is None and results:
+            from repro.ext.distributed import multinode_envelope_failure
+
+            adj = case.graph()
+            config = case.config()
+            for engine, shards in results.items():
+                estimate = assembled_case_estimate(case, shards)
+                detail = multinode_envelope_failure(
+                    estimate.time_ns, adj.n_rows, adj.nnz,
+                    case.embedding_dim, config, case.n_shards,
+                    kernel=case.kernel,
+                )
+                if detail is not None:
+                    failures.append({
+                        "case": case.name,
+                        "check": f"multinode-envelope:{engine}",
+                        "detail": detail,
+                    })
+        return failures
     low, high = ENVELOPES[case.kernel]
     for engine, result in results.items():
         efficiency = model_efficiency(case, result)

@@ -1,3 +1,5 @@
+import json
+
 import pytest
 
 from repro.cli import main
@@ -94,6 +96,51 @@ class TestSweep:
         assert code == 0
         assert "cleared 1 cached record(s)" in text
         assert "1 miss(es)" in text
+
+
+class TestMultinode:
+    ARGV = ["multinode", "--dataset", "arxiv", "--nodes", "1", "2",
+            "--strategy", "both", "--hidden", "16", "--max-vertices",
+            "1024", "--workers", "1"]
+
+    def test_strong_scaling_table_and_figure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, text = run_cli(self.ARGV)
+        assert code == 0
+        assert "multi-node strong scaling" in text
+        # Per-strategy comparison columns and the scaling figure.
+        assert "block" in text and "degree" in text
+        assert "comm%" in text and "balance" in text
+        assert "speedup[block]" in text and "ideal" in text
+        assert "Eq.5 DGAS envelope" in text
+        assert "held at every point" in text
+        assert "full-scale projection (arxiv)" in text
+
+    def test_json_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        artifact = tmp_path / "out" / "multinode.json"
+        code, text = run_cli(
+            self.ARGV + ["--strategy", "block", "--json", str(artifact)]
+        )
+        assert code == 0
+        data = json.loads(artifact.read_text())
+        assert data["strategies"] == ["block"]
+        assert [r["n_nodes"] for r in data["rows"]] == [1, 2]
+        assert all("cut_fraction" in r and "balance" in r
+                   for r in data["rows"])
+
+    def test_shard_records_cached_across_runs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_cli(self.ARGV)
+        code, text = run_cli(self.ARGV)
+        assert code == 0
+        assert "held at every point" in text
+
+    def test_rejects_nonpositive_nodes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, text = run_cli(self.ARGV + ["--nodes", "0"])
+        assert code == 2
+        assert "error" in text
 
 
 class TestAdvise:

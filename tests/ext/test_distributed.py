@@ -1,10 +1,15 @@
+import math
+
 import pytest
 
 from repro.cpu.config import XeonConfig
 from repro.ext.distributed import (
+    MULTINODE_ENVELOPES,
     ClusterConfig,
+    ClusterConfigError,
     distributed_spmm_time,
     measure_cut_fraction,
+    multinode_envelope_failure,
     piuma_multinode_spmm_time,
 )
 from repro.piuma.config import PIUMAConfig
@@ -16,6 +21,72 @@ class TestClusterConfig:
             ClusterConfig(n_nodes=0)
         with pytest.raises(ValueError):
             ClusterConfig(n_nodes=2, interconnect_gbps=0)
+
+    @pytest.mark.parametrize("kwargs,field", [
+        ({"n_nodes": 0}, "n_nodes"),
+        ({"n_nodes": -3}, "n_nodes"),
+        ({"n_nodes": 2.0}, "n_nodes"),  # float, even integral, rejected
+        ({"n_nodes": 2, "interconnect_gbps": 0.0}, "interconnect_gbps"),
+        ({"n_nodes": 2, "interconnect_gbps": -1.0}, "interconnect_gbps"),
+        ({"n_nodes": 2, "interconnect_gbps": math.inf},
+         "interconnect_gbps"),
+        ({"n_nodes": 2, "interconnect_gbps": math.nan},
+         "interconnect_gbps"),
+        ({"n_nodes": 2, "mpi_latency_us": -0.5}, "mpi_latency_us"),
+        ({"n_nodes": 2, "mpi_latency_us": math.nan}, "mpi_latency_us"),
+        ({"n_nodes": 2, "messages_per_layer": -1}, "messages_per_layer"),
+        ({"n_nodes": 2, "messages_per_layer": 1.5}, "messages_per_layer"),
+    ])
+    def test_rejects_bad_fields_with_attribution(self, kwargs, field):
+        # Regression: inf bandwidth / NaN latency used to flow through
+        # the estimate arithmetic and come back as NaN time or zero
+        # communication instead of an error.
+        with pytest.raises(ClusterConfigError) as excinfo:
+            ClusterConfig(**kwargs)
+        assert excinfo.value.field == field
+        assert field in str(excinfo.value)
+
+    def test_error_is_a_value_error(self):
+        # Back-compat: callers catching plain ValueError keep working.
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=2, interconnect_gbps=math.nan)
+
+    def test_structured_payload(self):
+        with pytest.raises(ClusterConfigError) as excinfo:
+            ClusterConfig(n_nodes=2, mpi_latency_us=math.inf)
+        payload = excinfo.value.payload()
+        assert payload["kind"] == "cluster-config"
+        assert payload["field"] == "mpi_latency_us"
+        assert payload["value"] == repr(math.inf)
+        assert payload["reason"]
+
+    def test_defaults_are_valid(self):
+        assert ClusterConfig(n_nodes=4).interconnect_gbps == 12.5
+
+
+class TestMultinodeEnvelope:
+    def test_in_band_time_passes(self):
+        node = PIUMAConfig.node()
+        analytical = piuma_multinode_spmm_time(10_000, 100_000, 64, node, 4)
+        assert multinode_envelope_failure(
+            analytical * 2.0, 10_000, 100_000, 64, node, 4
+        ) is None
+
+    @pytest.mark.parametrize("kernel", sorted(MULTINODE_ENVELOPES))
+    def test_out_of_band_time_names_the_breach(self, kernel):
+        node = PIUMAConfig.node()
+        analytical = piuma_multinode_spmm_time(10_000, 100_000, 64, node, 4)
+        low, high = MULTINODE_ENVELOPES[kernel]
+        detail = multinode_envelope_failure(
+            analytical * high * 10, 10_000, 100_000, 64, node, 4,
+            kernel=kernel,
+        )
+        assert detail is not None
+        assert kernel in detail and f"[{low}, {high}]" in detail
+        assert multinode_envelope_failure(
+            analytical * low / 10, 10_000, 100_000, 64, node, 4,
+            kernel=kernel,
+        ) is not None
 
 
 class TestCutFraction:

@@ -1,9 +1,11 @@
-"""Property-based tests for block vertex partitioning (hypothesis).
+"""Property-based tests for vertex partitioning (hypothesis).
 
 The partition quality numbers feed the Section VI cut-cost argument
-(and the distributed-CPU extension's MPI charges), so the partitioner
+(and the distributed-CPU extension's MPI charges), so each partitioner
 must actually be a partition: every vertex in exactly one part, parts
-contiguous, loads balanced to within one vertex.
+contiguous, loads balanced — to within one vertex for the block
+strategy, to within the advertised :func:`degree_balance_bound` for the
+degree-aware strategy.
 """
 
 import numpy as np
@@ -11,7 +13,32 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs.partition import block_vertex_partition, evaluate_partition
+from repro.ext.distributed import measure_cut_fraction
+from repro.graphs.partition import (
+    PARTITION_STRATEGIES,
+    block_vertex_partition,
+    degree_aware_partition,
+    degree_balance_bound,
+    edge_cut_matrix,
+    evaluate_partition,
+    partition_bounds,
+    partition_graph,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+@st.composite
+def csr_graphs(draw, max_vertices=48, max_degree=12):
+    """An arbitrary small CSR adjacency, hubs and empty rows included."""
+    n = draw(st.integers(1, max_vertices))
+    degrees = draw(
+        st.lists(st.integers(0, max_degree), min_size=n, max_size=n)
+    )
+    indptr = np.concatenate(([0], np.cumsum(degrees, dtype=np.int64)))
+    nnz = int(indptr[-1])
+    seed = draw(st.integers(0, 2**16))
+    indices = np.random.default_rng(seed).integers(0, n, size=nnz)
+    return CSRMatrix(indptr, indices, np.ones(nnz), (n, n))
 
 
 @given(st.integers(0, 300), st.integers(1, 17))
@@ -48,6 +75,110 @@ def test_partition_determinism(n, parts):
 def test_rejects_nonpositive_parts():
     with pytest.raises(ValueError):
         block_vertex_partition(10, 0)
+
+
+class TestDegreeAwarePartition:
+    """The Accel-GCN-lineage equal-edge-load strategy."""
+
+    @given(csr_graphs(), st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_covers_every_vertex_once(self, adj, parts):
+        part = degree_aware_partition(adj, parts)
+        assert part.shape == (adj.n_rows,)
+        assert part.min() >= 0 and part.max() <= parts - 1
+        # Contiguous blocks, like every strategy here.
+        assert np.all(np.diff(part) >= 0)
+
+    @given(csr_graphs(), st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_edge_balance_within_advertised_bound(self, adj, parts):
+        part = degree_aware_partition(adj, parts)
+        # Edge loads over the *explicit* part count: the degree strategy
+        # may leave trailing parts empty, and those zero loads still
+        # drag the mean down — the bound must hold regardless.
+        loads = np.bincount(
+            np.repeat(part, adj.row_degrees()), minlength=parts
+        ).astype(np.float64)
+        assert loads.sum() == adj.nnz
+        if adj.nnz:
+            balance = loads.max() / (adj.nnz / parts)
+            assert balance <= degree_balance_bound(adj, parts) + 1e-12
+
+    @given(csr_graphs(), st.integers(1, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_block_on_empty_graphs(self, adj, parts):
+        if adj.nnz:
+            return
+        assert np.array_equal(
+            degree_aware_partition(adj, parts),
+            block_vertex_partition(adj.n_rows, parts),
+        )
+
+    def test_rejects_nonpositive_parts(self, small_rmat):
+        with pytest.raises(ValueError):
+            degree_aware_partition(small_rmat, 0)
+        with pytest.raises(ValueError):
+            degree_balance_bound(small_rmat, -1)
+
+    def test_hub_graph_beats_block_balance(self):
+        """One hub row owning most edges: degree-aware isolates it."""
+        degrees = [60] + [1] * 29
+        indptr = np.concatenate(([0], np.cumsum(degrees)))
+        nnz = int(indptr[-1])
+        indices = np.random.default_rng(3).integers(0, 30, size=nnz)
+        adj = CSRMatrix(indptr, indices, np.ones(nnz), (30, 30))
+        parts = 3
+        edge_loads = lambda part: np.bincount(  # noqa: E731
+            np.repeat(part, adj.row_degrees()), minlength=parts
+        ).astype(np.float64)
+        block = edge_loads(block_vertex_partition(adj.n_rows, parts))
+        degree = edge_loads(degree_aware_partition(adj, parts))
+        assert degree.max() < block.max()
+
+
+class TestPartitionGraphDispatch:
+    @given(csr_graphs(), st.integers(1, 9),
+           st.sampled_from(PARTITION_STRATEGIES))
+    @settings(max_examples=60, deadline=None)
+    def test_every_strategy_is_a_partition(self, adj, parts, strategy):
+        part = partition_graph(adj, parts, strategy=strategy)
+        assert part.shape == (adj.n_rows,)
+        assert part.min() >= 0 and part.max() <= parts - 1
+        assert np.all(np.diff(part) >= 0)
+        # Round-trip through the row-range form loses nothing.
+        bounds = partition_bounds(part, parts)
+        assert bounds[0] == 0 and bounds[-1] == adj.n_rows
+        assert np.all(np.diff(bounds) >= 0)
+        # Every edge lands in exactly one cell of the cut matrix.
+        assert edge_cut_matrix(adj, part).sum() == adj.nnz
+
+    def test_rejects_unknown_strategy(self, small_rmat):
+        with pytest.raises(ValueError, match="strategy"):
+            partition_graph(small_rmat, 2, strategy="metis")
+
+    def test_partition_bounds_rejects_noncontiguous(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            partition_bounds(np.array([0, 1, 0]), 2)
+
+
+class TestMeasureCutFraction:
+    @given(csr_graphs(), st.integers(1, 9),
+           st.sampled_from(PARTITION_STRATEGIES))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_in_unit_interval(self, adj, n_nodes, strategy):
+        fraction = measure_cut_fraction(adj, n_nodes, strategy=strategy)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(csr_graphs(), st.sampled_from(PARTITION_STRATEGIES))
+    @settings(max_examples=30, deadline=None)
+    def test_single_node_cuts_nothing(self, adj, strategy):
+        assert measure_cut_fraction(adj, 1, strategy=strategy) == 0.0
+
+    def test_matches_explicit_cut(self, small_rmat):
+        part = block_vertex_partition(small_rmat.n_rows, 4)
+        expected = evaluate_partition(small_rmat, part).edge_cut
+        fraction = measure_cut_fraction(small_rmat, 4)
+        assert fraction == expected / small_rmat.nnz
 
 
 class TestEvaluatePartition:
