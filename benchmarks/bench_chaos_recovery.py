@@ -1,0 +1,131 @@
+"""Recovered-vs-lost work and recovery latency under injected faults.
+
+Two layers (DESIGN.md §13):
+
+* **shard scenarios** — :func:`repro.runtime.shard.run_shards` fleets
+  with scripted fault plans (clean, crash+retry, hedged straggler,
+  permanently dead shard), measuring wall-clock recovery latency
+  against the clean fleet and accounting every shard as recovered /
+  degraded-to-fallback / lost — **lost must be zero** in every
+  scenario;
+* **full campaign** — one seeded :func:`repro.runtime.chaos.run_chaos`
+  round across all three frontends, folding its injected / recovered /
+  lost totals into the same table.
+
+The numbers go to ``benchmarks/out/BENCH_chaos.json`` — the CI
+``chaos`` lane runs the orchestrator directly and uploads the verdict
+artifact on failure.
+"""
+
+import json
+import time
+
+from conftest import OUT_DIR
+
+from repro.report.tables import format_table
+from repro.runtime.chaos import run_chaos
+from repro.runtime.faults import FaultyTask
+from repro.runtime.shard import ShardRecovery, run_shards
+
+N_SHARDS = 6
+WORKERS = 3
+
+#: (scenario, per-shard fault plans, recovery spec).  Unlisted shards
+#: run clean.  The hang is far longer than any test budget — only a
+#: hedge or timeout ends it.
+SCENARIOS = (
+    ("clean", {}, ShardRecovery(retries=2)),
+    ("crash_retry", {0: ("crash", "ok"), 3: ("crash", "ok")},
+     ShardRecovery(retries=2)),
+    ("flaky_retry", {1: ("raise", "ok"), 4: ("raise", "raise", "ok")},
+     ShardRecovery(retries=3)),
+    ("hedged_straggler", {2: ("hang", "ok")},
+     ShardRecovery(retries=2, timeout=30.0, hedge_after_s=0.3)),
+    ("dead_shard", {5: ("raise",)}, ShardRecovery(retries=1)),
+)
+
+
+def _fleet(scratch, plans):
+    return [
+        FaultyTask(name=f"shard{i}", scratch=str(scratch),
+                   plan=plans.get(i, ("ok",)), hang_s=600.0)
+        for i in range(N_SHARDS)
+    ]
+
+
+def test_chaos_recovery(emit, tmp_path):
+    rows = []
+    doc = {"scenarios": [], "campaign": None}
+    clean_wall = None
+    for name, plans, recovery in SCENARIOS:
+        started = time.perf_counter()
+        report = run_shards(_fleet(tmp_path / name, plans), recovery,
+                            workers=WORKERS)
+        wall_s = time.perf_counter() - started
+
+        recovered = sum(
+            1 for r in report.records
+            if r["source"] == "simulation"
+            and r.get("recovery", {}).get("attempts", 1) > 1
+        ) + report.recovery["hedges_won"]
+        fallbacks = sum(1 for r in report.records
+                        if r["source"] != "simulation")
+        lost = sum(1 for r in report.records if r is None)
+
+        # The ledger must balance: every shard reaches a terminal,
+        # structured outcome — nothing is silently dropped.
+        assert lost == 0, f"{name}: lost shards"
+        assert len(report.records) == N_SHARDS
+        assert fallbacks == report.recovery["fallbacks"]
+        if name == "clean":
+            clean_wall = wall_s
+            assert report.recovery["retries"] == 0
+        if name == "hedged_straggler":
+            assert report.recovery["hedges_won"] >= 1
+            assert wall_s < 600.0
+
+        latency_s = wall_s - (clean_wall or 0.0)
+        rows.append([
+            name, len(plans), recovered, fallbacks, lost,
+            report.recovery["retries"], report.recovery["hedges_won"],
+            f"{wall_s:.2f}", f"{max(latency_s, 0.0):.2f}",
+        ])
+        doc["scenarios"].append({
+            "scenario": name,
+            "injected": len(plans),
+            "recovered": recovered,
+            "fallbacks": fallbacks,
+            "lost": lost,
+            "wall_s": wall_s,
+            "recovery_latency_s": max(latency_s, 0.0),
+            "recovery": dict(report.recovery),
+        })
+
+    verdict = run_chaos(seed=0, rounds=1,
+                        workdir=tmp_path / "campaign")
+    assert verdict["passed"], "chaos campaign failed"
+    assert verdict["stats"]["lost"] == 0
+    stats = verdict["stats"]
+    rows.append([
+        "campaign(seed 0)", stats["injected"],
+        stats["recovered_retry"] + stats["recovered_hedge"],
+        stats["degraded_fallback"], stats["lost"], "-", "-",
+        f"{stats['wall_s']:.2f}", "-",
+    ])
+    doc["campaign"] = {
+        "seed": 0,
+        "passed": verdict["passed"],
+        "stats": stats,
+    }
+
+    text = format_table(
+        ["scenario", "injected", "recovered", "fallback", "lost",
+         "retries", "hedges", "wall s", "latency s"],
+        rows,
+        title=f"chaos recovery ({N_SHARDS} shards, {WORKERS} workers; "
+              "latency vs the clean fleet)",
+    )
+    emit("chaos_recovery", text)
+    path = OUT_DIR / "BENCH_chaos.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"[written to {path}]")

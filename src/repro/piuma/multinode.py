@@ -36,7 +36,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime.shard import aggregate_conserved, shard_tasks
+from repro.runtime.shard import aggregate_conserved, run_shards, shard_tasks
+
+#: How much a degraded assembly widens the per-kernel Eq.5 envelope:
+#: each failed shard's Eq.5 stand-in can pull the assembled time toward
+#: the analytical model on either side, so both bounds relax by
+#: ``1 + WIDENING * degraded_fraction``.
+DEGRADED_ENVELOPE_WIDENING = 2.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,8 @@ class MultinodeEstimate:
     balance: float             #: max shard edge load / mean
     conserved: dict            #: summed shard counters (exact)
     scale_factor: float = 1.0  #: full |E| / simulated |E|
+    shard_sources: tuple = ()  #: each record's "source" provenance
+    degraded_shards: int = 0   #: shards assembled from a fallback
 
     @property
     def time_ns(self):
@@ -119,6 +127,11 @@ class MultinodeEstimate:
         windowed DES applies (``projected_time_ns``)."""
         return self.time_ns * self.scale_factor
 
+    @property
+    def degraded(self):
+        """True when any shard was assembled from a fallback record."""
+        return self.degraded_shards > 0
+
     def row(self):
         """Plain-JSON summary (bench columns, CLI tables)."""
         return {
@@ -136,6 +149,8 @@ class MultinodeEstimate:
             "halo_bytes": self.halo_bytes,
             "balance": self.balance,
             "conserved": dict(self.conserved),
+            "degraded_shards": self.degraded_shards,
+            "shard_sources": list(self.shard_sources),
         }
 
 
@@ -184,6 +199,7 @@ def assemble_multinode(records, *, dataset, strategy, embedding_dim,
 
     mean_edges = total_edges / n_nodes if n_nodes else 0.0
     balance = (max(shard_edges) / mean_edges) if mean_edges > 0 else 1.0
+    sources = tuple(r.get("source", "simulation") for r in records)
     return MultinodeEstimate(
         dataset=dataset,
         n_nodes=n_nodes,
@@ -201,13 +217,64 @@ def assemble_multinode(records, *, dataset, strategy, embedding_dim,
         balance=balance,
         conserved=aggregate_conserved(records),
         scale_factor=scale_factor,
+        shard_sources=sources,
+        degraded_shards=sum(1 for s in sources if s != "simulation"),
     )
+
+
+def multinode_verdict(estimate, config, kernel="dma"):
+    """Envelope verdict of one assembled estimate, degradation-aware.
+
+    A fully simulated assembly is judged against the per-kernel Eq.5
+    DGAS envelope (:data:`repro.ext.distributed.MULTINODE_ENVELOPES`)
+    exactly as before: ``"ok"`` inside, ``"violated"`` outside.  When
+    shards were assembled from fallback records, each one substitutes
+    an analytical Eq.5 time for a DES window, so the envelope *widens*
+    by ``1 + DEGRADED_ENVELOPE_WIDENING * degraded_fraction`` on both
+    sides and the in-bounds verdict is the explicit ``"degraded"`` —
+    the run is answerable, but its number must not be mistaken for a
+    clean one.
+
+    Returns ``{"verdict", "ratio", "envelope", "degraded_shards",
+    "kernel"}`` (plain JSON).
+    """
+    from repro.ext.distributed import (
+        MULTINODE_ENVELOPES,
+        piuma_multinode_spmm_time,
+    )
+
+    low, high = MULTINODE_ENVELOPES[kernel]
+    dgas_ns = piuma_multinode_spmm_time(
+        estimate.conserved["rows"], estimate.total_edges,
+        estimate.embedding_dim, config, estimate.n_nodes,
+    )
+    ratio = estimate.time_ns / dgas_ns if dgas_ns > 0 else 0.0
+    widened = 1.0
+    if estimate.degraded_shards:
+        widened += (DEGRADED_ENVELOPE_WIDENING
+                    * estimate.degraded_shards / estimate.n_nodes)
+        low, high = low / widened, high * widened
+    in_bounds = low <= ratio <= high
+    if estimate.degraded_shards:
+        verdict = "degraded" if in_bounds else "violated"
+    else:
+        verdict = "ok" if in_bounds else "violated"
+    return {
+        "verdict": verdict,
+        "ratio": ratio,
+        "dgas_ns": dgas_ns,
+        "envelope": [low, high],
+        "widened": widened,
+        "degraded_shards": estimate.degraded_shards,
+        "kernel": kernel,
+    }
 
 
 def run_multinode(dataset, n_nodes, strategy="block", embedding_dim=None,
                   kernel="dma", max_vertices=16384, seed=0,
                   window_edges=None, config_overrides=None,
-                  sweep_kwargs=None, checkpoint_dir=None, resume=False):
+                  sweep_kwargs=None, checkpoint_dir=None, resume=False,
+                  recovery=None, task_filter=None):
     """Shard, simulate, and assemble one multi-node point.
 
     Each shard is a :class:`~repro.runtime.shard.ShardTask` on one
@@ -220,10 +287,28 @@ def run_multinode(dataset, n_nodes, strategy="block", embedding_dim=None,
     by the shard tasks' identities; ``resume=True`` loads it first), so
     a killed multi-node run restarts from the shards it completed.
 
+    ``recovery`` (a :class:`~repro.runtime.shard.ShardRecovery`) arms
+    the per-shard failure model instead: bounded retries per failure
+    domain, hedged re-execution of stragglers, and — under its default
+    ``"fallback"`` policy — *partial assembly*: a permanently failed
+    shard degrades to its Eq.5 estimate with ``"source":
+    "shard_fallback"`` provenance, the estimate's
+    :attr:`~MultinodeEstimate.degraded_shards` counts it, and
+    :func:`multinode_verdict` widens the envelope accordingly; the run
+    completes instead of raising.  The shard execution then goes
+    through :func:`~repro.runtime.shard.run_shards` (``workers`` /
+    ``cache`` / ``engine`` / ``scheduler`` / ``check_level`` /
+    ``degradation`` are honored from ``sweep_kwargs``; the remaining
+    sweep knobs are superseded by the recovery spec).
+
+    ``task_filter`` (when given) maps the built shard task list to the
+    one actually executed — the chaos orchestrator's injection hook.
+
     Returns ``(estimate, report)``: the assembled
     :class:`MultinodeEstimate` (with :attr:`~MultinodeEstimate.
     scale_factor` projecting to the full dataset size) and the
-    underlying :class:`~repro.runtime.runner.SweepReport`.
+    underlying :class:`~repro.runtime.runner.SweepReport` (or
+    :class:`~repro.runtime.shard.ShardRunReport` under ``recovery``).
     """
     from repro.graphs.datasets import get_dataset
     from repro.piuma.config import PIUMAConfig
@@ -239,12 +324,29 @@ def run_multinode(dataset, n_nodes, strategy="block", embedding_dim=None,
         max_vertices=max_vertices, seed=seed, window_edges=window_edges,
         **overrides,
     )
+    if task_filter is not None:
+        tasks = list(task_filter(tasks))
     kwargs = dict(sweep_kwargs or {})
     checkpoint = None
     if checkpoint_dir is not None:
         checkpoint = SweepCheckpoint.for_tasks(tasks, directory=checkpoint_dir)
         kwargs.update(checkpoint=checkpoint, resume=resume)
-    report = run_sweep(tasks, **kwargs)
+    if recovery is not None:
+        for knob in ("check_level", "degradation", "scheduler", "engine"):
+            value = kwargs.pop(knob, None)
+            if value is not None:
+                method = f"with_{knob}"
+                tasks = [getattr(task, method)(value)
+                         if hasattr(task, method) else task
+                         for task in tasks]
+        report = run_shards(
+            tasks, recovery=recovery,
+            workers=kwargs.get("workers"), cache=kwargs.get("cache"),
+            checkpoint=checkpoint, resume=resume,
+            progress=kwargs.get("progress"),
+        )
+    else:
+        report = run_sweep(tasks, **kwargs)
     if checkpoint is not None and not report.failures:
         checkpoint.discard()
     records = [r for r in report.records if r and "shard" in r]
@@ -252,7 +354,8 @@ def run_multinode(dataset, n_nodes, strategy="block", embedding_dim=None,
         failed = n_nodes - len(records)
         raise RuntimeError(
             f"{failed} of {n_nodes} shard(s) failed without a fallback "
-            "record; re-run with on_error='fallback' to assemble anyway"
+            "record; re-run with on_error='fallback' or a ShardRecovery "
+            "to assemble anyway"
         )
     config = PIUMAConfig(**overrides)
     simulated_edges = sum(r["shard"]["edges"] for r in records)
@@ -272,7 +375,8 @@ def run_multinode(dataset, n_nodes, strategy="block", embedding_dim=None,
 def strong_scaling(dataset, nodes=(1, 2, 4, 8), strategies=("block",),
                    embedding_dim=None, kernel="dma", max_vertices=16384,
                    seed=0, window_edges=None, config_overrides=None,
-                   sweep_kwargs=None, checkpoint_dir=None, resume=False):
+                   sweep_kwargs=None, checkpoint_dir=None, resume=False,
+                   recovery=None):
     """Strong-scaling study: fixed problem, growing node count.
 
     Runs :func:`run_multinode` for every (strategy, node-count) pair and
@@ -301,7 +405,7 @@ def strong_scaling(dataset, nodes=(1, 2, 4, 8), strategies=("block",),
                 kernel=kernel, max_vertices=max_vertices, seed=seed,
                 window_edges=window_edges, config_overrides=config_overrides,
                 sweep_kwargs=sweep_kwargs, checkpoint_dir=checkpoint_dir,
-                resume=resume,
+                resume=resume, recovery=recovery,
             )
             if base_time is None:
                 base_time = estimate.time_ns
@@ -321,6 +425,13 @@ def strong_scaling(dataset, nodes=(1, 2, 4, 8), strategies=("block",),
                                  if dgas_ns > 0 else 0.0)
             row["cache_hits"] = report.cache_hits
             row["failures"] = len(report.failures)
+            row["envelope_verdict"] = multinode_verdict(
+                estimate, config, kernel=kernel,
+            )
+            if recovery is not None:
+                row["recovery"] = dict(
+                    getattr(report, "recovery", None) or {}
+                )
             rows.append(row)
             estimates[(strategy, n)] = estimate
     return {"rows": rows, "estimates": estimates}

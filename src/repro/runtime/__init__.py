@@ -31,7 +31,11 @@ first-class subsystem — batch *and* online:
 * :mod:`repro.runtime.progress` — per-point wall-clock / simulated-ns /
   cache-hit / degradation instrumentation;
 * :mod:`repro.runtime.faults` — deterministic fault injection for
-  testing every failure path, batch and service-scoped.
+  testing every failure path, batch and service-scoped;
+* :mod:`repro.runtime.chaos` — seeded chaos orchestration composing
+  those fault points into reproducible schedules driven end-to-end
+  through every frontend, with recovery invariants verified
+  (``repro chaos``).
 
 Benchmarks, the ``repro sweep``/``simulate``/``calibrate``/``serve``
 CLI commands, and future distributed backends all route through
@@ -59,6 +63,12 @@ from repro.runtime.errors import (
     failure_record,
     wrap_failure,
 )
+from repro.runtime.chaos import (
+    CHAOS_FRONTENDS,
+    ChaosSchedule,
+    ChaoticTask,
+    run_chaos,
+)
 from repro.runtime.faults import CrashTask, FaultyTask, ServiceFaultInjector
 from repro.runtime.jobs import (
     ExecPool,
@@ -77,23 +87,35 @@ from repro.runtime.runner import (
     spmm_task,
 )
 from repro.runtime.shard import (
+    ShardRecovery,
+    ShardRunReport,
     ShardTask,
     aggregate_conserved,
     conserved_counters,
+    run_shards,
     shard_geometry,
     shard_subgraph,
     shard_tasks,
 )
-from repro.runtime.service import PredictionService, make_server, parse_query
+from repro.runtime.service import (
+    GracefulShutdown,
+    PredictionService,
+    make_server,
+    parse_query,
+)
 
 __all__ = [
+    "CHAOS_FRONTENDS",
     "CODE_VERSION",
     "CacheStats",
+    "ChaosSchedule",
+    "ChaoticTask",
     "CircuitBreaker",
     "CircuitOpen",
     "CrashTask",
     "ExecPool",
     "FaultyTask",
+    "GracefulShutdown",
     "HardwareExhausted",
     "Job",
     "JobScheduler",
@@ -106,6 +128,8 @@ __all__ = [
     "ResultCache",
     "SchedulerStats",
     "ServiceFaultInjector",
+    "ShardRecovery",
+    "ShardRunReport",
     "ShardTask",
     "SimulationDiverged",
     "SpMMTask",
@@ -124,6 +148,8 @@ __all__ = [
     "gc_manifests",
     "make_server",
     "parse_query",
+    "run_chaos",
+    "run_shards",
     "run_sweep",
     "shard_geometry",
     "shard_subgraph",

@@ -133,6 +133,22 @@ class SweepCheckpoint:
                 pass
         return len(records)
 
+    def touch(self):
+        """Mark the manifest as belonging to a *live* sweep (mtime now).
+
+        A resumed sweep may restore every point from the manifest and
+        never append another line, so the file's mtime could stay weeks
+        old while the sweep is actively trusting it — exactly the
+        window in which :func:`gc_manifests` would collect it.  The
+        runner calls this once at sweep start; returns True if a
+        manifest file existed to touch.
+        """
+        try:
+            os.utime(self.path, None)
+            return True
+        except OSError:
+            return False
+
     def discard(self):
         """Delete the manifest (sweep completed); returns True if removed."""
         try:
@@ -155,6 +171,14 @@ def gc_manifests(directory=None, max_age_days=14):
     ``repro sweep`` as routine housekeeping; errors are swallowed (a
     vanished or unreadable file is someone else's GC racing ours).
 
+    Liveness is judged by *last-append* mtime: every ``flush`` rewrites
+    it, and a sweep that resumes without appending (all points already
+    in the manifest) refreshes it via :meth:`SweepCheckpoint.touch` at
+    start — so a manifest a running sweep depends on is never eligible.
+    The age is re-checked immediately before the unlink to shrink the
+    window against a writer that appends between the scan and the
+    delete.
+
     Returns the number of manifests removed.
     """
     directory = pathlib.Path(directory or default_cache_dir())
@@ -166,9 +190,13 @@ def gc_manifests(directory=None, max_age_days=14):
         return 0
     for path in candidates:
         try:
-            if path.stat().st_mtime < cutoff:
-                path.unlink()
-                removed += 1
+            # Stat immediately before the unlink (not once at scan
+            # time): a live sweep that appends or touches between the
+            # directory scan and this file's turn keeps its manifest.
+            if path.stat().st_mtime >= cutoff:
+                continue
+            path.unlink()
+            removed += 1
         except OSError:
             continue
     return removed

@@ -209,6 +209,24 @@ class ServiceFaultInjector:
         with self._lock:
             return self._fired[point]
 
+    def armed(self, point=None):
+        """Currently armed value(s): still-pending counts / durations.
+
+        With ``point`` returns that point's armed value (0 when
+        disarmed); without, a ``{point: value}`` snapshot over every
+        fault point — what ``/healthz`` reports so an operator (or the
+        chaos orchestrator) can see live injections, not just history.
+        """
+        with self._lock:
+            if point is not None:
+                if point not in SERVICE_FAULT_POINTS:
+                    raise ValueError(
+                        f"unknown fault point {point!r}; "
+                        f"expected one of {SERVICE_FAULT_POINTS}"
+                    )
+                return self._armed.get(point, 0)
+            return {p: self._armed.get(p, 0) for p in SERVICE_FAULT_POINTS}
+
     def _consume(self, point):
         """Consume one count-armed injection; True if it fires."""
         with self._lock:

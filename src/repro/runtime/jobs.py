@@ -357,12 +357,15 @@ class JobScheduler:
             }
 
     def close(self, drain=False, timeout=30.0):
-        """Stop the scheduler.
+        """Stop the scheduler; returns True if it stopped cleanly.
 
-        ``drain=True`` finishes every accepted job first; ``False``
-        (default) fails queued/retrying/in-flight jobs with a
-        structured :class:`TaskError` and kills the pool — shutdown is
-        the one path allowed to interrupt accepted work, and it does so
+        ``drain=True`` finishes every accepted job first (bounded by
+        ``timeout`` seconds — ``repro serve --drain-timeout``); when
+        the budget expires the drain is abandoned and the remaining
+        jobs fail with a structured :class:`TaskError`, exactly like
+        ``drain=False``.  ``False`` (default) fails queued / retrying /
+        in-flight jobs immediately and kills the pool — shutdown is the
+        one path allowed to interrupt accepted work, and it does so
         loudly, never silently.
         """
         with self._lock:
@@ -370,7 +373,17 @@ class JobScheduler:
             self._drain = drain
         self._wake.set()
         self._thread.join(timeout)
+        drained = not self._thread.is_alive()
+        if not drained:
+            # Drain budget exhausted: flip to abort mode so the pump
+            # fails leftovers loudly instead of waiting forever on a
+            # wedged pool, then give it a moment to do so.
+            with self._lock:
+                self._drain = False
+            self._wake.set()
+            self._thread.join(5.0)
         self.pool.close(kill=True)
+        return drained
 
     # ------------------------------------------------------------------
     # Pump internals (scheduler thread only)

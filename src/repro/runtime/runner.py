@@ -507,6 +507,17 @@ def run_sweep(tasks, workers=None, cache=None, progress=None, *,
             keys[index] = (cache.key_for(payload) if cache is not None
                            else cache_key(payload))
 
+    if checkpoint is not None:
+        # Declare the manifest live *before* any point resolves: a
+        # resumed sweep may restore everything from the manifest and
+        # never append again, and gc_manifests judges liveness by
+        # mtime — without this, a long-resumed sweep's manifest could
+        # be collected out from under it by concurrent housekeeping.
+        try:
+            checkpoint.touch()
+        except (OSError, AttributeError):
+            pass
+
     if checkpoint is not None and resume:
         prior = checkpoint.load()
         for index, task in enumerate(tasks):

@@ -464,6 +464,7 @@ class PredictionService:
                     "evictions": self.cache.stats.evictions,
                 },
             }
+        armed = self.faults.armed()
         return {
             "status": "ok" if breaker["state"] == CLOSED else "degraded",
             "uptime_s": time.time() - self.started_at,
@@ -471,16 +472,27 @@ class PredictionService:
             "breaker": breaker,
             "scheduler": self.scheduler.snapshot(),
             "cache": cache_info,
+            # Observability for chaos runs: quarantined cache entries
+            # (also under "cache") plus, per fault point, both the
+            # still-armed value and the lifetime injection count.
+            "quarantined_cache_entries": (
+                self.cache.quarantined() if self.cache is not None else 0
+            ),
             "fault_injections": {
-                point: self.faults.fired(point)
+                point: {"armed": armed.get(point, 0),
+                        "fired": self.faults.fired(point)}
                 for point in ("queue_full", "worker_crash_burst",
                               "slow_cache_io")
             },
         }
 
-    def close(self, drain=False):
-        """Stop the tier-2 scheduler (see :meth:`JobScheduler.close`)."""
-        self.scheduler.close(drain=drain)
+    def close(self, drain=False, timeout=30.0):
+        """Stop the tier-2 scheduler; returns True on a clean stop.
+
+        ``drain=True`` lets accepted jobs finish (bounded by
+        ``timeout`` seconds); see :meth:`JobScheduler.close`.
+        """
+        return self.scheduler.close(drain=drain, timeout=timeout)
 
 
 # ----------------------------------------------------------------------
@@ -615,3 +627,80 @@ class PredictionRequestHandler(BaseHTTPRequestHandler):
 def make_server(service, host="127.0.0.1", port=0, out=None):
     """Bind a :class:`PredictionHTTPServer` (``port=0`` = ephemeral)."""
     return PredictionHTTPServer((host, port), service, out=out)
+
+
+class GracefulShutdown:
+    """SIGTERM/SIGINT -> stop accepting, drain, close — never mid-request.
+
+    ``install()`` registers the handler for the given signals (and
+    remembers the previous handlers so tests can restore them); the
+    handler itself is :meth:`trigger`, callable directly from tests
+    without delivering a real signal.  ``server.shutdown()`` must not
+    run on the thread executing ``serve_forever`` (it blocks until the
+    serve loop exits), so the trigger hands it to a helper thread and
+    returns immediately — the blocked ``serve_forever`` call in the
+    main thread then returns, and the CLI finishes the drain.
+    """
+
+    def __init__(self, server, service, *, drain_timeout_s=30.0, out=None):
+        self.server = server
+        self.service = service
+        self.drain_timeout_s = drain_timeout_s
+        self.out = out or (lambda text: None)
+        self.requested = threading.Event()
+        self.signal_name = None
+        self._previous = {}
+
+    def install(self, signals=None):
+        """Register for ``signals`` (default SIGTERM + SIGINT)."""
+        import signal as signal_module
+
+        if signals is None:
+            signals = (signal_module.SIGTERM, signal_module.SIGINT)
+        for signum in signals:
+            self._previous[signum] = signal_module.signal(
+                signum, self.trigger
+            )
+        return self
+
+    def uninstall(self):
+        """Restore the previously registered handlers."""
+        import signal as signal_module
+
+        for signum, previous in self._previous.items():
+            signal_module.signal(signum, previous)
+        self._previous.clear()
+
+    def trigger(self, signum=None, frame=None):
+        """Signal handler body: stop the HTTP accept loop (idempotent)."""
+        if self.requested.is_set():
+            return
+        self.requested.set()
+        if signum is not None:
+            import signal as signal_module
+
+            try:
+                self.signal_name = signal_module.Signals(signum).name
+            except ValueError:
+                self.signal_name = str(signum)
+        # shutdown() blocks until serve_forever's loop notices, and the
+        # handler may be running *on* the serve_forever thread — hand
+        # it off so the handler returns and the loop can exit.
+        threading.Thread(
+            target=self.server.shutdown, name="serve-shutdown", daemon=True
+        ).start()
+
+    def drain(self):
+        """Finish in-flight jobs and close the service; True if clean."""
+        pending = self.service.scheduler.pending
+        if pending:
+            self.out(f"draining {pending} in-flight job(s) "
+                     f"(timeout {self.drain_timeout_s:.0f}s)...")
+        drained = self.service.close(drain=True,
+                                     timeout=self.drain_timeout_s)
+        if drained:
+            self.out("drained cleanly")
+        else:
+            self.out("drain timeout expired; remaining jobs failed "
+                     "with structured shutdown errors")
+        return drained

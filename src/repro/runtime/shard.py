@@ -25,7 +25,11 @@ Two contracts make the sharding trustworthy (enforced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -316,6 +320,471 @@ class ShardTask(SpMMTask):
             sub.n_rows, sub.nnz, self.embedding_dim, config
         )
         return record
+
+    def shard_fallback_record(self, error=None):
+        """Eq.5 stand-in for a shard whose failure *domain* is exhausted.
+
+        Same schema and numbers as :meth:`fallback_record`, but flagged
+        ``"source": "shard_fallback"`` — the provenance the partial
+        multi-node assembly uses to widen its envelope verdict instead
+        of aborting.  The conserved counters are exact (they depend
+        only on geometry), so conservation holds even for a degraded
+        assembly.
+        """
+        record = self.fallback_record(error)
+        record["source"] = "shard_fallback"
+        return record
+
+
+# ----------------------------------------------------------------------
+# Per-shard failure domains: bounded retry, hedged re-execution,
+# degraded fallback.
+
+#: Policies once a shard's failure domain is exhausted.
+ON_EXHAUSTED_POLICIES = ("fallback", "raise")
+
+
+@dataclass(frozen=True)
+class ShardRecovery:
+    """Failure model of one multi-node run's shard set.
+
+    Each shard is its own failure domain: attempts against it are
+    retried up to ``retries`` extra times (crashes, timeouts, and
+    generic exceptions; deterministic failures like a diverged
+    simulation are never retried), stragglers are *hedged* — a
+    speculative duplicate launched on a free worker once the shard has
+    been running ``hedge_after_s`` seconds (or, when ``None``,
+    ``hedge_factor`` times the median duration of already-finished
+    shards, floored at ``min_hedge_s``); first result wins, the loser
+    is cancelled, and ties break deterministically toward the earlier
+    attempt.  A shard that exhausts its domain is degraded to the
+    task's Eq.5 estimate (``"source": "shard_fallback"``) under the
+    default ``on_exhausted="fallback"`` policy, or aborts the run under
+    ``"raise"``.
+    """
+
+    retries: int = 1
+    timeout: float | None = None
+    hedge_after_s: float | None = None
+    hedge_factor: float = 3.0
+    min_hedge_s: float = 0.05
+    on_exhausted: str = "fallback"
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.on_exhausted not in ON_EXHAUSTED_POLICIES:
+            raise ValueError(
+                f"on_exhausted must be one of {ON_EXHAUSTED_POLICIES}, "
+                f"got {self.on_exhausted!r}"
+            )
+        if self.hedge_factor <= 1.0:
+            raise ValueError("hedge_factor must be > 1")
+
+
+def _recovery_stats():
+    return {
+        "attempts": 0, "retries": 0, "crashes": 0, "timeouts": 0,
+        "hedges_launched": 0, "hedges_won": 0, "hedges_cancelled": 0,
+        "fallbacks": 0,
+    }
+
+
+@dataclass
+class ShardRunReport:
+    """Outcome of one :func:`run_shards` call.
+
+    Mirrors :class:`~repro.runtime.runner.SweepReport` (``records`` in
+    submission order, ``failures`` as structured payloads, cache and
+    resume accounting) plus the per-run ``recovery`` counters — how
+    much work retries, hedges, and fallbacks respectively saved.
+    """
+
+    tasks: list
+    records: list
+    cache_hits: int
+    cache_misses: int
+    workers: int
+    wall_s: float
+    failures: list = field(default_factory=list)
+    resumed: int = 0
+    recovery: dict = field(default_factory=_recovery_stats)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self):
+        return len(self.records)
+
+
+def _shard_fallback(task, error):
+    """Degrade one exhausted shard: prefer the shard-provenance record."""
+    maker = getattr(task, "shard_fallback_record", None)
+    if maker is None:
+        maker = getattr(task, "fallback_record", None)
+    if maker is not None:
+        return maker(error)
+    from repro.runtime.errors import failure_record
+
+    return failure_record(error)
+
+
+def run_shards(tasks, recovery=None, *, workers=None, cache=None,
+               checkpoint=None, resume=False, progress=None):
+    """Run shard tasks under per-shard failure domains with hedging.
+
+    The multi-node counterpart of :func:`~repro.runtime.runner.
+    run_sweep`: same submission-order records, content-cache and
+    checkpoint integration, pool respawn on crashes — but failure
+    handling is per *shard domain* (see :class:`ShardRecovery`) and
+    stragglers are speculatively re-executed on free workers.  Shard
+    tasks are deterministic, so whichever of a primary/hedge pair
+    finishes first returns the identical record; the race only moves
+    wall-clock, never results.
+
+    Returns a :class:`ShardRunReport`.  Degraded (fallback) records are
+    never written to the cache or the checkpoint manifest — a later run
+    retries those shards, exactly like ``run_sweep``'s policy.
+    """
+    from repro.runtime.cache import cache_key
+    from repro.runtime.errors import (
+        TaskTimeout,
+        WorkerCrash,
+        wrap_failure,
+    )
+    from repro.runtime.jobs import ExecPool
+    from repro.runtime.runner import _execute_task, default_workers
+
+    tasks = list(tasks)
+    if recovery is None:
+        recovery = ShardRecovery()
+    if workers is None:
+        workers = default_workers()
+    started = time.perf_counter()
+
+    n_tasks = len(tasks)
+    records = [None] * n_tasks
+    keys = [None] * n_tasks
+    failures = []
+    resumed = 0
+    stats = _recovery_stats()
+
+    if cache is not None or checkpoint is not None:
+        for index, task in enumerate(tasks):
+            payload = task.key_payload()
+            keys[index] = (cache.key_for(payload) if cache is not None
+                           else cache_key(payload))
+    if checkpoint is not None:
+        try:
+            checkpoint.touch()
+        except (OSError, AttributeError):
+            pass
+    if checkpoint is not None and resume:
+        prior = checkpoint.load()
+        for index in range(n_tasks):
+            record = prior.get(keys[index])
+            if record is not None:
+                records[index] = record
+                resumed += 1
+    misses = []
+    for index in range(n_tasks):
+        if records[index] is not None:
+            continue
+        if cache is not None:
+            hit = cache.get(keys[index])
+            if hit is not None:
+                records[index] = hit
+                continue
+        misses.append(index)
+    cache_hits = n_tasks - len(misses) - resumed
+
+    def _store(index, record):
+        if cache is not None:
+            try:
+                cache.put(keys[index], record,
+                          payload=tasks[index].key_payload())
+            except OSError:
+                pass
+        if checkpoint is not None:
+            try:
+                checkpoint.flush(keys[index], record)
+            except OSError:
+                pass
+
+    def _progress(index, wall_s, record, status=None):
+        if progress is not None:
+            progress.point_done(
+                tasks[index].label(), wall_s,
+                record.get("sim_time_ns", 0.0), cached=False, status=status,
+            )
+
+    def _exhaust(index, error, wall_s):
+        """Failure domain spent: degrade or abort per policy."""
+        if recovery.on_exhausted == "raise":
+            raise error
+        failures.append(error.payload())
+        stats["fallbacks"] += 1
+        record = _shard_fallback(tasks[index], error)
+        records[index] = record
+        _progress(index, wall_s, record, status=record.get("source"))
+
+    if workers <= 1 or len(misses) <= 1:
+        # Inline execution: no pool, so no hedging and no enforceable
+        # timeout — but the retry/fallback domain semantics hold.
+        for index in misses:
+            fail_count = 0
+            while True:
+                stats["attempts"] += 1
+                point_start = time.perf_counter()
+                try:
+                    record = _execute_task(tasks[index])
+                except Exception as raw:
+                    fail_count += 1
+                    error = wrap_failure(
+                        raw, tasks[index].label(), fail_count
+                    )
+                    wall_s = time.perf_counter() - point_start
+                    if error.retryable and fail_count <= recovery.retries:
+                        stats["retries"] += 1
+                        continue
+                    _exhaust(index, error, wall_s)
+                else:
+                    records[index] = record
+                    _store(index, record)
+                    _progress(index, time.perf_counter() - point_start,
+                              record)
+                break
+        return ShardRunReport(
+            tasks=tasks, records=records, cache_hits=cache_hits,
+            cache_misses=len(misses), workers=1,
+            wall_s=time.perf_counter() - started, failures=failures,
+            resumed=resumed, recovery=stats,
+        )
+
+    pool_workers = min(workers, len(misses))
+    pool = ExecPool(pool_workers)
+    remaining = set(misses)
+    queue = deque(misses)
+    fail_count = {index: 0 for index in misses}
+    inflight = {}          # future -> (index, attempt_id, kind, started_at)
+    live = {index: [] for index in misses}   # index -> live futures
+    hedged = set()
+    durations = []
+    attempt_seq = 0
+
+    def _hedge_threshold():
+        if recovery.hedge_after_s is not None:
+            return recovery.hedge_after_s
+        if len(durations) * 2 >= max(2, len(misses)):
+            ordered = sorted(durations)
+            median = ordered[len(ordered) // 2]
+            return max(recovery.min_hedge_s, recovery.hedge_factor * median)
+        return None
+
+    def _submit(index, kind):
+        nonlocal attempt_seq
+        attempt_seq += 1
+        try:
+            future = pool.submit(_execute_task, tasks[index])
+        except Exception:
+            pool.close(kill=False)
+            return False
+        stats["attempts"] += 1
+        inflight[future] = (index, attempt_seq, kind, time.perf_counter())
+        live[index].append(future)
+        return True
+
+    def _charge(index, error, wall_s):
+        """One failed attempt against ``index``'s domain."""
+        if index not in remaining:
+            return
+        fail_count[index] += 1
+        if isinstance(error, WorkerCrash):
+            stats["crashes"] += 1
+        elif isinstance(error, TaskTimeout):
+            stats["timeouts"] += 1
+        if error.retryable and fail_count[index] <= recovery.retries:
+            # The live sibling (a hedge still running) *is* the retry
+            # in flight; only resubmit when the domain has no attempt
+            # left running.
+            if not live[index]:
+                stats["retries"] += 1
+                queue.append(index)
+            return
+        remaining.discard(index)
+        _exhaust(index, error, wall_s)
+
+    try:
+        while remaining:
+            while queue and len(inflight) < pool_workers:
+                index = queue.popleft()
+                if index not in remaining:
+                    continue
+                if not _submit(index, "retry" if fail_count[index]
+                               else "primary"):
+                    queue.appendleft(index)
+                    break
+            # Hedge stragglers onto spare capacity: at most one hedge
+            # per shard, launched only when a worker slot is free so
+            # speculation never delays first-run work.
+            threshold = _hedge_threshold()
+            if threshold is not None and len(inflight) < pool_workers:
+                now = time.perf_counter()
+                for future, (index, _seq, kind, at) in sorted(
+                        inflight.items(), key=lambda kv: kv[1][3]):
+                    if len(inflight) >= pool_workers:
+                        break
+                    if (kind == "hedge" or index in hedged
+                            or index not in remaining
+                            or now - at < threshold):
+                        continue
+                    hedged.add(index)
+                    if _submit(index, "hedge"):
+                        stats["hedges_launched"] += 1
+            if not inflight:
+                if not queue and remaining:
+                    # Pool broke during submission; retry next pass.
+                    queue.extend(sorted(remaining - set(queue)))
+                continue
+
+            wait_s = 0.05
+            if recovery.timeout is not None:
+                oldest = min(
+                    at for _i, _s, _k, at in inflight.values()
+                )
+                wait_s = min(wait_s, max(
+                    0.0, oldest + recovery.timeout - time.perf_counter()
+                ))
+            done, _pending = wait(list(inflight), timeout=wait_s,
+                                  return_when=FIRST_COMPLETED)
+            now = time.perf_counter()
+            pool_broken = False
+            reap = False
+            # Deterministic tie-break: completions resolve in
+            # (shard index, attempt id) order, so when a primary and
+            # its hedge land in the same wait batch the primary wins.
+            for future in sorted(done, key=lambda f: inflight[f][:2]):
+                index, _seq, kind, started_at = inflight.pop(future)
+                if future in live.get(index, ()):
+                    live[index].remove(future)
+                wall_s = now - started_at
+                if index not in remaining:
+                    # Stale loser of a settled race.
+                    continue
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    _charge(index, WorkerCrash(
+                        "worker process died",
+                        label=tasks[index].label(),
+                        attempts=fail_count[index] + 1,
+                        cause="BrokenProcessPool",
+                    ), wall_s)
+                except Exception as raw:
+                    _charge(index, wrap_failure(
+                        raw, tasks[index].label(), fail_count[index] + 1,
+                    ), wall_s)
+                else:
+                    remaining.discard(index)
+                    durations.append(wall_s)
+                    if kind == "hedge":
+                        stats["hedges_won"] += 1
+                    # Cache/checkpoint the *raw* record (bit-identical
+                    # to an unfaulted run); the returned copy carries
+                    # the recovery provenance.
+                    _store(index, record)
+                    annotated = dict(record)
+                    annotated["recovery"] = {
+                        "attempts": fail_count[index] + 1,
+                        "hedged": index in hedged,
+                        "winner": kind,
+                    }
+                    records[index] = annotated
+                    _progress(index, wall_s, record)
+                    # Cancel the losing sibling: a not-yet-started
+                    # future cancels in place; a running one can only
+                    # be stopped by killing its worker, done below.
+                    for sibling in list(live[index]):
+                        if sibling.cancel() or sibling.done():
+                            live[index].remove(sibling)
+                            inflight.pop(sibling, None)
+                        else:
+                            reap = True
+                        stats["hedges_cancelled"] += 1
+            if pool_broken:
+                # Indistinguishable sibling deaths: each unresolved
+                # in-flight shard is charged one crash attempt, then
+                # the pool respawns for the rest.  Tracking is cleared
+                # *first* so a retryable charge re-queues the shard.
+                casualties = {}
+                for index, _s, _k, at in inflight.values():
+                    if index in remaining:
+                        casualties.setdefault(index, at)
+                inflight.clear()
+                for index in live:
+                    live[index] = []
+                for index, at in sorted(casualties.items()):
+                    _charge(index, WorkerCrash(
+                        "worker process died",
+                        label=tasks[index].label(),
+                        attempts=fail_count[index] + 1,
+                        cause="BrokenProcessPool",
+                    ), now - at)
+                pool.close(kill=False)
+                continue
+            if reap:
+                # A settled race left a loser *running*: the only way
+                # to cancel it is to kill its worker, which takes the
+                # pool.  Unresolved in-flight innocents are re-queued
+                # without being charged.
+                for future, (index, _s, _k, _at) in list(inflight.items()):
+                    if index in remaining and index not in queue:
+                        queue.append(index)
+                inflight.clear()
+                for index in live:
+                    live[index] = []
+                pool.close(kill=True)
+                continue
+            if recovery.timeout is not None and inflight:
+                now = time.perf_counter()
+                expired = {}
+                for index, _s, _k, at in inflight.values():
+                    if (now - at >= recovery.timeout
+                            and index in remaining):
+                        expired.setdefault(index, at)
+                if expired:
+                    # Killing the hung worker kills the whole pool;
+                    # innocents are re-queued without being charged.
+                    # Tracking is cleared before charging so a
+                    # retryable timeout re-queues its shard.
+                    innocents = sorted({
+                        index for index, _s, _k, _at in inflight.values()
+                        if index in remaining and index not in expired
+                    })
+                    inflight.clear()
+                    for index in live:
+                        live[index] = []
+                    for index, at in sorted(expired.items()):
+                        _charge(index, TaskTimeout(
+                            f"no result after {recovery.timeout:.1f}s",
+                            label=tasks[index].label(),
+                            attempts=fail_count[index] + 1,
+                            cause=f"timeout={recovery.timeout}",
+                        ), now - at)
+                    for index in innocents:
+                        if index not in queue:
+                            queue.append(index)
+                    pool.close(kill=True)
+    finally:
+        pool.close(kill=bool(inflight))
+
+    return ShardRunReport(
+        tasks=tasks, records=records, cache_hits=cache_hits,
+        cache_misses=len(misses), workers=pool_workers,
+        wall_s=time.perf_counter() - started, failures=failures,
+        resumed=resumed, recovery=stats,
+    )
 
 
 def shard_tasks(dataset, embedding_dim, n_shards, strategy="block",

@@ -11,6 +11,8 @@ either the old file or the new one, never a torn mix), and
 
 import json
 import os
+import pathlib
+import threading
 import time
 
 from repro.runtime import SweepCheckpoint, gc_manifests, run_sweep, spmm_task
@@ -130,3 +132,100 @@ class TestGcManifests:
         os.utime(path, (stale, stale))
         assert gc_manifests(directory=tmp_path, max_age_days=0) == 1
         assert not path.exists()
+
+
+class TestGcNeverRacesLiveSweeps:
+    """Regression: ``gc_manifests`` must never collect the manifest of
+    a sweep that is still running.
+
+    The original hazard had two halves: a sweep that resumes without
+    appending anything new (every point already in the manifest) left
+    the mtime stale for the whole run, and the GC judged age from a
+    single stat taken at scan time — so an append landing between the
+    scan and the unlink was ignored.  ``SweepCheckpoint.touch`` at
+    sweep start fixes the first; re-statting immediately before the
+    unlink fixes the second.
+    """
+
+    def _stale(self, path, days=30):
+        stale = time.time() - days * 86400
+        os.utime(path, (stale, stale))
+
+    def test_touch_refreshes_a_backdated_manifest(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-t.manifest.jsonl")
+        cp.flush("a", {"v": 1})
+        self._stale(cp.path)
+        assert cp.touch()
+        assert gc_manifests(directory=tmp_path, max_age_days=14) == 0
+        assert cp.path.exists()
+
+    def test_touch_missing_manifest_is_harmless(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "sweep-none.manifest.jsonl")
+        assert not cp.touch()
+
+    def test_resumed_sweep_marks_its_manifest_live(self, tmp_path):
+        """A fully-resumed sweep (zero new appends) keeps its manifest
+        out of GC range even when the file predates the cutoff."""
+        tasks = [
+            spmm_task("products", k, max_vertices=512, seed=0,
+                      window_edges=512, n_cores=1)
+            for k in (8, 16)
+        ]
+        checkpoint = SweepCheckpoint.for_tasks(tasks, directory=tmp_path)
+        run_sweep(tasks, workers=1, checkpoint=checkpoint)
+        self._stale(checkpoint.path)
+        report = run_sweep(tasks, workers=1, checkpoint=checkpoint,
+                           resume=True)
+        assert report.resumed == 2
+        assert gc_manifests(directory=tmp_path, max_age_days=14) == 0
+        assert checkpoint.path.exists()
+
+    def test_append_between_scan_and_delete_is_honored(
+        self, tmp_path, monkeypatch
+    ):
+        """An append landing after the directory scan but before this
+        file's unlink turn must save the manifest (age is re-checked
+        immediately before the delete, not once at scan time)."""
+        manifest = tmp_path / "sweep-live.manifest.jsonl"
+        manifest.write_text("{}\n")
+        self._stale(manifest)
+        real_glob = pathlib.Path.glob
+
+        def glob_then_append(self, pattern):
+            paths = list(real_glob(self, pattern))
+            os.utime(manifest, None)  # the live sweep appends now
+            return iter(paths)
+
+        monkeypatch.setattr(pathlib.Path, "glob", glob_then_append)
+        assert gc_manifests(directory=tmp_path, max_age_days=14) == 0
+        assert manifest.exists()
+
+    def test_concurrent_writer_survives_gc_storm(self, tmp_path):
+        """A manifest with an active writer survives repeated GC
+        passes running concurrently with its appends."""
+        cp = SweepCheckpoint(tmp_path / "sweep-busy.manifest.jsonl")
+        cp.flush("seed", {"v": 0})
+        self._stale(cp.path)  # looks abandoned until the writer wakes
+        stop = threading.Event()
+        flushed_once = threading.Event()
+
+        def writer():
+            n = 0
+            while not stop.is_set():
+                cp.flush(f"k{n}", {"v": n})
+                flushed_once.set()
+                n += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            assert flushed_once.wait(5.0)
+            deadline = time.time() + 0.5
+            while time.time() < deadline:
+                assert gc_manifests(directory=tmp_path,
+                                    max_age_days=14) == 0
+        finally:
+            stop.set()
+            thread.join(5.0)
+        assert cp.path.exists()
+        assert cp.load()

@@ -349,7 +349,9 @@ class TestHealthz:
             assert health["counters"]["tier2"] == 1
             assert health["counters"]["tier1"] == 1
             assert health["cache"]["entries"] == 1
-            assert health["fault_injections"]["queue_full"] == 0
+            assert health["fault_injections"]["queue_full"] == \
+                {"armed": 0, "fired": 0}
+            assert health["quarantined_cache_entries"] == 0
         finally:
             service.close()
 

@@ -165,4 +165,109 @@ class TestHealthz:
              {"dataset": "products", "k": 8, "max_vertices": 1024})
         _status, _headers, doc = get(f"{base}/healthz")
         assert doc["counters"]["rejected"] == 1
-        assert doc["fault_injections"]["queue_full"] == 1
+        assert doc["fault_injections"]["queue_full"]["fired"] == 1
+        assert doc["fault_injections"]["queue_full"]["armed"] == 0
+
+    def test_armed_faults_visible_before_firing(self, stack):
+        """An operator must see armed-but-unfired injections: the gap
+        between ``armed`` and ``fired`` is the chaos still pending."""
+        base, _service, faults = stack
+        faults.arm("queue_full", 3)
+        faults.arm("worker_crash_burst", 2)
+        _status, _headers, doc = get(f"{base}/healthz")
+        injections = doc["fault_injections"]
+        assert injections["queue_full"] == {"armed": 3, "fired": 0}
+        assert injections["worker_crash_burst"] == {"armed": 2,
+                                                    "fired": 0}
+        assert injections["slow_cache_io"]["armed"] == 0
+
+    def test_quarantined_cache_entries_visible(self, stack):
+        """A corrupt cache entry quarantined on read shows up in the
+        health document (cache-integrity early-warning signal)."""
+        base, service, _faults = stack
+        _status, _headers, doc = get(f"{base}/healthz")
+        assert doc["quarantined_cache_entries"] == 0
+        key = service.cache.key_for({"probe": 1})
+        service.cache.put(key, {"source": "simulation", "gflops": 1.0},
+                          payload={"probe": 1})
+        path = service.cache._path(key)
+        path.write_text("{torn json")
+        assert service.cache.get(key) is None  # quarantines
+        _status, _headers, doc = get(f"{base}/healthz")
+        assert doc["quarantined_cache_entries"] == 1
+        assert doc["status"] == "ok"
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_in_flight_jobs(self, tmp_path):
+        """A termination signal stops the accept loop, finishes the
+        in-flight tier-2 job, and closes cleanly — the submitted work
+        is never dropped."""
+        from repro.runtime.service import GracefulShutdown
+        from repro.runtime.runner import spmm_task
+
+        service = PredictionService(
+            ResultCache(directory=tmp_path / "cache"),
+            workers=1, default_deadline_s=60.0,
+        )
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        shutdown = GracefulShutdown(server, service, drain_timeout_s=60.0)
+        try:
+            task = spmm_task("products", 4, max_vertices=512, seed=3)
+            key = service.cache.key_for(task.key_payload())
+            job = service.scheduler.submit(task, key=key)
+            shutdown.trigger(None, None)  # as the signal handler would
+            assert shutdown.requested.is_set()
+            thread.join(30.0)
+            assert not thread.is_alive()  # accept loop exited
+            assert shutdown.drain() is True
+            assert job.wait(0.0)
+            assert job.error is None
+            assert job.record["source"] == "simulation"
+            counters = service.scheduler.stats.snapshot()
+            assert counters["accepted"] == counters["completed"]
+        finally:
+            server.server_close()
+            service.close()
+
+    def test_trigger_is_idempotent(self, tmp_path):
+        from repro.runtime.service import GracefulShutdown
+
+        service = PredictionService(None, workers=1)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        shutdown = GracefulShutdown(server, service, drain_timeout_s=5.0)
+        try:
+            import signal
+
+            shutdown.trigger(signal.SIGTERM, None)
+            shutdown.trigger(signal.SIGTERM, None)  # second is a no-op
+            assert shutdown.signal_name == "SIGTERM"
+            thread.join(30.0)
+            assert not thread.is_alive()
+            assert shutdown.drain() is True
+        finally:
+            server.server_close()
+            service.close()
+
+    def test_install_and_uninstall_restore_handlers(self, tmp_path):
+        import signal
+
+        from repro.runtime.service import GracefulShutdown
+
+        service = PredictionService(None, workers=1)
+        server = make_server(service)
+        before = signal.getsignal(signal.SIGTERM)
+        shutdown = GracefulShutdown(server, service).install()
+        try:
+            assert signal.getsignal(signal.SIGTERM) == shutdown.trigger
+        finally:
+            shutdown.uninstall()
+            server.server_close()
+            service.close()
+        assert signal.getsignal(signal.SIGTERM) == before
